@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the partitioning substrates: FM refinement, gain
+//! buckets, hypergraph contraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_hypergraph::contract::contract;
+use dvs_hypergraph::fm::{pairwise_fm, FmConfig};
+use dvs_hypergraph::gain::GainTable;
+use dvs_hypergraph::partition::{BalanceConstraint, Partition};
+use dvs_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// n×n grid with 2-pin edges — a standard FM stress shape.
+fn grid(n: usize) -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    let v: Vec<Vec<VertexId>> = (0..n)
+        .map(|_| (0..n).map(|_| b.add_vertex(1)).collect())
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i + 1 < n {
+                b.add_edge([v[i][j], v[i + 1][j]], 1);
+            }
+            if j + 1 < n {
+                b.add_edge([v[i][j], v[i][j + 1]], 1);
+            }
+        }
+    }
+    b.build()
+}
+
+fn random_assignment(hg: &Hypergraph, k: u32, seed: u64) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assign: Vec<u32> = (0..hg.vertex_count()).map(|_| rng.gen_range(0..k)).collect();
+    Partition::from_assignment(hg, k, assign)
+}
+
+fn bench_fm_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_refine_grid");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let hg = grid(n);
+        let cfg = FmConfig::new(BalanceConstraint::new(2, hg.total_vweight(), 10.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &hg, |b, hg| {
+            b.iter(|| {
+                let mut part = random_assignment(hg, 2, 7);
+                black_box(pairwise_fm(hg, &mut part, 0, 1, &cfg))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gain_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gain_table");
+    group.bench_function("insert_adjust_pop_10k", |b| {
+        b.iter(|| {
+            let mut t = GainTable::new(10_000, 80);
+            for v in 0..10_000u32 {
+                t.insert(v, (v % 129) as i64 - 64);
+            }
+            for v in (0..10_000u32).step_by(3) {
+                t.adjust(v, 5 - (v % 11) as i64);
+            }
+            let mut sum = 0i64;
+            while let Some((_, g)) = t.pop_max() {
+                sum += g;
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn bench_contraction(c: &mut Criterion) {
+    let hg = grid(64); // 4096 vertices
+    let mut rng = StdRng::seed_from_u64(3);
+    let clusters: Vec<u32> = (0..hg.vertex_count())
+        .map(|_| rng.gen_range(0..2048u32))
+        .collect();
+    c.bench_function("contract_4096_to_2048", |b| {
+        b.iter(|| black_box(contract(&hg, &clusters, 2048)));
+    });
+}
+
+criterion_group!(benches, bench_fm_pass, bench_gain_table, bench_contraction);
+criterion_main!(benches);

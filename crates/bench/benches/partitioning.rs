@@ -1,0 +1,64 @@
+//! Partitioner benchmarks: the design-driven algorithm vs the hMetis-style
+//! multilevel baseline, across k, on the paper-class Viterbi decoder.
+//!
+//! The headline here is the *execution time* contrast the paper motivates:
+//! the design-driven algorithm partitions a few hundred super-gates instead
+//! of ~12 k gates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_hmetis::{partition_kway, HmetisConfig};
+use dvs_hypergraph::builder::gate_level;
+use dvs_verilog::Netlist;
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use std::hint::black_box;
+
+fn workload() -> Netlist {
+    let src = generate_viterbi(&ViterbiParams::paper_class());
+    dvs_verilog::parse_and_elaborate(&src)
+        .expect("decoder elaborates")
+        .into_netlist()
+}
+
+fn bench_design_driven(c: &mut Criterion) {
+    let nl = workload();
+    let mut group = c.benchmark_group("design_driven");
+    group.sample_size(20);
+    for k in [2u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
+            let cfg = MultiwayConfig::new(k, 7.5);
+            bch.iter(|| black_box(partition_multiway(&nl, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmetis(c: &mut Criterion) {
+    let nl = workload();
+    let gh = gate_level(&nl);
+    let mut group = c.benchmark_group("hmetis_baseline");
+    group.sample_size(10);
+    for k in [2u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, &k| {
+            let cfg = HmetisConfig::with_balance(7.5, 42);
+            bch.iter(|| black_box(partition_kway(&gh.hg, k, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_front_end(c: &mut Criterion) {
+    let src = generate_viterbi(&ViterbiParams::paper_class());
+    let mut group = c.benchmark_group("front_end");
+    group.sample_size(20);
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(dvs_verilog::parse(&src).unwrap()))
+    });
+    group.bench_function("parse_and_elaborate", |b| {
+        b.iter(|| black_box(dvs_verilog::parse_and_elaborate(&src).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_driven, bench_hmetis, bench_front_end);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Simulation kernel benchmarks: sequential event throughput, event queue
+//! implementations, the deterministic cluster model, and the threaded Time
+//! Warp kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
+use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::{run_timewarp, TimeWarpConfig};
+use dvs_sim::wheel::{HeapQueue, NetEvent, TimingWheel};
+use dvs_sim::Logic;
+use dvs_verilog::{NetId, Netlist};
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use std::hint::black_box;
+
+fn workload(k: u32) -> Netlist {
+    let src = generate_viterbi(&ViterbiParams {
+        constraint_len: k,
+        ..ViterbiParams::paper_class()
+    });
+    dvs_verilog::parse_and_elaborate(&src)
+        .expect("decoder elaborates")
+        .into_netlist()
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_sim_100_vectors");
+    group.sample_size(10);
+    for k in [5u32, 7] {
+        let nl = workload(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nl.gate_count()),
+            &nl,
+            |b, nl| {
+                let stim = VectorStimulus::from_netlist(nl, 10, 1);
+                b.iter(|| {
+                    let mut sim = SeqSim::new(nl, &SimConfig::default());
+                    sim.run(&stim, 100, &mut NullObserver);
+                    black_box(sim.stats().gate_evals)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_100k");
+    let events: Vec<NetEvent> = (0..100_000u64)
+        .map(|i| NetEvent {
+            time: i / 7,
+            net: NetId((i % 512) as u32),
+            value: Logic::One,
+        })
+        .collect();
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut q = HeapQueue::new();
+            for &e in &events {
+                q.push(e);
+            }
+            let mut buf = Vec::new();
+            while q.pop_epoch(&mut buf).is_some() {}
+            black_box(buf.len())
+        });
+    });
+    group.bench_function("timing_wheel", |b| {
+        b.iter(|| {
+            let mut w = TimingWheel::new(32);
+            // The wheel requires non-decreasing epochs relative to `now`;
+            // interleave pushes and pops as the simulator does.
+            let mut buf = Vec::new();
+            let mut it = events.iter();
+            for _ in 0..events.len() / 16 {
+                for _ in 0..16 {
+                    if let Some(&e) = it.next() {
+                        w.push(e);
+                    }
+                }
+                buf.clear();
+                w.pop_epoch(&mut buf);
+            }
+            while w.pop_epoch(&mut buf).is_some() {
+                buf.clear();
+            }
+            black_box(w.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_cluster_model(c: &mut Criterion) {
+    let nl = workload(7);
+    let part = partition_multiway(&nl, &MultiwayConfig::new(4, 7.5));
+    c.bench_function("cluster_model_200_vectors_k4", |b| {
+        let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+        b.iter(|| {
+            let plan = ClusterPlan::new(&nl, &part.gate_blocks, 4);
+            let model = ClusterModel::new(&nl, plan, ClusterModelConfig::default());
+            black_box(model.run(&stim, 200).stats.messages)
+        });
+    });
+}
+
+fn bench_timewarp(c: &mut Criterion) {
+    let nl = workload(5);
+    let part = partition_multiway(&nl, &MultiwayConfig::new(2, 15.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, 2);
+    let mut group = c.benchmark_group("timewarp_50_vectors_k2");
+    group.sample_size(10);
+    group.bench_function("threaded", |b| {
+        let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+        b.iter(|| {
+            black_box(
+                run_timewarp(&nl, &plan, &stim, 50, &TimeWarpConfig::default())
+                    .stats
+                    .events,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_event_queues,
+    bench_cluster_model,
+    bench_timewarp
+);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! `repro` — regenerate every table and figure of Li & Tropper (ICPP 2008).
+//!
+//! ```text
+//! repro [--scale quick|paper|full] [--csv DIR] [targets...]
+//!
+//! targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 all
+//!          (default: all)
+//! ```
+
+use dvs_bench::experiments::*;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = "paper".to_string();
+    let mut csv_dir: Option<String> = None;
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args.next().unwrap_or_else(|| {
+                    eprintln!("--scale needs quick|paper|full");
+                    std::process::exit(2);
+                })
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale quick|paper|full] [--csv DIR] [targets...]\n\
+                     targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 regime all"
+                );
+                return;
+            }
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+    }
+    if targets.is_empty() || targets.contains("all") {
+        for t in [
+            "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "fig7",
+            "regime",
+        ] {
+            targets.insert(t.to_string());
+        }
+        targets.remove("all");
+    }
+
+    let cfg = match scale.as_str() {
+        "quick" => ReproConfig::quick(),
+        "paper" => ReproConfig::paper_scaled(),
+        "full" => ReproConfig::full(),
+        other => {
+            eprintln!("unknown scale `{other}` (quick|paper|full)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "== workload: Viterbi decoder K={} ({} states, {} banks) ==",
+        cfg.viterbi.constraint_len,
+        cfg.viterbi.states(),
+        cfg.viterbi.banks()
+    );
+    let t0 = Instant::now();
+    let wl = build_workload(&cfg);
+    eprintln!(
+        "   {} gates, {} nets, {} module instances (paper: 388 modules, ~1.2M gates) \
+         [generated+elaborated in {:.2?}]",
+        wl.stats.gates,
+        wl.stats.nets,
+        wl.stats.instances,
+        t0.elapsed()
+    );
+    eprintln!(
+        "   presim vectors: {}  full vectors: {}  k: {:?}  b: {:?}",
+        cfg.presim_vectors, cfg.full_vectors, cfg.ks, cfg.bs
+    );
+
+    let t0 = Instant::now();
+    let data = compute_grid(&wl, &cfg);
+    eprintln!(
+        "   grid of {} (k, b) points computed in {:.2?}\n",
+        data.grid.len(),
+        t0.elapsed()
+    );
+
+    let emit = |name: &str, title: &str, table: dvs_core::report::Table| {
+        println!("== {title} ==");
+        println!("{}", table.render());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("   wrote {path}");
+        }
+    };
+
+    if targets.contains("table1") {
+        emit(
+            "table1",
+            "Table 1: cut-size with design-driven partitioning algorithm",
+            table1(&data),
+        );
+    }
+    if targets.contains("table2") {
+        emit(
+            "table2",
+            "Table 2: cut-size with hMetis partitioning algorithm",
+            table2(&data),
+        );
+    }
+    if targets.contains("table3") {
+        println!(
+            "(sequential pre-simulation time: {:.2} s; paper: 38.93 s)\n",
+            data.seq_presim_seconds
+        );
+        emit(
+            "table3",
+            "Table 3: pre-simulation time with design-driven partitioning algorithm",
+            table3(&data),
+        );
+    }
+    if targets.contains("table4") {
+        emit(
+            "table4",
+            "Table 4: best partition produced by design-driven partitioning algorithm",
+            table4(&data),
+        );
+    }
+    if targets.contains("table5") {
+        let (t, _) = table5(&wl, &data);
+        emit(
+            "table5",
+            "Table 5: simulation time with design-driven partitioning algorithm (full run)",
+            t,
+        );
+    }
+    if targets.contains("fig5") {
+        emit("fig5", "Figure 5: simulation time vs machines", fig5(&wl, &data));
+    }
+    if targets.contains("fig6") {
+        emit(
+            "fig6",
+            "Figure 6: message number during pre-simulation",
+            fig6(&data),
+        );
+    }
+    if targets.contains("regime") {
+        emit(
+            "regime",
+            "Supplementary: partitioner regimes (trellis vs modular interconnect)",
+            regime_table(&cfg),
+        );
+    }
+    if targets.contains("fig7") {
+        emit(
+            "fig7",
+            "Figure 7: rollback number during pre-simulation",
+            fig7(&data),
+        );
+    }
+
+    let h = headline(&wl, &data);
+    println!("== Headline (paper §5) ==");
+    println!(
+        "cut ratio hMetis/design-driven (geomean) : {:.2}x  (paper reports 4.5x)",
+        h.cut_ratio_vs_hmetis
+    );
+    println!(
+        "partitioning time ratio hMetis/dd        : {:.0}x",
+        h.time_ratio_vs_hmetis
+    );
+    println!(
+        "best full-run speedup                    : {:.2} at k={} b={} (paper: 1.91 at k=4 b=7.5)",
+        h.best_full_speedup, h.best_k, h.best_b
+    );
+}

@@ -1,0 +1,18 @@
+//! # dvs-bench
+//!
+//! Reproduction harness for every table and figure in the evaluation
+//! section of Li & Tropper (ICPP 2008), plus Criterion micro-benchmarks of
+//! the partitioning and simulation substrates.
+//!
+//! The `repro` binary regenerates the paper's artifacts:
+//!
+//! ```text
+//! cargo run --release -p dvs-bench --bin repro -- all
+//! cargo run --release -p dvs-bench --bin repro -- table1 table3 fig6
+//! cargo run --release -p dvs-bench --bin repro -- --scale quick all
+//! ```
+//!
+//! See [`experiments`] for the per-table implementations and DESIGN.md /
+//! EXPERIMENTS.md for the experiment index and measured results.
+
+pub mod experiments;

@@ -1,0 +1,256 @@
+//! Partition pairing strategies (paper §3.1.1).
+//!
+//! After the initial k-way partition, the algorithm repeatedly *pairs* two
+//! partitions and improves the pair with FM. The paper lists four ways to
+//! pick the pair:
+//!
+//! * **Random** — "simple and efficient, but the pairing quality is not
+//!   good";
+//! * **Exhaustive** — "every combination of the partitions … able to climb
+//!   out of local minima";
+//! * **Cut-based** — "the two partitions between which the cut-size is
+//!   maximum";
+//! * **Gain-based** — "the two partitions between which the cut-size
+//!   reduction is maximum" (estimated here with a one-pass FM probe on a
+//!   scratch copy).
+//!
+//! [`PairingState`] tracks which pairs have been tried since the last
+//! improvement; when every pair has been tried without gain, "no pairing
+//! configuration is available" and the loop stops.
+
+use dvs_hypergraph::fm::{pairwise_fm, FmConfig};
+use dvs_hypergraph::partition::Partition;
+use dvs_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The pair selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairingStrategy {
+    Random,
+    Exhaustive,
+    CutBased,
+    /// Probes each untried pair with a single cheap FM pass and picks the
+    /// largest realized gain.
+    GainBased,
+}
+
+impl PairingStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            PairingStrategy::Random => "random",
+            PairingStrategy::Exhaustive => "exhaustive",
+            PairingStrategy::CutBased => "cut-based",
+            PairingStrategy::GainBased => "gain-based",
+        }
+    }
+}
+
+/// Tracks tried pairs between improvements.
+#[derive(Debug)]
+pub struct PairingState {
+    k: u32,
+    strategy: PairingStrategy,
+    tried: Vec<bool>, // indexed by pair_index
+    rng: StdRng,
+}
+
+impl PairingState {
+    pub fn new(k: u32, strategy: PairingStrategy, seed: u64) -> Self {
+        let pairs = (k as usize) * (k as usize - 1) / 2;
+        PairingState {
+            k,
+            strategy,
+            tried: vec![false; pairs],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn pair_index(&self, a: u32, b: u32) -> usize {
+        debug_assert!(a < b);
+        // Triangular index.
+        let (a, b, k) = (a as usize, b as usize, self.k as usize);
+        a * k - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    /// All currently untried pairs.
+    fn untried(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for a in 0..self.k {
+            for b in a + 1..self.k {
+                if !self.tried[self.pair_index(a, b)] {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mark a pair as tried (no improvement yet).
+    pub fn mark_tried(&mut self, a: u32, b: u32) {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let idx = self.pair_index(a, b);
+        self.tried[idx] = true;
+    }
+
+    /// An improvement occurred: all pairings become available again.
+    pub fn reset(&mut self) {
+        self.tried.iter_mut().for_each(|t| *t = false);
+    }
+
+    /// Is any pairing configuration still available?
+    pub fn exhausted(&self) -> bool {
+        self.tried.iter().all(|&t| t)
+    }
+
+    /// Choose the next pair to refine, or `None` when exhausted.
+    pub fn next_pair(
+        &mut self,
+        hg: &Hypergraph,
+        part: &Partition,
+        fm_cfg: &FmConfig,
+    ) -> Option<(u32, u32)> {
+        let mut untried = self.untried();
+        if untried.is_empty() {
+            return None;
+        }
+        match self.strategy {
+            PairingStrategy::Random => {
+                untried.shuffle(&mut self.rng);
+                Some(untried[0])
+            }
+            PairingStrategy::Exhaustive => Some(untried[0]),
+            PairingStrategy::CutBased => {
+                let m = part.pair_cut_matrix(hg);
+                untried
+                    .into_iter()
+                    .max_by_key(|&(a, b)| m[a as usize][b as usize])
+            }
+            PairingStrategy::GainBased => {
+                let probe_cfg = FmConfig {
+                    max_passes: 1,
+                    bounds: fm_cfg.bounds.clone(),
+                };
+                untried
+                    .into_iter()
+                    .map(|(a, b)| {
+                        let mut scratch = part.clone();
+                        let res = pairwise_fm(hg, &mut scratch, a, b, &probe_cfg);
+                        ((a, b), res.gain)
+                    })
+                    .max_by_key(|&(_, g)| g)
+                    .map(|(p, _)| p)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_hypergraph::partition::{BalanceConstraint, BlockBounds};
+    use dvs_hypergraph::HypergraphBuilder;
+
+    fn simple_hg() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..8).map(|_| b.add_vertex(1)).collect();
+        // Heavy cut between blocks 0 and 1 of the test partition below.
+        for i in 0..4 {
+            b.add_edge([v[i], v[i + 4]], 1);
+        }
+        b.add_edge([v[0], v[1]], 1);
+        b.build()
+    }
+
+    fn fm_cfg(hg: &Hypergraph, k: u32) -> FmConfig {
+        FmConfig {
+            max_passes: 2,
+            bounds: BlockBounds::uniform(&BalanceConstraint::new(
+                k,
+                hg.total_vweight(),
+                25.0,
+            )),
+        }
+    }
+
+    #[test]
+    fn triangular_indexing_is_bijective() {
+        let st = PairingState::new(5, PairingStrategy::Exhaustive, 0);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..5u32 {
+            for b in a + 1..5 {
+                assert!(seen.insert(st.pair_index(a, b)));
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn exhaustion_after_all_pairs_tried() {
+        let hg = simple_hg();
+        let part = Partition::from_assignment(&hg, 3, vec![0, 0, 0, 1, 1, 1, 2, 2]);
+        let cfg = fm_cfg(&hg, 3);
+        let mut st = PairingState::new(3, PairingStrategy::Exhaustive, 0);
+        let mut seen = Vec::new();
+        while let Some((a, b)) = st.next_pair(&hg, &part, &cfg) {
+            seen.push((a, b));
+            st.mark_tried(a, b);
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(st.exhausted());
+        st.reset();
+        assert!(!st.exhausted());
+    }
+
+    #[test]
+    fn cut_based_picks_heaviest_pair() {
+        let hg = simple_hg();
+        // Blocks: {0..4} = 0, {4..8} = 1 — but make a third, empty-ish block
+        // via vertex 7.
+        let part = Partition::from_assignment(&hg, 3, vec![0, 0, 0, 0, 1, 1, 1, 2]);
+        let cfg = fm_cfg(&hg, 3);
+        let mut st = PairingState::new(3, PairingStrategy::CutBased, 0);
+        let first = st.next_pair(&hg, &part, &cfg).unwrap();
+        // The 0-1 cut carries 3 edges, 0-2 carries 1, 1-2 carries 0.
+        assert_eq!(first, (0, 1));
+    }
+
+    #[test]
+    fn gain_based_probe_prefers_improvable_pair() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..6).map(|_| b.add_vertex(1)).collect();
+        // Pair (0,1): two vertices swapped between cliques — big gain.
+        b.add_edge([v[0], v[1]], 3);
+        b.add_edge([v[2], v[3]], 3);
+        // Pair (0,2)-ish edges that cannot improve.
+        b.add_edge([v[4], v[5]], 1);
+        let hg = b.build();
+        // v0,v3 in block 0; v1,v2 in block 1; v4 in 0? Assign:
+        // block0 = {v0, v2}, block1 = {v1, v3}, block2 = {v4, v5}.
+        let part = Partition::from_assignment(&hg, 3, vec![0, 1, 1, 0, 2, 2]);
+        let cfg = fm_cfg(&hg, 3);
+        let mut st = PairingState::new(3, PairingStrategy::GainBased, 0);
+        let first = st.next_pair(&hg, &part, &cfg).unwrap();
+        assert_eq!(first, (0, 1), "swapping within (0,1) removes 6 cut weight");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let hg = simple_hg();
+        let part = Partition::from_assignment(&hg, 4, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let cfg = fm_cfg(&hg, 4);
+        let mut s1 = PairingState::new(4, PairingStrategy::Random, 7);
+        let mut s2 = PairingState::new(4, PairingStrategy::Random, 7);
+        for _ in 0..5 {
+            let p1 = s1.next_pair(&hg, &part, &cfg);
+            let p2 = s2.next_pair(&hg, &part, &cfg);
+            assert_eq!(p1, p2);
+            if let Some((a, b)) = p1 {
+                s1.mark_tried(a, b);
+                s2.mark_tried(a, b);
+            }
+        }
+    }
+}

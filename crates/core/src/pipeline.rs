@@ -1,0 +1,173 @@
+//! End-to-end flow: Verilog source → partition selection → full simulation.
+//!
+//! This is the library's front door for downstream users: hand it a
+//! synthesized netlist and it runs the whole methodology of the paper —
+//! parse and elaborate, pre-simulate the (k, b) candidates (brute force or
+//! the Fig. 3 heuristic), pick the best partition, and run the full-length
+//! simulation on the modeled cluster.
+
+use crate::presim::{
+    best_point, brute_force_presim, heuristic_presim, PresimConfig, PresimPoint,
+};
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::cluster_model::{ClusterModel, ClusterRun};
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_verilog::stats::{stats, DesignStats};
+use dvs_verilog::{Error, Netlist};
+
+/// How to search the (k, b) space.
+#[derive(Debug, Clone)]
+pub enum Search {
+    /// Evaluate every combination (paper Table 3).
+    BruteForce { ks: Vec<u32>, bs: Vec<f64> },
+    /// The paper's Fig. 3 heuristic, scanning k from `max_k` down to 2.
+    Heuristic { max_k: u32 },
+}
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    pub search: Search,
+    pub presim: PresimConfig,
+    /// Vectors for the full simulation (paper: 1 000 000).
+    pub full_vectors: u64,
+}
+
+impl FlowConfig {
+    /// Paper-like defaults scaled to `gates`: pre-simulate 10 k vectors,
+    /// brute-force k ∈ {2,3,4} × b ∈ {2.5 … 15}, full run of 1 M vectors.
+    /// Callers testing at small scale should shrink `presim.vectors` and
+    /// `full_vectors`.
+    pub fn paper_defaults(gates: usize) -> Self {
+        FlowConfig {
+            search: Search::BruteForce {
+                ks: vec![2, 3, 4],
+                bs: vec![2.5, 5.0, 7.5, 10.0, 12.5, 15.0],
+            },
+            presim: PresimConfig::paper_defaults(gates),
+            full_vectors: 1_000_000,
+        }
+    }
+}
+
+/// Everything the flow produced.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Netlist statistics (module count, gate count, …).
+    pub design: DesignStats,
+    /// Every pre-simulation point evaluated.
+    pub presim_points: Vec<PresimPoint>,
+    /// The winning (k, b) point.
+    pub chosen: PresimPoint,
+    /// Number of pre-simulation runs spent.
+    pub presim_runs: usize,
+    /// Full-length simulation of the chosen partition.
+    pub full: ClusterRun,
+    /// Speedup of the full run (sequential / parallel modeled time).
+    pub full_speedup: f64,
+}
+
+/// Run the full flow on already-elaborated `nl`.
+pub fn run_flow_on_netlist(nl: &Netlist, cfg: &FlowConfig) -> FlowReport {
+    let design = stats(nl);
+
+    let (presim_points, chosen, presim_runs) = match &cfg.search {
+        Search::BruteForce { ks, bs } => {
+            let pts = brute_force_presim(nl, ks, bs, &cfg.presim);
+            let chosen = best_point(&pts).expect("non-empty search space").clone();
+            let runs = pts.len();
+            (pts, chosen, runs)
+        }
+        Search::Heuristic { max_k } => {
+            let (best, runs) = heuristic_presim(nl, *max_k, &cfg.presim);
+            (Vec::new(), best, runs)
+        }
+    };
+
+    // Full simulation with the chosen partition.
+    let plan = ClusterPlan::new(nl, &chosen.gate_blocks, chosen.k as usize);
+    let model = ClusterModel::new(nl, plan, cfg.presim.model.clone());
+    let stim = VectorStimulus::from_netlist(nl, cfg.presim.period, cfg.presim.stim_seed);
+    let full = model.run(&stim, cfg.full_vectors);
+    let full_speedup = full.speedup;
+
+    FlowReport {
+        design,
+        presim_points,
+        chosen,
+        presim_runs,
+        full,
+        full_speedup,
+    }
+}
+
+/// Parse, elaborate and run the full flow on Verilog source text.
+pub fn run_flow(src: &str, cfg: &FlowConfig) -> Result<FlowReport, Error> {
+    let design = dvs_verilog::parse_and_elaborate(src)?;
+    Ok(run_flow_on_netlist(design.netlist(), cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        module top(clk, a, y);
+          input clk, a; output y;
+          wire w0, w1, w2, w3;
+          buf bi (w0, a);
+          blk u0 (clk, w0, w1);
+          blk u1 (clk, w1, w2);
+          blk u2 (clk, w2, w3);
+          buf bo (y, w3);
+        endmodule
+        module blk(clk, i, o);
+          input clk, i; output o;
+          wire a, b;
+          not g1 (a, i);
+          xor g2 (b, a, i);
+          dff g3 (o, clk, b);
+        endmodule
+    "#;
+
+    fn quick_flow(search: Search) -> FlowConfig {
+        let mut cfg = FlowConfig::paper_defaults(16);
+        cfg.search = search;
+        cfg.presim.vectors = 40;
+        cfg.full_vectors = 120;
+        cfg
+    }
+
+    #[test]
+    fn brute_force_flow_end_to_end() {
+        let cfg = quick_flow(Search::BruteForce {
+            ks: vec![2, 3],
+            bs: vec![10.0, 15.0],
+        });
+        let report = run_flow(SRC, &cfg).unwrap();
+        assert_eq!(report.presim_runs, 4);
+        assert_eq!(report.presim_points.len(), 4);
+        assert!(report.chosen.k == 2 || report.chosen.k == 3);
+        assert!(report.full.wall_seconds > 0.0);
+        assert!(report.design.gates > 5);
+        // Chosen point has the max speedup of the sweep.
+        for p in &report.presim_points {
+            assert!(p.speedup <= report.chosen.speedup + 1e-12);
+        }
+    }
+
+    #[test]
+    fn heuristic_flow_end_to_end() {
+        let cfg = quick_flow(Search::Heuristic { max_k: 3 });
+        let report = run_flow(SRC, &cfg).unwrap();
+        assert!(report.presim_runs >= 2);
+        assert!(report.chosen.k >= 2);
+        assert!(report.full_speedup > 0.0);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let cfg = quick_flow(Search::Heuristic { max_k: 2 });
+        assert!(run_flow("module broken(", &cfg).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Pre-simulation (paper §3.4, §4.2): evaluating the load-balance /
+//! communication trade-off by simulating a short prefix of the workload.
+//!
+//! "We use pre-simulation to evaluate the trade-off between load balance and
+//! the communication cost … The criterion used to evaluate a circuit
+//! partition is the speedup during the pre-simulation. The partition which
+//! produces the best speedup for some choice of k and b is used in the
+//! circuit simulation." The paper uses 10 000 random vectors for
+//! pre-simulation vs 1 000 000 for the full run.
+//!
+//! Two search modes are provided, as in the paper:
+//!
+//! * [`brute_force_presim`] — every (k, b) combination (Table 3);
+//! * [`heuristic_presim`] — the greedy search of paper Fig. 3: for each k
+//!   from the maximum down to 2, sweep b upward from 7.5 in steps of 2.5
+//!   (b < 15) and stop the sweep at the first speedup decrease. (The
+//!   paper's pseudo-code returns the loop's final indices; we return the
+//!   argmax it tracked, which is its evident intent.)
+
+use crate::multiway::{partition_multiway, MultiwayConfig};
+use crate::pairing::PairingStrategy;
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_verilog::netlist::Netlist;
+
+/// Pre-simulation parameters.
+#[derive(Debug, Clone)]
+pub struct PresimConfig {
+    /// Random vectors for the pre-simulation run (paper: 10 000).
+    pub vectors: u64,
+    /// Vector period in gate delays.
+    pub period: u64,
+    /// Stimulus seed.
+    pub stim_seed: u64,
+    /// Cluster cost model.
+    pub model: ClusterModelConfig,
+    /// Pairing strategy for the partitioner.
+    pub pairing: PairingStrategy,
+    /// Partitioner seed.
+    pub part_seed: u64,
+}
+
+impl PresimConfig {
+    /// Defaults matching the paper's setup, with the cost model rescaled for
+    /// `gates` (see [`ClusterModelConfig::athlon_cluster`]).
+    pub fn paper_defaults(gates: usize) -> Self {
+        PresimConfig {
+            vectors: 10_000,
+            period: 10,
+            stim_seed: 0x1234,
+            model: ClusterModelConfig::athlon_cluster(gates),
+            pairing: PairingStrategy::CutBased,
+            part_seed: 0xD5,
+        }
+    }
+}
+
+/// One evaluated (k, b) data point — a row of the paper's Table 3.
+#[derive(Debug, Clone)]
+pub struct PresimPoint {
+    pub k: u32,
+    pub b: f64,
+    /// Flat-netlist hyperedge cut of the produced partition.
+    pub cut: u64,
+    /// Modeled parallel pre-simulation wall time (seconds).
+    pub sim_seconds: f64,
+    /// Modeled sequential time for the same workload.
+    pub seq_seconds: f64,
+    pub speedup: f64,
+    pub messages: u64,
+    pub rollbacks: u64,
+    /// Per-machine message counts.
+    pub machine_messages: Vec<u64>,
+    /// Per-machine rollback counts.
+    pub machine_rollbacks: Vec<u64>,
+    /// The partition itself, for reuse in the full simulation.
+    pub gate_blocks: Vec<u32>,
+    pub balanced: bool,
+}
+
+/// Partition for (k, b) and evaluate it with `vectors` pre-simulation
+/// vectors under the cluster model.
+pub fn presim_point(nl: &Netlist, k: u32, b: f64, cfg: &PresimConfig) -> PresimPoint {
+    let mcfg = MultiwayConfig {
+        pairing: cfg.pairing,
+        seed: cfg.part_seed,
+        ..MultiwayConfig::new(k, b)
+    };
+    let part = partition_multiway(nl, &mcfg);
+    evaluate_partition(nl, part.gate_blocks, part.cut, part.balanced, k, b, cfg)
+}
+
+/// Evaluate an existing per-gate partition (used for the hMetis baseline
+/// too, so both sides share the identical measurement path).
+pub fn evaluate_partition(
+    nl: &Netlist,
+    gate_blocks: Vec<u32>,
+    cut: u64,
+    balanced: bool,
+    k: u32,
+    b: f64,
+    cfg: &PresimConfig,
+) -> PresimPoint {
+    let plan = ClusterPlan::new(nl, &gate_blocks, k as usize);
+    let model = ClusterModel::new(nl, plan, cfg.model.clone());
+    let stim = VectorStimulus::from_netlist(nl, cfg.period, cfg.stim_seed);
+    let run = model.run(&stim, cfg.vectors);
+    PresimPoint {
+        k,
+        b,
+        cut,
+        sim_seconds: run.wall_seconds,
+        seq_seconds: run.seq_seconds,
+        speedup: run.speedup,
+        messages: run.stats.messages,
+        rollbacks: run.stats.rollbacks,
+        machine_messages: run.machine_messages,
+        machine_rollbacks: run.machine_rollbacks,
+        gate_blocks,
+        balanced,
+    }
+}
+
+/// Evaluate every (k, b) combination — the full Table 3 sweep.
+pub fn brute_force_presim(
+    nl: &Netlist,
+    ks: &[u32],
+    bs: &[f64],
+    cfg: &PresimConfig,
+) -> Vec<PresimPoint> {
+    let mut out = Vec::with_capacity(ks.len() * bs.len());
+    for &k in ks {
+        for &b in bs {
+            out.push(presim_point(nl, k, b, cfg));
+        }
+    }
+    out
+}
+
+/// The best point by speedup (the paper's Table 4 selection).
+pub fn best_point(points: &[PresimPoint]) -> Option<&PresimPoint> {
+    points
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"))
+}
+
+/// The heuristic search of paper Fig. 3. Returns the best point found and
+/// the number of pre-simulation runs spent.
+pub fn heuristic_presim(nl: &Netlist, max_k: u32, cfg: &PresimConfig) -> (PresimPoint, usize) {
+    assert!(max_k >= 2);
+    let mut best: Option<PresimPoint> = None;
+    let mut runs = 0usize;
+    let mut k = max_k;
+    while k >= 2 {
+        // "Allow b to vary from 7.5 to 15 … increase b until the speedup
+        // decreases for the first time and halt when this happens."
+        let mut prev_speedup = f64::NEG_INFINITY;
+        let mut b = 7.5;
+        while b < 15.0 {
+            let point = presim_point(nl, k, b, cfg);
+            runs += 1;
+            let speedup = point.speedup;
+            if best
+                .as_ref()
+                .is_none_or(|bp| point.speedup > bp.speedup)
+            {
+                best = Some(point);
+            }
+            if speedup <= prev_speedup {
+                break; // first decrease for this k
+            }
+            prev_speedup = speedup;
+            b += 2.5;
+        }
+        k -= 1;
+    }
+    (best.expect("at least one run"), runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_verilog::parse_and_elaborate;
+
+    fn pipeline_netlist() -> Netlist {
+        let mut src = String::from("module top(clk, a, y);\n input clk, a; output y;\n");
+        for i in 0..=12 {
+            src.push_str(&format!(" wire w{i};\n"));
+        }
+        src.push_str(" buf bi (w0, a);\n");
+        for i in 0..12 {
+            src.push_str(&format!(" blk u{i} (clk, w{i}, w{});\n", i + 1));
+        }
+        src.push_str(" buf bo (y, w12);\nendmodule\n");
+        src.push_str(
+            "module blk(clk, i, o);\n input clk, i; output o;\n wire a, b, c;\n \
+             not g1 (a, i);\n xor g2 (b, a, i);\n or g3 (c, b, a);\n dff g4 (o, clk, c);\n\
+             endmodule\n",
+        );
+        parse_and_elaborate(&src).unwrap().into_netlist()
+    }
+
+    fn quick_cfg(nl: &Netlist) -> PresimConfig {
+        let mut cfg = PresimConfig::paper_defaults(nl.gate_count());
+        cfg.vectors = 60;
+        cfg
+    }
+
+    #[test]
+    fn presim_point_is_deterministic() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let p1 = presim_point(&nl, 2, 10.0, &cfg);
+        let p2 = presim_point(&nl, 2, 10.0, &cfg);
+        assert_eq!(p1.cut, p2.cut);
+        assert_eq!(p1.messages, p2.messages);
+        assert_eq!(p1.rollbacks, p2.rollbacks);
+        assert!((p1.speedup - p2.speedup).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_covers_grid() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let pts = brute_force_presim(&nl, &[2, 3], &[7.5, 12.5], &cfg);
+        assert_eq!(pts.len(), 4);
+        let ks: Vec<u32> = pts.iter().map(|p| p.k).collect();
+        assert_eq!(ks, vec![2, 2, 3, 3]);
+        let best = best_point(&pts).unwrap();
+        assert!(pts.iter().all(|p| p.speedup <= best.speedup));
+    }
+
+    #[test]
+    fn heuristic_spends_fewer_runs_than_brute_force() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let (best, runs) = heuristic_presim(&nl, 4, &cfg);
+        // Brute force over the same space would be 3 k-values × 3 b-values.
+        assert!(runs <= 9, "runs = {runs}");
+        assert!(runs >= 3, "at least one run per k");
+        assert!(best.k >= 2 && best.k <= 4);
+        assert!(best.speedup > 0.0);
+    }
+
+    #[test]
+    fn single_machine_speedup_is_one() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let p = presim_point(&nl, 1, 10.0, &cfg);
+        assert!((p.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(p.messages, 0);
+        assert_eq!(p.rollbacks, 0);
+    }
+
+    #[test]
+    fn evaluate_partition_matches_presim_point() {
+        // The shared measurement path must agree with the combined call.
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let p = presim_point(&nl, 2, 10.0, &cfg);
+        let again = evaluate_partition(
+            &nl,
+            p.gate_blocks.clone(),
+            p.cut,
+            p.balanced,
+            2,
+            10.0,
+            &cfg,
+        );
+        assert_eq!(p.messages, again.messages);
+        assert!((p.sim_seconds - again.sim_seconds).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Vertex-cluster contraction — the mechanism behind multilevel coarsening.
+//!
+//! Given a map from vertices to clusters, [`contract`] produces the coarse
+//! hypergraph: cluster weights are summed, each hyperedge's pins are mapped
+//! to clusters and deduplicated, single-pin edges vanish, and *identical*
+//! coarse edges are merged with their weights added (so the coarse cut
+//! equals the fine cut for any partition lifted through the mapping).
+
+use crate::hgraph::{Hypergraph, HypergraphBuilder, VertexId};
+use std::collections::HashMap;
+
+/// Result of a contraction: the coarse graph and the fine→coarse vertex map.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    pub coarse: Hypergraph,
+    /// `vertex_map[fine vertex] = coarse vertex`.
+    pub vertex_map: Vec<u32>,
+}
+
+impl Contraction {
+    /// Lift a coarse per-vertex assignment to the fine graph.
+    pub fn uncontract_assignment(&self, coarse_assign: &[u32]) -> Vec<u32> {
+        self.vertex_map
+            .iter()
+            .map(|&c| coarse_assign[c as usize])
+            .collect()
+    }
+}
+
+/// Contract `hg` according to `cluster_of` (values must be a dense range
+/// `0..num_clusters`).
+pub fn contract(hg: &Hypergraph, cluster_of: &[u32], num_clusters: usize) -> Contraction {
+    assert_eq!(cluster_of.len(), hg.vertex_count());
+    debug_assert!(cluster_of.iter().all(|&c| (c as usize) < num_clusters));
+
+    let mut weights = vec![0u64; num_clusters];
+    for v in hg.vertices() {
+        weights[cluster_of[v.idx()] as usize] += hg.vweight(v);
+    }
+
+    let mut b = HypergraphBuilder::with_capacity(num_clusters, hg.edge_count());
+    for &w in &weights {
+        b.add_vertex(w);
+    }
+
+    // Merge identical coarse edges: map sorted pin-list -> accumulated weight.
+    let mut merged: HashMap<Vec<u32>, u32> = HashMap::with_capacity(hg.edge_count());
+    let mut pins: Vec<u32> = Vec::with_capacity(16);
+    for e in hg.edges() {
+        pins.clear();
+        pins.extend(hg.pins(e).map(|p| cluster_of[p.idx()]));
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            continue;
+        }
+        *merged.entry(pins.clone()).or_insert(0) += hg.eweight(e);
+    }
+    // Deterministic edge order regardless of hash iteration.
+    let mut entries: Vec<(Vec<u32>, u32)> = merged.into_iter().collect();
+    entries.sort_unstable();
+    for (pins, w) in entries {
+        b.add_edge(pins.into_iter().map(VertexId), w);
+    }
+
+    Contraction {
+        coarse: b.build(),
+        vertex_map: cluster_of.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partition;
+
+    fn path5() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..5).map(|_| b.add_vertex(2)).collect();
+        for w in v.windows(2) {
+            b.add_edge([w[0], w[1]], 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn contract_sums_weights_and_merges_edges() {
+        let hg = path5();
+        // Clusters: {0,1}, {2,3}, {4}.
+        let c = contract(&hg, &[0, 0, 1, 1, 2], 3);
+        assert_eq!(c.coarse.vertex_count(), 3);
+        assert_eq!(c.coarse.vweight(VertexId(0)), 4);
+        assert_eq!(c.coarse.vweight(VertexId(2)), 2);
+        assert_eq!(c.coarse.total_vweight(), hg.total_vweight());
+        // Edges: internal 0-1 and 2-3 vanish; 1-2 and 3-4 remain.
+        assert_eq!(c.coarse.edge_count(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate_weight() {
+        let mut b = HypergraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex(1)).collect();
+        b.add_edge([v[0], v[2]], 1);
+        b.add_edge([v[1], v[3]], 2);
+        b.add_edge([v[0], v[3]], 3);
+        let hg = b.build();
+        // Clusters {0,1} and {2,3}: all three edges become the same coarse
+        // edge {0,1}.
+        let c = contract(&hg, &[0, 0, 1, 1], 2);
+        assert_eq!(c.coarse.edge_count(), 1);
+        assert_eq!(c.coarse.eweight(crate::hgraph::EdgeId(0)), 6);
+    }
+
+    #[test]
+    fn cut_preserved_through_contraction() {
+        let hg = path5();
+        let c = contract(&hg, &[0, 0, 1, 1, 2], 3);
+        let coarse_part = Partition::from_assignment(&c.coarse, 2, vec![0, 1, 1]);
+        let fine_assign = c.uncontract_assignment(&[0, 1, 1]);
+        let fine_part = Partition::from_assignment(&hg, 2, fine_assign);
+        assert_eq!(
+            coarse_part.weighted_cut(&c.coarse),
+            fine_part.weighted_cut(&hg)
+        );
+        assert_eq!(coarse_part.block_weights(), fine_part.block_weights());
+    }
+
+    #[test]
+    fn identity_contraction() {
+        let hg = path5();
+        let ids: Vec<u32> = (0..5).collect();
+        let c = contract(&hg, &ids, 5);
+        assert_eq!(c.coarse.vertex_count(), hg.vertex_count());
+        assert_eq!(c.coarse.edge_count(), hg.edge_count());
+        assert_eq!(c.coarse.pin_count(), hg.pin_count());
+    }
+
+    #[test]
+    fn full_contraction_drops_all_edges() {
+        let hg = path5();
+        let c = contract(&hg, &[0; 5], 1);
+        assert_eq!(c.coarse.vertex_count(), 1);
+        assert_eq!(c.coarse.edge_count(), 0);
+        assert_eq!(c.coarse.total_vweight(), 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dvs-hypergraph
+//!
+//! Hypergraph model and partitioning primitives for gate-level circuits,
+//! following the model of Li & Tropper (ICPP 2008):
+//!
+//! * a **vertex** is an ordinary gate *or* a Verilog module instance treated
+//!   as a *super-gate*, weighted by the number of gates it contains;
+//! * a **hyperedge** is a net, connecting its driver and all its readers.
+//!
+//! Provided here:
+//!
+//! * [`hgraph::Hypergraph`] — compact CSR storage with per-vertex weights
+//!   and bidirectional incidence;
+//! * [`partition::Partition`] — k-way assignment with maintained block
+//!   weights, plus cut metrics (hyperedge cut, SOED, connectivity−1);
+//! * [`partition::BalanceConstraint`] — the paper's formula (1) load
+//!   balancing constraint with factor `b`;
+//! * [`gain::GainTable`] — the classic FM bucket structure with O(1)
+//!   updates;
+//! * [`fm::pairwise_fm`] — Fiduccia–Mattheyses refinement between two blocks
+//!   of a k-way partition (the paper's "iterative movement");
+//! * [`builder`] — construction of gate-level and design-level (super-gate)
+//!   hypergraphs from a [`dvs_verilog::Netlist`];
+//! * [`contract`] — vertex-cluster contraction used by multilevel
+//!   partitioners (the hMetis baseline).
+
+pub mod builder;
+pub mod contract;
+pub mod fm;
+pub mod gain;
+pub mod hgraph;
+pub mod partition;
+
+pub use builder::{design_level, gate_level, HierHypergraph};
+pub use fm::{pairwise_fm, FmConfig, FmResult};
+pub use hgraph::{EdgeId, Hypergraph, HypergraphBuilder, VertexId};
+pub use partition::{BalanceConstraint, Partition};

@@ -1,0 +1,433 @@
+//! Deterministic model of the paper's 4-node simulation cluster.
+//!
+//! The paper measures wall-clock time, message counts and rollback counts on
+//! a cluster of AMD Athlon (1 GHz) machines connected by gigabit Ethernet,
+//! running Clustered Time Warp over MPICH. We do not have that cluster; we
+//! have something better for reproducibility: a **meta-simulation**. The
+//! real workload is profiled exactly — the sequential kernel attributes
+//! every gate evaluation and every cut-net toggle to a (machine, cycle)
+//! bucket — and a discrete model of the machines' wall-clock progression
+//! replays that workload with per-event CPU cost, per-message CPU overhead,
+//! network latency and an optimism/rollback penalty.
+//!
+//! What the model preserves (and what the tables/figures need):
+//!
+//! * **message counts are exact**: one message per remote reader per cut-net
+//!   toggle, exactly as DVS would send them;
+//! * **load is exact**: per-machine event counts come from the real
+//!   simulation of the real partition;
+//! * **rollback counts and times are modeled**: a machine that finishes its
+//!   share of a cycle early runs ahead optimistically; a message arriving
+//!   after its local finish forces a rollback whose cost is proportional to
+//!   how far ahead it got. This reproduces the paper's qualitative behaviour
+//!   (more machines ⇒ more messages ⇒ more rollbacks; larger `b` ⇒ smaller
+//!   cut ⇒ fewer messages and rollbacks; communication eventually overwhelms
+//!   added parallelism).
+//!
+//! Everything is deterministic given the stimulus seed.
+
+use crate::cluster::ClusterPlan;
+use crate::seq::{SeqSim, SimConfig, SimObserver};
+use crate::stats::SimStats;
+use crate::stimulus::VectorStimulus;
+use crate::wheel::VTime;
+use dvs_verilog::netlist::{GateId, NetId, Netlist};
+
+/// Cost model constants. Defaults approximate the paper's testbed: a 1 GHz
+/// Athlon evaluating roughly one gate event per microsecond, MPICH-over-TCP
+/// per-message CPU cost in the tens of microseconds, and gigabit-Ethernet
+/// one-way latency around 60 µs for small messages.
+#[derive(Debug, Clone)]
+pub struct ClusterModelConfig {
+    /// CPU nanoseconds per gate event.
+    pub event_cost_ns: f64,
+    /// CPU nanoseconds per message sent or received (MPICH stack overhead).
+    pub msg_cpu_ns: f64,
+    /// One-way network latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Wasted-work multiplier applied to the wall-clock gap by which a
+    /// machine had run ahead when a straggler arrived.
+    pub rollback_penalty: f64,
+    /// Cycle-bucket cap: long runs are folded into at most this many
+    /// buckets to bound memory (counts stay exact; timing granularity
+    /// coarsens).
+    pub max_buckets: usize,
+    /// When set, `event_cost_ns` is re-derived after profiling so the
+    /// modeled *sequential* time per vector equals this many nanoseconds —
+    /// anchoring the compute/communication balance to a measured testbed
+    /// figure regardless of circuit scale or activity. The paper reports
+    /// 38.93 s for 10 000 vectors sequentially, i.e. 3.893 ms/vector.
+    pub calibrate_seq_ns_per_cycle: Option<f64>,
+}
+
+impl Default for ClusterModelConfig {
+    fn default() -> Self {
+        ClusterModelConfig {
+            event_cost_ns: 1_000.0,
+            msg_cpu_ns: 25_000.0,
+            latency_ns: 60_000.0,
+            rollback_penalty: 0.5,
+            max_buckets: 16_384,
+            calibrate_seq_ns_per_cycle: None,
+        }
+    }
+}
+
+impl ClusterModelConfig {
+    /// The calibrated paper-testbed model: per-event cost is anchored so
+    /// that the sequential simulation of one vector costs what the paper
+    /// measured on the 1 GHz Athlon (38.93 s / 10 000 vectors), keeping the
+    /// compute/communication balance that determines speedup at paper scale
+    /// even on scaled-down circuit instances. Message CPU cost is fitted so
+    /// the per-cycle communication budget at the paper's best configuration
+    /// (k=4, b=7.5) reproduces its measured parallel inefficiency; see
+    /// EXPERIMENTS.md for the derivation.
+    pub fn athlon_cluster(_actual_gates: usize) -> Self {
+        ClusterModelConfig {
+            calibrate_seq_ns_per_cycle: Some(3.893e6),
+            msg_cpu_ns: 5_000.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a modeled cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Aggregate statistics. `messages` and `events` are exact; `rollbacks`
+    /// and `rolled_back_events` are modeled.
+    pub stats: SimStats,
+    /// Modeled parallel wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Modeled one-machine wall-clock seconds for the same workload.
+    pub seq_seconds: f64,
+    /// `seq_seconds / wall_seconds`.
+    pub speedup: f64,
+    /// Exact per-machine gate-event counts.
+    pub machine_events: Vec<u64>,
+    /// Modeled per-machine rollback counts.
+    pub machine_rollbacks: Vec<u64>,
+    /// Exact per-machine sent-message counts.
+    pub machine_messages: Vec<u64>,
+}
+
+/// Profiling observer: attributes gate events and cut-net toggles to
+/// (machine, cycle-bucket).
+struct Profiler<'p> {
+    k: usize,
+    period: VTime,
+    cycles_per_bucket: u64,
+    buckets: usize,
+    gate_block: &'p [u32],
+    /// For cut nets: (source machine, destinations); dense by net id.
+    route: Vec<Option<(u32, Vec<u32>)>>,
+    /// ev[bucket * k + machine] = gate events.
+    ev: Vec<u64>,
+    /// sent[bucket * k + machine] / recv likewise.
+    sent: Vec<u64>,
+    recv: Vec<u64>,
+    /// msg[(bucket * k + src) * k + dst] = messages.
+    msg: Vec<u64>,
+}
+
+impl<'p> Profiler<'p> {
+    #[inline]
+    fn bucket(&self, t: VTime) -> usize {
+        (((t / self.period) / self.cycles_per_bucket) as usize).min(self.buckets - 1)
+    }
+}
+
+impl<'p> SimObserver for Profiler<'p> {
+    #[inline]
+    fn gate_eval(&mut self, gate: GateId, time: VTime) {
+        let b = self.bucket(time);
+        let m = self.gate_block[gate.idx()] as usize;
+        self.ev[b * self.k + m] += 1;
+    }
+
+    #[inline]
+    fn net_change(&mut self, net: NetId, time: VTime, _value: crate::logic::Logic) {
+        if let Some((src, dests)) = &self.route[net.idx()] {
+            let b = self.bucket(time);
+            let s = *src as usize;
+            self.sent[b * self.k + s] += dests.len() as u64;
+            for &d in dests {
+                self.recv[b * self.k + d as usize] += 1;
+                self.msg[(b * self.k + s) * self.k + d as usize] += 1;
+            }
+        }
+    }
+}
+
+/// The deterministic cluster meta-simulation.
+pub struct ClusterModel<'a> {
+    nl: &'a Netlist,
+    plan: ClusterPlan,
+    cfg: ClusterModelConfig,
+}
+
+impl<'a> ClusterModel<'a> {
+    pub fn new(nl: &'a Netlist, plan: ClusterPlan, cfg: ClusterModelConfig) -> Self {
+        ClusterModel { nl, plan, cfg }
+    }
+
+    pub fn plan(&self) -> &ClusterPlan {
+        &self.plan
+    }
+
+    /// Profile `cycles` vectors of `stim` and model the cluster's execution.
+    pub fn run(&self, stim: &VectorStimulus, cycles: u64) -> ClusterRun {
+        let k = self.plan.k;
+        let cycles_per_bucket = (cycles.div_ceil(self.cfg.max_buckets as u64)).max(1);
+        let buckets = (cycles.div_ceil(cycles_per_bucket) as usize).max(1);
+
+        // Build the cut-net routing table.
+        let mut route: Vec<Option<(u32, Vec<u32>)>> = vec![None; self.nl.net_count()];
+        for (ci, cl) in self.plan.clusters.iter().enumerate() {
+            for (net, dests) in &cl.exports {
+                route[net.idx()] = Some((ci as u32, dests.clone()));
+            }
+        }
+
+        let mut prof = Profiler {
+            k,
+            period: stim.period,
+            cycles_per_bucket,
+            buckets,
+            gate_block: &self.plan.gate_block,
+            route,
+            ev: vec![0; buckets * k],
+            sent: vec![0; buckets * k],
+            recv: vec![0; buckets * k],
+            msg: vec![0; buckets * k * k],
+        };
+
+        // Exact workload profile from the sequential kernel.
+        let sim_cfg = SimConfig {
+            cycles,
+            init_zero: true,
+        };
+        let mut sim = SeqSim::new(self.nl, &sim_cfg);
+        sim.run(stim, cycles, &mut prof);
+        let base = sim.stats().clone();
+
+        // Meta-simulate the machines' wall clocks.
+        let ev_ns = match self.cfg.calibrate_seq_ns_per_cycle {
+            Some(per_cycle) if base.gate_evals > 0 && cycles > 0 => {
+                per_cycle * cycles as f64 / base.gate_evals as f64
+            }
+            _ => self.cfg.event_cost_ns,
+        };
+        let msg_ns = self.cfg.msg_cpu_ns;
+        let lat_ns = self.cfg.latency_ns;
+
+        let mut finish = vec![0.0f64; k]; // committed wall time per machine
+        let mut start = vec![0.0f64; k]; // bucket start per machine
+        let mut local = vec![0.0f64; k];
+        let mut rollbacks = vec![0u64; k];
+        let mut rolled_back_events = 0u64;
+        let mut machine_events = vec![0u64; k];
+        let mut machine_messages = vec![0u64; k];
+
+        for b in 0..buckets {
+            // Local finish: prior commit + compute + message CPU.
+            for p in 0..k {
+                let e = prof.ev[b * k + p];
+                machine_events[p] += e;
+                machine_messages[p] += prof.sent[b * k + p];
+                start[p] = finish[p];
+                local[p] = finish[p]
+                    + e as f64 * ev_ns
+                    + (prof.sent[b * k + p] + prof.recv[b * k + p]) as f64 * msg_ns;
+            }
+            // Arrivals and rollbacks. A sender's messages are spread
+            // uniformly over its compute span; the fraction arriving after
+            // the receiver's local finish had a chance of straggling, and
+            // the probability that at least one message of the batch was
+            // late gives a smooth expected rollback count (saturating at
+            // one rollback per sender per bucket, matching CTW behaviour
+            // where a straggler batch triggers a single rollback).
+            for p in 0..k {
+                let mut latest_arrival = 0.0f64;
+                let mut expected_rollbacks = 0.0f64;
+                for q in 0..k {
+                    let mcount = prof.msg[(b * k + q) * k + p];
+                    if q == p || mcount == 0 {
+                        continue;
+                    }
+                    let a_first = start[q] + lat_ns;
+                    let a_last = local[q] + lat_ns;
+                    latest_arrival = latest_arrival.max(a_last);
+                    let spread = (a_last - a_first).max(1.0);
+                    let late_frac = ((a_last - local[p]) / spread).clamp(0.0, 1.0);
+                    if late_frac > 0.0 {
+                        // P(at least one of mcount messages is late).
+                        let p_roll = 1.0 - (1.0 - late_frac).powi(mcount.min(1_000) as i32);
+                        expected_rollbacks += p_roll;
+                    }
+                }
+                rollbacks[p] += expected_rollbacks.round() as u64;
+                if latest_arrival > local[p] {
+                    // The machine ran ahead by `gap` while waiting, then
+                    // redoes invalidated optimistic work. It cannot have
+                    // executed (and so cannot redo) more than its own
+                    // compute span worth of look-ahead, which bounds the
+                    // penalty and keeps the recurrence stable.
+                    let gap = latest_arrival - local[p];
+                    let span = (local[p] - start[p]).max(0.0);
+                    let redo = gap.min(span) * self.cfg.rollback_penalty;
+                    rolled_back_events += (gap.min(span) / ev_ns) as u64;
+                    finish[p] = latest_arrival + redo;
+                } else {
+                    finish[p] = local[p];
+                }
+            }
+        }
+
+        let wall_ns: f64 = finish.iter().copied().fold(0.0, f64::max);
+        let seq_ns = base.gate_evals as f64 * ev_ns;
+
+        let mut stats = base;
+        stats.messages = machine_messages.iter().sum();
+        stats.rollbacks = rollbacks.iter().sum();
+        stats.rolled_back_events = rolled_back_events;
+
+        ClusterRun {
+            wall_seconds: wall_ns / 1e9,
+            seq_seconds: seq_ns / 1e9,
+            speedup: if wall_ns > 0.0 { seq_ns / wall_ns } else { 1.0 },
+            stats,
+            machine_events,
+            machine_rollbacks: rollbacks,
+            machine_messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_verilog::parse_and_elaborate;
+
+    /// A chain of inverters with a few DFF stages — enough activity to
+    /// profile.
+    fn pipeline_netlist() -> Netlist {
+        let mut src = String::from("module top(clk, a, y);\n input clk, a; output y;\n");
+        let stages = 12;
+        for i in 0..=stages {
+            src.push_str(&format!(" wire w{i};\n"));
+        }
+        src.push_str(" buf b_in (w0, a);\n");
+        for i in 0..stages {
+            if i % 4 == 3 {
+                src.push_str(&format!(" dff d{i} (w{}, clk, w{i});\n", i + 1));
+            } else {
+                src.push_str(&format!(" not n{i} (w{}, w{i});\n", i + 1));
+            }
+        }
+        src.push_str(&format!(" buf b_out (y, w{stages});\n"));
+        src.push_str("endmodule\n");
+        parse_and_elaborate(&src).unwrap().into_netlist()
+    }
+
+    fn block_split(nl: &Netlist, k: usize) -> Vec<u32> {
+        // Contiguous split by gate index.
+        let n = nl.gate_count();
+        (0..n).map(|i| ((i * k) / n) as u32).collect()
+    }
+
+    #[test]
+    fn single_machine_has_no_overhead() {
+        let nl = pipeline_netlist();
+        let plan = ClusterPlan::new(&nl, &vec![0; nl.gate_count()], 1);
+        let model = ClusterModel::new(&nl, plan, ClusterModelConfig::default());
+        let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+        let run = model.run(&stim, 200);
+        assert_eq!(run.stats.messages, 0);
+        assert_eq!(run.stats.rollbacks, 0);
+        assert!((run.speedup - 1.0).abs() < 1e-9);
+        assert!(run.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn messages_are_exact_and_deterministic() {
+        let nl = pipeline_netlist();
+        let gb = block_split(&nl, 2);
+        let plan = ClusterPlan::new(&nl, &gb, 2);
+        let model = ClusterModel::new(&nl, plan, ClusterModelConfig::default());
+        let stim = VectorStimulus::from_netlist(&nl, 10, 7);
+        let r1 = model.run(&stim, 100);
+        let r2 = model.run(&stim, 100);
+        assert_eq!(r1.stats.messages, r2.stats.messages);
+        assert_eq!(r1.stats.rollbacks, r2.stats.rollbacks);
+        assert!(r1.stats.messages > 0, "split pipeline must communicate");
+        assert_eq!(
+            r1.machine_events.iter().sum::<u64>(),
+            r1.stats.gate_evals
+        );
+    }
+
+    #[test]
+    fn more_cut_means_more_messages() {
+        let nl = pipeline_netlist();
+        let stim = VectorStimulus::from_netlist(&nl, 10, 3);
+        // Contiguous split: cuts the chain once or twice.
+        let good = ClusterPlan::new(&nl, &block_split(&nl, 2), 2);
+        // Pathological split: alternate gates.
+        let bad_gb: Vec<u32> = (0..nl.gate_count()).map(|i| (i % 2) as u32).collect();
+        let bad = ClusterPlan::new(&nl, &bad_gb, 2);
+        assert!(bad.cut_nets() > good.cut_nets());
+        let cfg = ClusterModelConfig::default();
+        let rg = ClusterModel::new(&nl, good, cfg.clone()).run(&stim, 100);
+        let rb = ClusterModel::new(&nl, bad, cfg).run(&stim, 100);
+        assert!(
+            rb.stats.messages > rg.stats.messages,
+            "bad {} vs good {}",
+            rb.stats.messages,
+            rg.stats.messages
+        );
+        assert!(rb.wall_seconds > rg.wall_seconds);
+    }
+
+    #[test]
+    fn bucket_folding_preserves_counts() {
+        let nl = pipeline_netlist();
+        let gb = block_split(&nl, 2);
+        let stim = VectorStimulus::from_netlist(&nl, 10, 5);
+        let small = ClusterModelConfig {
+            max_buckets: 4,
+            ..Default::default()
+        };
+        let r_small = ClusterModel::new(&nl, ClusterPlan::new(&nl, &gb, 2), small).run(&stim, 100);
+        let r_big = ClusterModel::new(
+            &nl,
+            ClusterPlan::new(&nl, &gb, 2),
+            ClusterModelConfig::default(),
+        )
+        .run(&stim, 100);
+        assert_eq!(r_small.stats.messages, r_big.stats.messages);
+        assert_eq!(r_small.stats.gate_evals, r_big.stats.gate_evals);
+    }
+
+    #[test]
+    fn athlon_config_calibrates() {
+        let c = ClusterModelConfig::athlon_cluster(12_000);
+        assert_eq!(c.calibrate_seq_ns_per_cycle, Some(3.893e6));
+        assert!(c.msg_cpu_ns > 0.0 && c.latency_ns > 0.0);
+    }
+
+    #[test]
+    fn calibration_pins_seq_time_per_cycle() {
+        let nl = pipeline_netlist();
+        let plan = ClusterPlan::new(&nl, &vec![0; nl.gate_count()], 1);
+        let cfg = ClusterModelConfig {
+            calibrate_seq_ns_per_cycle: Some(2.0e6), // 2 ms per vector
+            ..Default::default()
+        };
+        let model = ClusterModel::new(&nl, plan, cfg);
+        let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+        let run = model.run(&stim, 100);
+        let per_cycle = run.seq_seconds / 100.0;
+        assert!((per_cycle - 2.0e-3).abs() < 1e-9, "per-cycle {per_cycle}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # dvs-sim
+//!
+//! Gate-level event-driven Verilog simulation — the substrate the paper's
+//! partitioner is evaluated on. Reproduces the relevant architecture of DVS
+//! (Li, Huang & Tropper, PADS 2003) in Rust:
+//!
+//! * [`logic`] — four-valued logic (`0/1/X/Z`) and primitive evaluation;
+//! * [`wheel`] — event queues: a binary-heap queue and a calendar-style
+//!   timing wheel specialized for unit gate delays;
+//! * [`stimulus`] — seeded random vector streams (the paper drives its
+//!   Viterbi decoder with 1 M random vectors, 10 k during pre-simulation);
+//! * [`seq`] — the sequential reference simulator (speedup baseline), with
+//!   an observer interface for per-partition event accounting;
+//! * [`cluster`] — mapping of a per-gate partition onto simulation clusters:
+//!   local gate sets, cut-net channels, per-cluster stimulus;
+//! * [`timewarp`] — a threaded Clustered Time Warp kernel: optimistic
+//!   execution with incremental state saving, rollback, anti-messages, GVT
+//!   and fossil collection (OOCTW's role in the paper);
+//! * [`cluster_model`] — a deterministic meta-simulation of the k-machine
+//!   cluster (2001-era Athlon + 1 Gb Ethernet constants) that reports wall
+//!   time, message and rollback counts reproducibly — used by the
+//!   table/figure harness;
+//! * [`vcd`] — IEEE 1364 Value Change Dump waveform output;
+//! * [`stats`] — simulation statistics shared by all kernels.
+
+pub mod cluster;
+pub mod cluster_model;
+pub mod logic;
+pub mod seq;
+pub mod stats;
+pub mod stimulus;
+pub mod timewarp;
+pub mod vcd;
+pub mod wheel;
+
+pub use cluster::ClusterPlan;
+pub use cluster_model::{ClusterModel, ClusterModelConfig, ClusterRun};
+pub use logic::Logic;
+pub use seq::{SeqSim, SimConfig};
+pub use stats::SimStats;
+pub use stimulus::VectorStimulus;

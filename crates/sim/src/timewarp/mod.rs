@@ -1,0 +1,271 @@
+//! Clustered Time Warp — the optimistic parallel simulation kernel.
+//!
+//! This reproduces the role of OOCTW (the object-oriented Clustered Time
+//! Warp kernel underneath the paper's DVS) with threads standing in for MPI
+//! ranks: one worker thread per "machine", each owning one cluster of the
+//! partitioned circuit, exchanging timestamped net-change messages over
+//! channels.
+//!
+//! Protocol features implemented:
+//!
+//! * **optimistic execution** — each cluster processes its earliest pending
+//!   epoch without waiting for neighbours, bounded by an optional optimism
+//!   window above GVT;
+//! * **state saving** ([`StateSaving`]) — either an incremental undo log of
+//!   (time, net, old-value) records, or periodic full-state checkpoints with
+//!   coast-forward replay on rollback. Both are cluster-level: gates inside
+//!   a cluster save nothing individually, and a rollback of the cluster
+//!   rolls back all of its children together, exactly as the paper
+//!   describes for Verilog-instance LPs (§4.3);
+//! * **rollback** — a straggler or anti-message with a timestamp at or below
+//!   the cluster's local clock restores net values from the undo log,
+//!   requeues processed events that remain valid, discards locally scheduled
+//!   events created by undone epochs, and emits anti-messages for undone
+//!   sends;
+//! * **anti-messages with annihilation** — positive messages always precede
+//!   their anti-message in channel order (FIFO per sender), so annihilation
+//!   uses tombstones consumed at pop time;
+//! * **GVT** — a coordinator-free sampling scheme: each worker publishes its
+//!   local virtual time; a sample is valid when no message is in transit and
+//!   no send intervened (checked with a send-epoch counter), making the
+//!   minimum published LVT a correct lower bound;
+//! * **fossil collection** — undo-log, processed-event and output-log
+//!   entries strictly below GVT are reclaimed.
+//!
+//! Determinism: the final circuit state equals the sequential simulator's
+//! (asserted in tests); message/rollback *counts* depend on thread timing —
+//! use [`crate::cluster_model`] for reproducible counts.
+
+pub mod gvt;
+pub mod proc;
+
+use crate::cluster::ClusterPlan;
+use crate::logic::Logic;
+use crate::stats::SimStats;
+use crate::stimulus::VectorStimulus;
+use crate::wheel::{NetEvent, VTime};
+use dvs_verilog::netlist::Netlist;
+use gvt::GvtState;
+use proc::ClusterProcess;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A timestamped inter-cluster message. `(src, seq)` identifies the
+/// positive message its anti-message annihilates.
+#[derive(Debug, Clone, Copy)]
+pub struct TwMessage {
+    pub src: u32,
+    pub dst: u32,
+    pub seq: u64,
+    pub ev: NetEvent,
+    pub anti: bool,
+}
+
+/// Kernel tuning parameters.
+#[derive(Debug, Clone)]
+pub struct TimeWarpConfig {
+    /// Epochs processed per scheduling quantum before re-checking channels.
+    pub batch: usize,
+    /// Attempt a GVT computation every this many quanta.
+    pub gvt_interval: usize,
+    /// Optimism window: a cluster will not execute events more than this far
+    /// (in virtual time) above the current GVT. `u64::MAX` = unthrottled.
+    /// Gate-level circuits are tightly coupled (every vector cycle crosses
+    /// the cut), so small windows — a few vector periods — avoid rollback
+    /// storms; this mirrors CTW practice of throttling cluster optimism.
+    pub window: VTime,
+    /// State-saving strategy for rollback (see [`StateSaving`]).
+    pub state_saving: StateSaving,
+}
+
+/// How a cluster preserves enough history to roll back — the classic Time
+/// Warp design trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateSaving {
+    /// Incremental: log `(time, net, old value)` per change; rollback
+    /// replays the log backwards. Cheap rollbacks, per-change overhead.
+    IncrementalUndo,
+    /// Periodic: snapshot the full net-value state every `interval`
+    /// processed epochs; rollback restores the newest snapshot below the
+    /// target and *coast-forwards* by re-applying the retained processed
+    /// events (no re-sends — their messages remain valid). Cheap forward
+    /// path, costlier rollbacks.
+    Checkpoint { interval: u32 },
+}
+
+impl Default for TimeWarpConfig {
+    fn default() -> Self {
+        TimeWarpConfig {
+            batch: 16,
+            gvt_interval: 1,
+            window: 16,
+            state_saving: StateSaving::IncrementalUndo,
+        }
+    }
+}
+
+/// Outcome of a Time Warp run.
+#[derive(Debug, Clone)]
+pub struct TwRunResult {
+    /// Merged statistics over all clusters.
+    pub stats: SimStats,
+    /// Per-cluster statistics.
+    pub cluster_stats: Vec<SimStats>,
+    /// Final value of every net, merged from the owning clusters.
+    pub values: Vec<Logic>,
+    /// GVT computations that produced progress.
+    pub gvt_rounds: u64,
+}
+
+/// Run the threaded Time Warp kernel: one worker per cluster of `plan`,
+/// simulating `cycles` vectors of `stim`.
+pub fn run_timewarp(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+) -> TwRunResult {
+    let k = plan.k;
+    let shared = Arc::new(GvtState::new(k));
+
+    // One channel per worker; senders cloned to everyone.
+    let mut senders = Vec::with_capacity(k);
+    let mut receivers = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = crossbeam::channel::unbounded::<TwMessage>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let mut results: Vec<Option<(SimStats, Vec<Logic>)>> = (0..k).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for (me, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let shared = Arc::clone(&shared);
+            let plan_ref = &*plan;
+            let cfg = cfg.clone();
+            let stim = stim.clone();
+            handles.push(scope.spawn(move || {
+                let mut proc = ClusterProcess::new(
+                    nl,
+                    plan_ref,
+                    me as u32,
+                    stim,
+                    cycles,
+                    cfg.state_saving,
+                );
+                worker_loop(&mut proc, rx, &senders, &shared, &cfg, me);
+                (proc.take_stats(), proc.into_values())
+            }));
+        }
+        for (me, h) in handles.into_iter().enumerate() {
+            results[me] = Some(h.join().expect("worker panicked"));
+        }
+    });
+
+    // Merge stats and final values.
+    let mut stats = SimStats::default();
+    let mut cluster_stats = Vec::with_capacity(k);
+    let mut values = vec![Logic::X; nl.net_count()];
+    for (me, r) in results.into_iter().enumerate() {
+        let (s, vals) = r.expect("worker result missing");
+        stats.merge(&s);
+        cluster_stats.push(s);
+        // This cluster owns the values of nets its gates drive and of its
+        // stimulus inputs.
+        for &g in &plan.clusters[me].gates {
+            let out = nl.gates[g.idx()].output;
+            values[out.idx()] = vals[out.idx()];
+        }
+        for &pi in &plan.clusters[me].stimulus_nets {
+            values[pi.idx()] = vals[pi.idx()];
+        }
+    }
+    if let Some(c0) = nl.const0_net {
+        values[c0.idx()] = Logic::Zero;
+    }
+    if let Some(c1) = nl.const1_net {
+        values[c1.idx()] = Logic::One;
+    }
+    let gvt_rounds = shared.gvt_rounds.load(Ordering::SeqCst);
+    stats.gvt_rounds = gvt_rounds;
+
+    TwRunResult {
+        stats,
+        cluster_stats,
+        values,
+        gvt_rounds,
+    }
+}
+
+fn worker_loop(
+    proc: &mut ClusterProcess<'_, '_>,
+    rx: crossbeam::channel::Receiver<TwMessage>,
+    senders: &[crossbeam::channel::Sender<TwMessage>],
+    shared: &GvtState,
+    cfg: &TimeWarpConfig,
+    me: usize,
+) {
+    let mut quantum = 0usize;
+    loop {
+        // Drain incoming messages. The in-transit counter is decremented
+        // only after the local virtual time reflects each insertion, keeping
+        // GVT samples sound.
+        let mut drained = 0i64;
+        while let Ok(msg) = rx.try_recv() {
+            proc.handle_message(msg, &mut |m: TwMessage| {
+                send(shared, senders, m);
+            });
+            drained += 1;
+        }
+        shared.publish_lvt(me, proc.lvt());
+        if drained > 0 {
+            shared.in_transit.fetch_sub(drained, Ordering::SeqCst);
+        }
+
+        let gvt = shared.gvt.load(Ordering::SeqCst);
+        if gvt == VTime::MAX {
+            break; // global quiescence
+        }
+
+        // Process a batch of epochs within the optimism window.
+        let limit = gvt.saturating_add(cfg.window);
+        let mut worked = false;
+        for _ in 0..cfg.batch {
+            if !proc.process_next_epoch(limit, &mut |m: TwMessage| {
+                send(shared, senders, m);
+            }) {
+                break;
+            }
+            worked = true;
+        }
+        shared.publish_lvt(me, proc.lvt());
+
+        quantum += 1;
+        if quantum.is_multiple_of(cfg.gvt_interval) || !worked {
+            if let Some(new_gvt) = shared.try_compute_gvt() {
+                proc.fossil_collect(new_gvt);
+            } else {
+                let g = shared.gvt.load(Ordering::SeqCst);
+                if g != VTime::MAX {
+                    proc.fossil_collect(g);
+                }
+            }
+            if !worked {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[inline]
+fn send(shared: &GvtState, senders: &[crossbeam::channel::Sender<TwMessage>], m: TwMessage) {
+    shared.in_transit.fetch_add(1, Ordering::SeqCst);
+    shared.send_epoch.fetch_add(1, Ordering::SeqCst);
+    senders[m.dst as usize]
+        .send(m)
+        .expect("receiver lives for the scope of the run");
+}

@@ -1,0 +1,610 @@
+//! Per-cluster optimistic simulation process.
+//!
+//! Each [`ClusterProcess`] owns one block of the partitioned circuit and
+//! simulates it optimistically: events are processed in local timestamp
+//! order without waiting for other clusters, with enough history retained
+//! (undo log, processed-event list, output log) to roll back when a
+//! straggler or anti-message arrives. See the module docs of
+//! [`crate::timewarp`] for the protocol overview.
+
+use super::{StateSaving, TwMessage};
+use crate::cluster::ClusterPlan;
+use crate::logic::{is_posedge, Logic};
+use crate::stats::SimStats;
+use crate::stimulus::VectorStimulus;
+use crate::wheel::{NetEvent, VTime};
+use dvs_verilog::netlist::{Fanout, GateKind, Netlist};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Where a pending event came from — determines rollback treatment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    /// Environment input (vector stimulus or initial settling): requeued
+    /// verbatim on rollback.
+    Stimulus,
+    /// Scheduled by local gate evaluation at `created_at`; discarded on a
+    /// rollback past `created_at` (reprocessing regenerates it).
+    Local { created_at: VTime, lseq: u64 },
+    /// Received from another cluster; identified for annihilation.
+    Remote { src: u32, seq: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pend {
+    ev: NetEvent,
+    source: Source,
+    order: u64,
+}
+
+impl PartialEq for Pend {
+    fn eq(&self, other: &Self) -> bool {
+        self.ev.time == other.ev.time && self.order == other.order
+    }
+}
+impl Eq for Pend {}
+impl Ord for Pend {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (time, order).
+        other
+            .ev
+            .time
+            .cmp(&self.ev.time)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+impl PartialOrd for Pend {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An undone-send record for anti-message generation.
+#[derive(Debug, Clone, Copy)]
+struct OutRec {
+    created_at: VTime,
+    msg: TwMessage,
+}
+
+/// One cluster's optimistic simulation state.
+pub struct ClusterProcess<'nl, 'p> {
+    nl: &'nl Netlist,
+    me: u32,
+    /// Gate ownership mask.
+    mine: Vec<bool>,
+    /// Per-net export destinations (empty for non-exported nets).
+    export_dests: Vec<&'p [u32]>,
+    /// Per-net: is this one of my stimulus inputs?
+    stim_mask: Vec<bool>,
+    fanout: Fanout,
+    values: Vec<Logic>,
+
+    pending: BinaryHeap<Pend>,
+    tomb_remote: HashSet<(u32, u64)>,
+    tomb_local: HashSet<u64>,
+    /// Processed events in processing order (time nondecreasing).
+    processed: Vec<Pend>,
+    /// Incremental state saving: (time, net, previous value). Unused in
+    /// checkpoint mode.
+    undo: Vec<(VTime, u32, Logic)>,
+    /// Periodic full-state snapshots: (time of last included epoch, values).
+    /// Unused in incremental mode. A time-0 snapshot is always present
+    /// until fossil collection replaces it with a newer safe base.
+    snapshots: Vec<(VTime, Vec<Logic>)>,
+    state_saving: StateSaving,
+    /// Processed epochs since the last snapshot (checkpoint mode).
+    epochs_since_snapshot: u32,
+    /// Sent messages awaiting fossil collection (for anti-messages).
+    outlog: Vec<OutRec>,
+    /// Locally scheduled events: (created_at, lseq), for rollback discard.
+    sched_log: Vec<(VTime, u64)>,
+
+    stim: VectorStimulus,
+    stim_cycle: u64,
+    cycles: u64,
+
+    last_time: VTime,
+    settled: bool,
+    order: u64,
+    lseq: u64,
+    mseq: u64,
+    stats: SimStats,
+
+    // Per-epoch scratch.
+    seen: Vec<u32>,
+    fire: Vec<u32>,
+    stamp: u32,
+    epoch_buf: Vec<Pend>,
+    changed: Vec<(u32, Logic, Logic)>,
+    affected: Vec<u32>,
+}
+
+impl<'nl, 'p> ClusterProcess<'nl, 'p> {
+    pub fn new(
+        nl: &'nl Netlist,
+        plan: &'p ClusterPlan,
+        me: u32,
+        stim: VectorStimulus,
+        cycles: u64,
+        state_saving: StateSaving,
+    ) -> Self {
+        let cluster = &plan.clusters[me as usize];
+        let mut mine = vec![false; nl.gate_count()];
+        for &g in &cluster.gates {
+            mine[g.idx()] = true;
+        }
+        let mut export_dests: Vec<&'p [u32]> = vec![&[]; nl.net_count()];
+        for (net, dests) in &cluster.exports {
+            export_dests[net.idx()] = dests.as_slice();
+        }
+        let mut stim_mask = vec![false; nl.net_count()];
+        for &n in &cluster.stimulus_nets {
+            stim_mask[n.idx()] = true;
+        }
+        let mut values = vec![Logic::Zero; nl.net_count()];
+        if let Some(c1) = nl.const1_net {
+            values[c1.idx()] = Logic::One;
+        }
+        let stats = SimStats {
+            cycles,
+            ..Default::default()
+        };
+
+        ClusterProcess {
+            nl,
+            me,
+            mine,
+            export_dests,
+            stim_mask,
+            fanout: nl.build_fanout(),
+            values,
+            pending: BinaryHeap::new(),
+            tomb_remote: HashSet::new(),
+            tomb_local: HashSet::new(),
+            processed: Vec::new(),
+            undo: Vec::new(),
+            snapshots: Vec::new(),
+            state_saving,
+            epochs_since_snapshot: 0,
+            outlog: Vec::new(),
+            sched_log: Vec::new(),
+            stim,
+            stim_cycle: 0,
+            cycles,
+            last_time: 0,
+            settled: false,
+            order: 0,
+            lseq: 0,
+            mseq: 0,
+            stats,
+            seen: vec![0; nl.gate_count()],
+            fire: vec![0; nl.gate_count()],
+            stamp: 0,
+            epoch_buf: Vec::with_capacity(64),
+            changed: Vec::with_capacity(64),
+            affected: Vec::with_capacity(64),
+        }
+    }
+
+    pub fn take_stats(&mut self) -> SimStats {
+        self.stats.end_time = self.last_time;
+        self.stats.clone()
+    }
+
+    pub fn into_values(self) -> Vec<Logic> {
+        self.values
+    }
+
+    #[inline]
+    fn push_pending(&mut self, ev: NetEvent, source: Source) {
+        self.pending.push(Pend {
+            ev,
+            source,
+            order: self.order,
+        });
+        self.order += 1;
+    }
+
+    /// Discard tombstoned heads and return the next real pending event time.
+    fn clean_peek(&mut self) -> Option<VTime> {
+        while let Some(head) = self.pending.peek() {
+            let dead = match head.source {
+                Source::Remote { src, seq } => self.tomb_remote.remove(&(src, seq)),
+                Source::Local { lseq, .. } => self.tomb_local.remove(&lseq),
+                Source::Stimulus => false,
+            };
+            if dead {
+                self.pending.pop();
+            } else {
+                return Some(head.ev.time);
+            }
+        }
+        None
+    }
+
+    /// Local virtual time: a lower bound on anything this cluster may still
+    /// process or send. `VTime::MAX` when fully idle.
+    pub fn lvt(&mut self) -> VTime {
+        match self.clean_peek() {
+            Some(t) => t,
+            None if self.stim_cycle < self.cycles => self.stim_cycle * self.stim.period,
+            None => VTime::MAX,
+        }
+    }
+
+    /// Generate stimulus events for the next vector cycle.
+    fn gen_stimulus(&mut self) {
+        let cycle = self.stim_cycle;
+        self.stim_cycle += 1;
+        let mut buf = Vec::with_capacity(8);
+        let mask = std::mem::take(&mut self.stim_mask);
+        self.stim
+            .events_for_cycle(cycle, |n| mask[n.idx()], &mut buf);
+        self.stim_mask = mask;
+        for ev in buf {
+            self.push_pending(ev, Source::Stimulus);
+        }
+    }
+
+    /// Initial settling: evaluate every owned combinational gate once and
+    /// schedule disagreements at t=1 (exported ones are also sent).
+    fn settle(&mut self, send: &mut impl FnMut(TwMessage)) {
+        self.settled = true;
+        if matches!(self.state_saving, StateSaving::Checkpoint { .. }) {
+            // The permanent base: state before any epoch.
+            self.snapshots.push((0, self.values.clone()));
+        }
+        for gi in 0..self.nl.gates.len() {
+            if !self.mine[gi] || self.nl.gates[gi].kind.is_sequential() {
+                continue;
+            }
+            let out_net = self.nl.gates[gi].output;
+            let new = self.eval_comb(gi);
+            if new != self.values[out_net.idx()] {
+                let ev = NetEvent {
+                    time: 1,
+                    net: out_net,
+                    value: new,
+                };
+                // Settling events survive any rollback (environment-like).
+                self.push_pending(ev, Source::Stimulus);
+                self.emit(0, ev, send);
+            }
+        }
+    }
+
+    /// Send `ev` to every remote reader of its net (no-op for local nets).
+    fn emit(&mut self, created_at: VTime, ev: NetEvent, send: &mut impl FnMut(TwMessage)) {
+        let dests = self.export_dests[ev.net.idx()];
+        for &d in dests {
+            let msg = TwMessage {
+                src: self.me,
+                dst: d,
+                seq: self.mseq,
+                ev,
+                anti: false,
+            };
+            self.mseq += 1;
+            self.outlog.push(OutRec { created_at, msg });
+            self.stats.messages += 1;
+            send(msg);
+        }
+    }
+
+    /// Incorporate an incoming message, rolling back if it is a straggler.
+    pub fn handle_message(&mut self, msg: TwMessage, send: &mut impl FnMut(TwMessage)) {
+        debug_assert_eq!(msg.dst, self.me);
+        if msg.ev.time <= self.last_time {
+            self.rollback(msg.ev.time, send);
+        }
+        if msg.anti {
+            // FIFO per sender guarantees the positive came first; it is now
+            // either in pending (tombstone consumed at pop) or was dropped
+            // back into pending by the rollback above.
+            self.tomb_remote.insert((msg.src, msg.seq));
+        } else {
+            self.push_pending(
+                msg.ev,
+                Source::Remote {
+                    src: msg.src,
+                    seq: msg.seq,
+                },
+            );
+        }
+    }
+
+    /// Roll state back so that no event at time ≥ `t` remains applied.
+    fn rollback(&mut self, t: VTime, send: &mut impl FnMut(TwMessage)) {
+        self.stats.rollbacks += 1;
+
+        // 1. Restore net values.
+        match self.state_saving {
+            StateSaving::IncrementalUndo => {
+                // Undo log is time-nondecreasing; replay backwards.
+                while let Some(&(ut, net, old)) = self.undo.last() {
+                    if ut < t {
+                        break;
+                    }
+                    self.values[net as usize] = old;
+                    self.undo.pop();
+                }
+            }
+            StateSaving::Checkpoint { .. } => {
+                // Restore the newest snapshot strictly below `t`, then
+                // coast-forward: every later value change was recorded as a
+                // processed event, so re-applying processed events with
+                // snapshot_time < time < t rebuilds the state exactly. No
+                // messages are re-sent — the originals remain valid.
+                let si = self
+                    .snapshots
+                    .iter()
+                    .rposition(|&(st, _)| st < t)
+                    .expect("a base snapshot below any rollback target is retained");
+                // Invalidated snapshots (time >= t) are discarded.
+                self.snapshots.truncate(si + 1);
+                let (snap_t, snap_vals) = &self.snapshots[si];
+                self.values.copy_from_slice(snap_vals);
+                let lo = self.processed.partition_point(|p| p.ev.time <= *snap_t);
+                let hi = self.processed.partition_point(|p| p.ev.time < t);
+                for rec in &self.processed[lo..hi] {
+                    self.values[rec.ev.net.idx()] = rec.ev.value;
+                }
+                self.epochs_since_snapshot = 0;
+            }
+        }
+
+        // 2. Requeue or discard processed events.
+        let split = self.processed.partition_point(|p| p.ev.time < t);
+        let undone = self.processed.split_off(split);
+        self.stats.rolled_back_events += undone.len() as u64;
+        for rec in undone {
+            match rec.source {
+                Source::Local { created_at, .. } if created_at >= t => {
+                    // Created by an undone epoch; reprocessing regenerates it.
+                }
+                _ => self.pending.push(rec),
+            }
+        }
+
+        // 3. Discard not-yet-processed local events created by undone epochs.
+        while let Some(&(ca, lseq)) = self.sched_log.last() {
+            if ca < t {
+                break;
+            }
+            self.tomb_local.insert(lseq);
+            self.sched_log.pop();
+        }
+
+        // 4. Anti-messages for undone sends.
+        let oidx = self.outlog.partition_point(|o| o.created_at < t);
+        for rec in self.outlog.split_off(oidx) {
+            let mut anti = rec.msg;
+            anti.anti = true;
+            self.stats.anti_messages += 1;
+            send(anti);
+        }
+
+        self.last_time = t.saturating_sub(1);
+    }
+
+    /// Reclaim history strictly below `gvt`.
+    pub fn fossil_collect(&mut self, gvt: VTime) {
+        if gvt == 0 {
+            return;
+        }
+        // In checkpoint mode, processed events must be retained back to the
+        // newest snapshot below GVT (they are the coast-forward source);
+        // older snapshots are dropped first.
+        let horizon = match self.state_saving {
+            StateSaving::IncrementalUndo => gvt,
+            StateSaving::Checkpoint { .. } => {
+                if let Some(si) = self.snapshots.iter().rposition(|&(t, _)| t < gvt) {
+                    self.snapshots.drain(..si);
+                }
+                self.snapshots.first().map_or(0, |&(t, _)| t + 1).min(gvt)
+            }
+        };
+        let u = self.undo.partition_point(|&(t, _, _)| t < horizon);
+        self.undo.drain(..u);
+        let p = self.processed.partition_point(|r| r.ev.time < horizon);
+        self.processed.drain(..p);
+        let o = self.outlog.partition_point(|r| r.created_at < gvt);
+        self.outlog.drain(..o);
+        let s = self.sched_log.partition_point(|&(t, _)| t < gvt);
+        self.sched_log.drain(..s);
+    }
+
+    /// Process the earliest pending epoch if its time is ≤ `limit`.
+    /// Returns `false` when idle or throttled.
+    pub fn process_next_epoch(
+        &mut self,
+        limit: VTime,
+        send: &mut impl FnMut(TwMessage),
+    ) -> bool {
+        if !self.settled {
+            self.settle(send);
+        }
+        // Resolve the next epoch time, generating stimulus lazily so that
+        // every vector cycle starting at or before that time exists in the
+        // queue before we cross it.
+        let t = loop {
+            match self.clean_peek() {
+                None => {
+                    if self.stim_cycle < self.cycles {
+                        self.gen_stimulus();
+                        continue;
+                    }
+                    return false; // idle
+                }
+                Some(t) => {
+                    if self.stim_cycle < self.cycles && t >= self.stim_cycle * self.stim.period
+                    {
+                        self.gen_stimulus();
+                        continue;
+                    }
+                    break t;
+                }
+            }
+        };
+        if t > limit {
+            return false; // optimism window throttle
+        }
+
+        // Drain the epoch (clean_peek already consumed head tombstones; more
+        // may surface as we pop).
+        self.epoch_buf.clear();
+        while let Some(head) = self.pending.peek() {
+            if head.ev.time != t {
+                break;
+            }
+            let p = self.pending.pop().unwrap();
+            let dead = match p.source {
+                Source::Remote { src, seq } => self.tomb_remote.remove(&(src, seq)),
+                Source::Local { lseq, .. } => self.tomb_local.remove(&lseq),
+                Source::Stimulus => false,
+            };
+            if !dead {
+                self.epoch_buf.push(p);
+            }
+        }
+        if self.epoch_buf.is_empty() {
+            return true; // everything at t was annihilated; made progress
+        }
+
+        self.stamp += 1;
+        self.last_time = t;
+
+        // Phase 1: apply changes, logging previous values.
+        self.changed.clear();
+        let epoch = std::mem::take(&mut self.epoch_buf);
+        let log_undo = matches!(self.state_saving, StateSaving::IncrementalUndo);
+        for p in &epoch {
+            self.stats.events += 1;
+            let ni = p.ev.net.idx();
+            let old = self.values[ni];
+            if old != p.ev.value {
+                self.values[ni] = p.ev.value;
+                if log_undo {
+                    self.undo.push((t, ni as u32, old));
+                }
+                self.stats.net_toggles += 1;
+                self.changed.push((ni as u32, old, p.ev.value));
+            }
+        }
+        self.processed.extend(epoch.iter().copied());
+        self.epoch_buf = epoch;
+
+        // Phase 2: affected owned gates.
+        self.affected.clear();
+        let changed = std::mem::take(&mut self.changed);
+        for &(net, old, new) in &changed {
+            for &g in self.fanout.readers(dvs_verilog::netlist::NetId(net)) {
+                if !self.mine[g.idx()] {
+                    continue;
+                }
+                let gate = &self.nl.gates[g.idx()];
+                match gate.kind {
+                    GateKind::Dff => {
+                        if gate.inputs[0].idx() == net as usize && is_posedge(old, new) {
+                            if self.seen[g.idx()] != self.stamp {
+                                self.seen[g.idx()] = self.stamp;
+                                self.affected.push(g.0);
+                            }
+                            self.fire[g.idx()] = self.stamp;
+                        }
+                    }
+                    GateKind::Dffr => {
+                        let is_clk_edge =
+                            gate.inputs[0].idx() == net as usize && is_posedge(old, new);
+                        let is_rst_change = gate.inputs[1].idx() == net as usize;
+                        if is_clk_edge || is_rst_change {
+                            if self.seen[g.idx()] != self.stamp {
+                                self.seen[g.idx()] = self.stamp;
+                                self.affected.push(g.0);
+                            }
+                            if is_clk_edge {
+                                self.fire[g.idx()] = self.stamp;
+                            }
+                        }
+                    }
+                    _ => {
+                        if self.seen[g.idx()] != self.stamp {
+                            self.seen[g.idx()] = self.stamp;
+                            self.affected.push(g.0);
+                        }
+                    }
+                }
+            }
+        }
+        self.changed = changed;
+
+        // Phase 3: evaluate, schedule, emit.
+        let affected = std::mem::take(&mut self.affected);
+        for &gi in &affected {
+            let gate = &self.nl.gates[gi as usize];
+            self.stats.gate_evals += 1;
+            let new_out = match gate.kind {
+                GateKind::Dff => self.values[gate.inputs[1].idx()].input(),
+                GateKind::Dffr => {
+                    if self.values[gate.inputs[1].idx()] == Logic::One {
+                        Logic::Zero
+                    } else if self.fire[gi as usize] == self.stamp {
+                        self.values[gate.inputs[2].idx()].input()
+                    } else {
+                        continue; // reset released without a clock edge
+                    }
+                }
+                GateKind::Latch => {
+                    if self.values[gate.inputs[0].idx()] == Logic::One {
+                        self.values[gate.inputs[1].idx()].input()
+                    } else {
+                        continue;
+                    }
+                }
+                _ => self.eval_comb(gi as usize),
+            };
+            let out_net = gate.output;
+            if new_out != self.values[out_net.idx()] {
+                let ev = NetEvent {
+                    time: t + 1,
+                    net: out_net,
+                    value: new_out,
+                };
+                let lseq = self.lseq;
+                self.lseq += 1;
+                self.sched_log.push((t, lseq));
+                self.push_pending(ev, Source::Local { created_at: t, lseq });
+                self.emit(t, ev, send);
+            }
+        }
+        self.affected = affected;
+
+        if let StateSaving::Checkpoint { interval } = self.state_saving {
+            self.epochs_since_snapshot += 1;
+            if self.epochs_since_snapshot >= interval {
+                self.snapshots.push((t, self.values.clone()));
+                self.epochs_since_snapshot = 0;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn eval_comb(&self, gi: usize) -> Logic {
+        let g = &self.nl.gates[gi];
+        let it = g.inputs.iter().map(|n| self.values[n.idx()]);
+        match g.kind {
+            GateKind::Buf => self.values[g.inputs[0].idx()].input(),
+            GateKind::Not => self.values[g.inputs[0].idx()].not(),
+            GateKind::Const0 => Logic::Zero,
+            GateKind::Const1 => Logic::One,
+            GateKind::And => it.fold(Logic::One, Logic::and),
+            GateKind::Nand => it.fold(Logic::One, Logic::and).not(),
+            GateKind::Or => it.fold(Logic::Zero, Logic::or),
+            GateKind::Nor => it.fold(Logic::Zero, Logic::or).not(),
+            GateKind::Xor => it.fold(Logic::Zero, Logic::xor),
+            GateKind::Xnor => it.fold(Logic::Zero, Logic::xor).not(),
+            GateKind::Dff | GateKind::Dffr | GateKind::Latch => unreachable!("handled by caller"),
+        }
+    }
+}

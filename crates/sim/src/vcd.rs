@@ -1,0 +1,255 @@
+//! VCD (Value Change Dump, IEEE 1364 §18) waveform output.
+//!
+//! A [`VcdRecorder`] is a [`SimObserver`]: attach it to a sequential
+//! simulation run and it captures the value changes of a chosen set of
+//! nets, then serializes them as a standard VCD file readable by GTKWave
+//! and friends.
+//!
+//! ```
+//! use dvs_sim::seq::{SeqSim, SimConfig};
+//! use dvs_sim::stimulus::VectorStimulus;
+//! use dvs_sim::vcd::VcdRecorder;
+//! use dvs_sim::Logic;
+//!
+//! let src = "module top(a, y); input a; output y; not n (y, a); endmodule";
+//! let nl = dvs_verilog::parse_and_elaborate(src).unwrap().into_netlist();
+//! let mut rec = VcdRecorder::ports_only(&nl, Logic::Zero);
+//! let mut sim = SeqSim::new(&nl, &SimConfig::default());
+//! let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+//! sim.run(&stim, 20, &mut rec);
+//! let vcd = rec.to_vcd("top", 1);
+//! assert!(vcd.contains("$enddefinitions"));
+//! ```
+
+use crate::logic::Logic;
+use crate::seq::SimObserver;
+use crate::wheel::VTime;
+use dvs_verilog::netlist::{NetId, Netlist};
+use std::fmt::Write as _;
+
+/// Records value changes for a chosen set of nets.
+pub struct VcdRecorder {
+    /// Dense map net → index into `tracked` (`u32::MAX` = untracked).
+    slot_of: Vec<u32>,
+    tracked: Vec<TrackedNet>,
+    /// (time, slot, value) in observation order.
+    changes: Vec<(VTime, u32, Logic)>,
+}
+
+struct TrackedNet {
+    name: String,
+    id_code: String,
+    initial: Logic,
+}
+
+/// The compact VCD identifier code for index `i` (printable ASCII
+/// 33..=126, bijective base-94).
+fn id_code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            return s;
+        }
+        i -= 1;
+    }
+}
+
+impl VcdRecorder {
+    /// Track the nets selected by `want`. `initial` supplies the value at
+    /// time 0 (`Logic::Zero` for the default `init_zero` configuration,
+    /// `Logic::X` otherwise).
+    pub fn new(nl: &Netlist, initial: Logic, mut want: impl FnMut(NetId, &str) -> bool) -> Self {
+        let mut slot_of = vec![u32::MAX; nl.net_count()];
+        let mut tracked = Vec::new();
+        for (ni, net) in nl.nets.iter().enumerate() {
+            if want(NetId(ni as u32), &net.name) {
+                slot_of[ni] = tracked.len() as u32;
+                tracked.push(TrackedNet {
+                    name: net.name.clone(),
+                    id_code: id_code(tracked.len()),
+                    initial,
+                });
+            }
+        }
+        VcdRecorder {
+            slot_of,
+            tracked,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Track every primary input and output.
+    pub fn ports_only(nl: &Netlist, initial: Logic) -> Self {
+        let mut is_port = vec![false; nl.net_count()];
+        for &p in nl.primary_inputs.iter().chain(&nl.primary_outputs) {
+            is_port[p.idx()] = true;
+        }
+        Self::new(nl, initial, |n, _| is_port[n.idx()])
+    }
+
+    /// Track all nets (small designs only — every toggle is recorded).
+    pub fn all_nets(nl: &Netlist, initial: Logic) -> Self {
+        Self::new(nl, initial, |_, _| true)
+    }
+
+    pub fn tracked_count(&self) -> usize {
+        self.tracked.len()
+    }
+
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Record a change directly (used by the observer hook; public for
+    /// kernels that do not implement [`SimObserver`]).
+    pub fn record(&mut self, net: NetId, time: VTime, value: Logic) {
+        let slot = self.slot_of[net.idx()];
+        if slot != u32::MAX {
+            self.changes.push((time, slot, value));
+        }
+    }
+
+    /// Serialize to VCD text. `timescale_ns` is the real-time length of one
+    /// gate delay for the `$timescale` header.
+    pub fn to_vcd(&self, design_name: &str, timescale_ns: u32) -> String {
+        let mut out = String::new();
+        writeln!(out, "$date\n  (dvs-sim)\n$end").unwrap();
+        writeln!(out, "$version\n  dvs-sim VCD dump\n$end").unwrap();
+        writeln!(out, "$timescale {timescale_ns}ns $end").unwrap();
+        writeln!(out, "$scope module {design_name} $end").unwrap();
+        for t in &self.tracked {
+            // VCD reference names may not contain brackets or dots the way
+            // elaboration writes them; normalize for display.
+            let disp = t.name.replace(['.', '['], "_").replace(']', "");
+            writeln!(out, "$var wire 1 {} {} $end", t.id_code, disp).unwrap();
+        }
+        writeln!(out, "$upscope $end").unwrap();
+        writeln!(out, "$enddefinitions $end").unwrap();
+
+        writeln!(out, "#0").unwrap();
+        writeln!(out, "$dumpvars").unwrap();
+        for t in &self.tracked {
+            writeln!(out, "{}{}", t.initial.display_char(), t.id_code).unwrap();
+        }
+        writeln!(out, "$end").unwrap();
+
+        // The sequential kernel reports changes in nondecreasing time
+        // order; a stable sort guards recorders fed manually.
+        let mut changes = self.changes.clone();
+        changes.sort_by_key(|&(t, _, _)| t);
+        let mut cur_time = 0;
+        for (t, slot, v) in changes {
+            if t != cur_time {
+                writeln!(out, "#{t}").unwrap();
+                cur_time = t;
+            }
+            writeln!(
+                out,
+                "{}{}",
+                v.display_char(),
+                self.tracked[slot as usize].id_code
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+impl SimObserver for VcdRecorder {
+    #[inline]
+    fn net_change(&mut self, net: NetId, time: VTime, value: Logic) {
+        self.record(net, time, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{SeqSim, SimConfig};
+    use crate::stimulus::VectorStimulus;
+    use dvs_verilog::parse_and_elaborate;
+
+    fn toggle_netlist() -> Netlist {
+        parse_and_elaborate(
+            "module top(clk, q); input clk; output q;\n\
+             wire nq; not n (nq, q); dff f (q, clk, nq); endmodule",
+        )
+        .unwrap()
+        .into_netlist()
+    }
+
+    fn run_recorded(rec: &mut VcdRecorder, cycles: u64) {
+        let nl = toggle_netlist();
+        let mut sim = SeqSim::new(&nl, &SimConfig::default());
+        let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+        sim.run(&stim, cycles, rec);
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let c = id_code(i);
+            assert!(c.bytes().all(|b| (33..=126).contains(&b)));
+            assert!(seen.insert(c));
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn header_lists_tracked_nets() {
+        let nl = toggle_netlist();
+        let rec = VcdRecorder::ports_only(&nl, Logic::Zero);
+        assert_eq!(rec.tracked_count(), 2); // clk, q
+        let vcd = rec.to_vcd("top", 1);
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! top_clk $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("$dumpvars"));
+    }
+
+    #[test]
+    fn records_toggles_in_time_order() {
+        let nl = toggle_netlist();
+        let mut rec = VcdRecorder::all_nets(&nl, Logic::Zero);
+        let mut sim = SeqSim::new(&nl, &SimConfig::default());
+        let stim = VectorStimulus::from_netlist(&nl, 10, 1);
+        sim.run(&stim, 10, &mut rec);
+        // The toggle flip-flop produces changes every cycle.
+        assert!(rec.change_count() >= 10, "{} changes", rec.change_count());
+        let vcd = rec.to_vcd("top", 1);
+        // Timestamps strictly increase in the dump.
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        // Change lines reference declared id codes only.
+        assert!(vcd.contains("1!") || vcd.contains("0!"));
+    }
+
+    #[test]
+    fn filter_limits_recording() {
+        let nl = toggle_netlist();
+        let mut rec = VcdRecorder::new(&nl, Logic::Zero, |_, name| name.ends_with(".q"));
+        assert_eq!(rec.tracked_count(), 1);
+        run_recorded(&mut rec, 8);
+        // q toggles once per cycle.
+        assert!((7..=9).contains(&rec.change_count()), "{}", rec.change_count());
+    }
+
+    #[test]
+    fn untracked_changes_are_dropped() {
+        let nl = toggle_netlist();
+        let mut rec = VcdRecorder::new(&nl, Logic::Zero, |_, _| false);
+        run_recorded(&mut rec, 8);
+        assert_eq!(rec.change_count(), 0);
+        let vcd = rec.to_vcd("top", 1);
+        assert!(vcd.contains("$enddefinitions"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Event queues for the simulation kernels.
+//!
+//! Two implementations behind one minimal interface:
+//!
+//! * [`HeapQueue`] — a binary heap with a stable (time, sequence) order;
+//!   works for any delay model and is the queue used by Time Warp clusters
+//!   (which need arbitrary insertion of stragglers).
+//! * [`TimingWheel`] — a calendar queue specialized for the unit-delay model
+//!   the paper uses (all gate delays are 1, stimulus arrives at known
+//!   times): O(1) insert/pop within a bounded look-ahead window.
+
+use crate::logic::Logic;
+use dvs_verilog::netlist::NetId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time, in gate-delay ticks.
+pub type VTime = u64;
+
+/// A scheduled net-value change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetEvent {
+    pub time: VTime,
+    pub net: NetId,
+    pub value: Logic,
+}
+
+/// Heap entry ordered by (time, seq) so pops are deterministic FIFO within a
+/// timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    ev: NetEvent,
+    seq: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .ev
+            .time
+            .cmp(&self.ev.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Stable binary-heap event queue.
+#[derive(Debug, Default)]
+pub struct HeapQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl HeapQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, ev: NetEvent) {
+        self.heap.push(Entry { ev, seq: self.seq });
+        self.seq += 1;
+    }
+
+    pub fn peek_time(&self) -> Option<VTime> {
+        self.heap.peek().map(|e| e.ev.time)
+    }
+
+    pub fn pop(&mut self) -> Option<NetEvent> {
+        self.heap.pop().map(|e| e.ev)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pop every event scheduled at the earliest time into `out`; returns
+    /// that time.
+    pub fn pop_epoch(&mut self, out: &mut Vec<NetEvent>) -> Option<VTime> {
+        let t = self.peek_time()?;
+        while self.peek_time() == Some(t) {
+            out.push(self.pop().unwrap());
+        }
+        Some(t)
+    }
+}
+
+/// Calendar queue for unit-delay simulation: a ring of buckets indexed by
+/// `time % horizon`. Events beyond the horizon overflow into a heap and are
+/// reloaded lazily. With unit delays the vast majority of events land within
+/// a couple of ticks, making this effectively O(1).
+#[derive(Debug)]
+pub struct TimingWheel {
+    buckets: Vec<Vec<NetEvent>>,
+    horizon: usize,
+    now: VTime,
+    len: usize,
+    overflow: HeapQueue,
+}
+
+impl TimingWheel {
+    /// `horizon` must exceed the largest scheduling offset seen in steady
+    /// state (unit delay ⇒ small; stimulus may schedule a full period ahead).
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon >= 2);
+        TimingWheel {
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
+            horizon,
+            now: 0,
+            len: 0,
+            overflow: HeapQueue::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len + self.overflow.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current epoch time (the earliest time that may still hold events).
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    pub fn push(&mut self, ev: NetEvent) {
+        debug_assert!(ev.time >= self.now, "scheduling into the past");
+        if ev.time >= self.now + self.horizon as u64 {
+            self.overflow.push(ev);
+        } else {
+            self.buckets[(ev.time % self.horizon as u64) as usize].push(ev);
+            self.len += 1;
+        }
+    }
+
+    /// Advance `now` to the next non-empty epoch *without* draining it, and
+    /// return its time. `None` when the queue is empty.
+    pub fn next_time(&mut self) -> Option<VTime> {
+        if self.is_empty() {
+            return None;
+        }
+        loop {
+            // Reload overflow events that now fit in the window.
+            while let Some(t) = self.overflow.peek_time() {
+                if t < self.now + self.horizon as u64 {
+                    let ev = self.overflow.pop().unwrap();
+                    self.buckets[(ev.time % self.horizon as u64) as usize].push(ev);
+                    self.len += 1;
+                } else {
+                    break;
+                }
+            }
+            let idx = (self.now % self.horizon as u64) as usize;
+            if !self.buckets[idx].is_empty() {
+                return Some(self.now);
+            }
+            self.now += 1;
+            // If the window is empty but overflow has far-future events,
+            // jump straight to them.
+            if self.len == 0 {
+                if let Some(t) = self.overflow.peek_time() {
+                    if t >= self.now + self.horizon as u64 {
+                        self.now = t;
+                    }
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Advance to the next non-empty epoch, draining its events into `out`
+    /// (in insertion order). Returns the epoch time.
+    pub fn pop_epoch(&mut self, out: &mut Vec<NetEvent>) -> Option<VTime> {
+        let t = self.next_time()?;
+        let idx = (t % self.horizon as u64) as usize;
+        let before = out.len();
+        out.append(&mut self.buckets[idx]);
+        self.len -= out.len() - before;
+        self.now = t + 1;
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: VTime, net: u32) -> NetEvent {
+        NetEvent {
+            time,
+            net: NetId(net),
+            value: Logic::One,
+        }
+    }
+
+    #[test]
+    fn heap_orders_by_time_then_fifo() {
+        let mut q = HeapQueue::new();
+        q.push(ev(5, 0));
+        q.push(ev(3, 1));
+        q.push(ev(5, 2));
+        q.push(ev(3, 3));
+        let order: Vec<(VTime, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time, e.net.0))
+            .collect();
+        assert_eq!(order, vec![(3, 1), (3, 3), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn heap_pop_epoch_groups_by_time() {
+        let mut q = HeapQueue::new();
+        for (t, n) in [(2, 0), (2, 1), (4, 2)] {
+            q.push(ev(t, n));
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_epoch(&mut out), Some(2));
+        assert_eq!(out.len(), 2);
+        out.clear();
+        assert_eq!(q.pop_epoch(&mut out), Some(4));
+        assert_eq!(out.len(), 1);
+        assert_eq!(q.pop_epoch(&mut out), None);
+    }
+
+    #[test]
+    fn wheel_basic_epochs() {
+        let mut w = TimingWheel::new(8);
+        w.push(ev(0, 0));
+        w.push(ev(1, 1));
+        w.push(ev(1, 2));
+        let mut out = Vec::new();
+        assert_eq!(w.pop_epoch(&mut out), Some(0));
+        assert_eq!(out.len(), 1);
+        out.clear();
+        assert_eq!(w.pop_epoch(&mut out), Some(1));
+        assert_eq!(out.len(), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wheel_skips_gaps() {
+        let mut w = TimingWheel::new(4);
+        w.push(ev(0, 0));
+        let mut out = Vec::new();
+        w.pop_epoch(&mut out);
+        out.clear();
+        w.push(ev(3, 1));
+        assert_eq!(w.pop_epoch(&mut out), Some(3));
+    }
+
+    #[test]
+    fn wheel_overflow_beyond_horizon() {
+        let mut w = TimingWheel::new(4);
+        w.push(ev(0, 0));
+        w.push(ev(100, 1)); // far beyond horizon → overflow heap
+        w.push(ev(101, 2));
+        let mut out = Vec::new();
+        assert_eq!(w.pop_epoch(&mut out), Some(0));
+        out.clear();
+        assert_eq!(w.pop_epoch(&mut out), Some(100));
+        assert_eq!(out[0].net.0, 1);
+        out.clear();
+        assert_eq!(w.pop_epoch(&mut out), Some(101));
+        assert!(w.is_empty());
+        assert_eq!(w.pop_epoch(&mut out), None);
+    }
+
+    #[test]
+    fn wheel_interleaved_push_pop() {
+        let mut w = TimingWheel::new(8);
+        w.push(ev(0, 0));
+        let mut out = Vec::new();
+        w.pop_epoch(&mut out);
+        // Unit-delay style: each epoch schedules the next.
+        for t in 1..50u64 {
+            w.push(ev(t, t as u32));
+            out.clear();
+            assert_eq!(w.pop_epoch(&mut out), Some(t));
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
+    fn wheel_len_counts_overflow() {
+        let mut w = TimingWheel::new(2);
+        w.push(ev(0, 0));
+        w.push(ev(50, 1));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    #[cfg(debug_assertions)]
+    fn wheel_rejects_past_events() {
+        let mut w = TimingWheel::new(4);
+        w.push(ev(5, 0));
+        let mut out = Vec::new();
+        w.pop_epoch(&mut out);
+        w.push(ev(2, 1));
+    }
+}

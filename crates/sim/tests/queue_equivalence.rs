@@ -1,0 +1,111 @@
+//! Property tests: the two event-queue implementations are observationally
+//! equivalent, which is what lets the sequential kernel use the timing
+//! wheel while Time Warp uses heaps.
+
+use dvs_sim::wheel::{HeapQueue, NetEvent, TimingWheel};
+use dvs_sim::Logic;
+use dvs_verilog::NetId;
+use proptest::prelude::*;
+
+/// A randomized interleaving of pushes and epoch-pops. Pushed times are
+/// kept ≥ the wheel's current epoch (the simulator invariant both queues
+/// rely on).
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event `offset` ticks after the current epoch time.
+    Push { offset: u64, net: u32 },
+    /// Pop one epoch.
+    PopEpoch,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..40, 0u32..16).prop_map(|(offset, net)| Op::Push { offset, net }),
+        1 => Just(Op::PopEpoch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wheel_and_heap_pop_identical_epochs(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut wheel = TimingWheel::new(16);
+        let mut heap = HeapQueue::new();
+        // The heap has no notion of "now"; mirror the wheel's clock.
+        let mut now = 0u64;
+        let mut wheel_out: Vec<(u64, Vec<u32>)> = Vec::new();
+        let mut heap_out: Vec<(u64, Vec<u32>)> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Push { offset, net } => {
+                    let ev = NetEvent {
+                        time: now + offset,
+                        net: NetId(net),
+                        value: Logic::One,
+                    };
+                    wheel.push(ev);
+                    heap.push(ev);
+                }
+                Op::PopEpoch => {
+                    let mut wbuf = Vec::new();
+                    let wt = wheel.pop_epoch(&mut wbuf);
+                    let mut hbuf = Vec::new();
+                    let ht = heap.pop_epoch(&mut hbuf);
+                    prop_assert_eq!(wt, ht, "epoch times diverge");
+                    if let Some(t) = wt {
+                        now = now.max(t + 1);
+                        // Same multiset of nets per epoch (ordering within an
+                        // epoch is implementation-defined).
+                        let mut wn: Vec<u32> = wbuf.iter().map(|e| e.net.0).collect();
+                        let mut hn: Vec<u32> = hbuf.iter().map(|e| e.net.0).collect();
+                        wn.sort_unstable();
+                        hn.sort_unstable();
+                        wheel_out.push((t, wn));
+                        heap_out.push((t, hn));
+                    }
+                }
+            }
+        }
+        // Drain both to the end.
+        loop {
+            let mut wbuf = Vec::new();
+            let wt = wheel.pop_epoch(&mut wbuf);
+            let mut hbuf = Vec::new();
+            let ht = heap.pop_epoch(&mut hbuf);
+            prop_assert_eq!(wt, ht);
+            match wt {
+                None => break,
+                Some(t) => {
+                    let mut wn: Vec<u32> = wbuf.iter().map(|e| e.net.0).collect();
+                    let mut hn: Vec<u32> = hbuf.iter().map(|e| e.net.0).collect();
+                    wn.sort_unstable();
+                    hn.sort_unstable();
+                    wheel_out.push((t, wn));
+                    heap_out.push((t, hn));
+                }
+            }
+        }
+        prop_assert_eq!(wheel_out, heap_out);
+        prop_assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    /// Epoch times from either queue are strictly increasing.
+    #[test]
+    fn epochs_strictly_increase(times in prop::collection::vec(0u64..500, 1..80)) {
+        let mut heap = HeapQueue::new();
+        for &t in &times {
+            heap.push(NetEvent { time: t, net: NetId(0), value: Logic::Zero });
+        }
+        let mut prev: Option<u64> = None;
+        let mut buf = Vec::new();
+        while let Some(t) = heap.pop_epoch(&mut buf) {
+            if let Some(p) = prev {
+                prop_assert!(t > p);
+            }
+            prev = Some(t);
+            buf.clear();
+        }
+    }
+}

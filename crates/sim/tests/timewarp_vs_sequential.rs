@@ -1,0 +1,290 @@
+//! The decisive Time Warp correctness property: for any partition of any
+//! circuit, the optimistic parallel kernel must finish in exactly the state
+//! the sequential kernel reaches — rollbacks, anti-messages and all.
+
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::{run_timewarp, StateSaving, TimeWarpConfig};
+use dvs_verilog::netlist::Netlist;
+use dvs_verilog::parse_and_elaborate;
+
+/// Run both kernels and compare every driven net's final value.
+fn assert_tw_matches_seq(nl: &Netlist, gate_blocks: &[u32], k: usize, cycles: u64, seed: u64) {
+    let stim = VectorStimulus::from_netlist(nl, 10, seed);
+
+    let cfg = SimConfig {
+        cycles,
+        init_zero: true,
+    };
+    let mut seq = SeqSim::new(nl, &cfg);
+    seq.run(&stim, cycles, &mut NullObserver);
+
+    let plan = ClusterPlan::new(nl, gate_blocks, k);
+    let tw = run_timewarp(nl, &plan, &stim, cycles, &TimeWarpConfig::default());
+
+    for (ni, net) in nl.nets.iter().enumerate() {
+        if net.driver.is_some() || nl.primary_inputs.contains(&dvs_verilog::NetId(ni as u32)) {
+            assert_eq!(
+                tw.values[ni],
+                seq.value(dvs_verilog::NetId(ni as u32)),
+                "net `{}` differs (k={k}, seed={seed})",
+                net.name
+            );
+        }
+    }
+    // Sanity on bookkeeping.
+    assert!(tw.stats.events >= seq.stats().events, "TW reprocesses, never skips");
+}
+
+/// A sequential circuit with cross-partition feedback: a 4-bit ripple
+/// counter plus decode logic.
+const COUNTER: &str = r#"
+    module top(clk, y);
+      input clk; output y;
+      wire q0, q1, q2, q3, n0, n1, n2, n3;
+      wire t1, t2, c1, c2;
+      not i0 (n0, q0);
+      dff f0 (q0, clk, n0);
+      xor x1 (t1, q1, q0);
+      dff f1 (q1, clk, t1);
+      and a1 (c1, q1, q0);
+      xor x2 (t2, q2, c1);
+      dff f2 (q2, clk, t2);
+      and a2 (c2, q2, c1);
+      wire t3;
+      xor x3 (t3, q3, c2);
+      dff f3 (q3, clk, t3);
+      and yd (y, q3, q1);
+    endmodule
+"#;
+
+/// Combinational network with reconvergent fanout.
+const RECONVERGE: &str = r#"
+    module top(a, b, c, d, y, z);
+      input a, b, c, d; output y, z;
+      wire w1, w2, w3, w4, w5;
+      and g1 (w1, a, b);
+      or  g2 (w2, c, d);
+      xor g3 (w3, w1, w2);
+      nand g4 (w4, w1, w3);
+      nor g5 (w5, w2, w3);
+      xnor g6 (y, w4, w5);
+      not g7 (z, w3);
+    endmodule
+"#;
+
+fn round_robin(nl: &Netlist, k: usize) -> Vec<u32> {
+    (0..nl.gate_count()).map(|i| (i % k) as u32).collect()
+}
+
+fn contiguous(nl: &Netlist, k: usize) -> Vec<u32> {
+    let n = nl.gate_count();
+    (0..n).map(|i| ((i * k) / n) as u32).collect()
+}
+
+#[test]
+fn counter_two_clusters_contiguous() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = contiguous(&nl, 2);
+    assert_tw_matches_seq(&nl, &gb, 2, 60, 1);
+}
+
+#[test]
+fn counter_two_clusters_round_robin() {
+    // Round-robin maximizes the cut: heavy messaging and rollback pressure.
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 2);
+    assert_tw_matches_seq(&nl, &gb, 2, 60, 2);
+}
+
+#[test]
+fn counter_four_clusters() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 4);
+    assert_tw_matches_seq(&nl, &gb, 4, 50, 3);
+}
+
+#[test]
+fn combinational_three_clusters() {
+    let nl = parse_and_elaborate(RECONVERGE).unwrap().into_netlist();
+    let gb = round_robin(&nl, 3);
+    assert_tw_matches_seq(&nl, &gb, 3, 80, 4);
+}
+
+#[test]
+fn single_cluster_trivially_matches() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = vec![0u32; nl.gate_count()];
+    assert_tw_matches_seq(&nl, &gb, 1, 40, 5);
+}
+
+#[test]
+fn many_seeds_and_splits() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    for seed in 10..16 {
+        for k in [2usize, 3] {
+            let gb = if seed % 2 == 0 {
+                contiguous(&nl, k)
+            } else {
+                round_robin(&nl, k)
+            };
+            assert_tw_matches_seq(&nl, &gb, k, 30, seed);
+        }
+    }
+}
+
+#[test]
+fn tight_window_still_correct() {
+    // A tiny optimism window forces lock-step progress; correctness must be
+    // unaffected.
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 2);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 6);
+    let cycles = 40;
+
+    let mut seq = SeqSim::new(
+        &nl,
+        &SimConfig {
+            cycles,
+            init_zero: true,
+        },
+    );
+    seq.run(&stim, cycles, &mut NullObserver);
+
+    let plan = ClusterPlan::new(&nl, &gb, 2);
+    let cfg = TimeWarpConfig {
+        window: 8,
+        batch: 2,
+        gvt_interval: 1,
+        state_saving: StateSaving::IncrementalUndo,
+    };
+    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
+    for (ni, net) in nl.nets.iter().enumerate() {
+        if net.driver.is_some() {
+            assert_eq!(
+                tw.values[ni],
+                seq.value(dvs_verilog::NetId(ni as u32)),
+                "net `{}` differs under tight window",
+                net.name
+            );
+        }
+    }
+    assert!(tw.gvt_rounds > 0, "GVT must advance");
+}
+
+/// A resettable counter whose reset pulse is derived from the count itself
+/// (self-clearing), with the reset logic and the counter split across
+/// clusters — asynchronous resets must survive rollback too.
+const RESET_COUNTER: &str = r#"
+    module top(clk, en, y);
+      input clk, en; output y;
+      wire q0, q1, q2, n0, t1, c1, rst;
+      not i0 (n0, q0);
+      dffr f0 (q0, clk, rst, n0);
+      xor x1 (t1, q1, q0);
+      dffr f1 (q1, clk, rst, t1);
+      and a1 (c1, q1, q0);
+      wire t2;
+      xor x2 (t2, q2, c1);
+      dffr f2 (q2, clk, rst, t2);
+      and rg (rst, q2, en);
+      and yg (y, q1, q0);
+    endmodule
+"#;
+
+#[test]
+fn async_reset_across_clusters() {
+    let nl = parse_and_elaborate(RESET_COUNTER).unwrap().into_netlist();
+    for (k, seed) in [(2usize, 11u64), (3, 12), (2, 13)] {
+        let gb = round_robin(&nl, k);
+        assert_tw_matches_seq(&nl, &gb, k, 60, seed);
+    }
+}
+
+#[test]
+fn checkpoint_state_saving_matches_incremental() {
+    // Both state-saving strategies must converge to the sequential result,
+    // across checkpoint intervals that force frequent and rare coast-
+    // forwards.
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 2);
+    let plan = ClusterPlan::new(&nl, &gb, 2);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 21);
+    let cycles = 50;
+
+    let mut seq = SeqSim::new(
+        &nl,
+        &SimConfig {
+            cycles,
+            init_zero: true,
+        },
+    );
+    seq.run(&stim, cycles, &mut NullObserver);
+
+    for interval in [1u32, 4, 32, 1000] {
+        let cfg = TimeWarpConfig {
+            state_saving: StateSaving::Checkpoint { interval },
+            ..TimeWarpConfig::default()
+        };
+        let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
+        for (ni, net) in nl.nets.iter().enumerate() {
+            if net.driver.is_some() {
+                assert_eq!(
+                    tw.values[ni],
+                    seq.value(dvs_verilog::NetId(ni as u32)),
+                    "net `{}` differs (checkpoint interval {interval})",
+                    net.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_mode_with_reset_circuit() {
+    let nl = parse_and_elaborate(RESET_COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 3);
+    let plan = ClusterPlan::new(&nl, &gb, 3);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 31);
+    let cycles = 40;
+    let mut seq = SeqSim::new(
+        &nl,
+        &SimConfig {
+            cycles,
+            init_zero: true,
+        },
+    );
+    seq.run(&stim, cycles, &mut NullObserver);
+    let cfg = TimeWarpConfig {
+        state_saving: StateSaving::Checkpoint { interval: 8 },
+        ..TimeWarpConfig::default()
+    };
+    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
+    for (ni, net) in nl.nets.iter().enumerate() {
+        if net.driver.is_some() {
+            assert_eq!(
+                tw.values[ni],
+                seq.value(dvs_verilog::NetId(ni as u32)),
+                "net `{}` differs",
+                net.name
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_are_plausible() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 2);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 7);
+    let plan = ClusterPlan::new(&nl, &gb, 2);
+    let tw = run_timewarp(&nl, &plan, &stim, 50, &TimeWarpConfig::default());
+    assert!(tw.stats.messages > 0, "cut circuit must communicate");
+    assert_eq!(tw.cluster_stats.len(), 2);
+    // Anti-messages only exist if rollbacks happened.
+    if tw.stats.anti_messages > 0 {
+        assert!(tw.stats.rollbacks > 0);
+    }
+    assert!(tw.stats.gate_evals > 0);
+}

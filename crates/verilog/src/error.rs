@@ -1,0 +1,88 @@
+//! Error types for the Verilog front end.
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Loc {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced by lexing, parsing or elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error (bad character, unterminated comment, malformed number).
+    Lex { loc: Loc, msg: String },
+    /// Syntactic error.
+    Parse { loc: Loc, msg: String },
+    /// Semantic error during elaboration (unknown module, width mismatch,
+    /// undeclared net, multiply driven net, ...).
+    Elab { msg: String },
+}
+
+impl Error {
+    pub(crate) fn lex(loc: Loc, msg: impl Into<String>) -> Self {
+        Error::Lex {
+            loc,
+            msg: msg.into(),
+        }
+    }
+    pub(crate) fn parse(loc: Loc, msg: impl Into<String>) -> Self {
+        Error::Parse {
+            loc,
+            msg: msg.into(),
+        }
+    }
+    pub(crate) fn elab(msg: impl Into<String>) -> Self {
+        Error::Elab { msg: msg.into() }
+    }
+
+    /// The source location of the error, if it has one.
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            Error::Lex { loc, .. } | Error::Parse { loc, .. } => Some(*loc),
+            Error::Elab { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { loc, msg } => write!(f, "lex error at {loc}: {msg}"),
+            Error::Parse { loc, msg } => write!(f, "parse error at {loc}: {msg}"),
+            Error::Elab { msg } => write!(f, "elaboration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = Error::lex(Loc { line: 3, col: 7 }, "bad char");
+        assert_eq!(e.to_string(), "lex error at 3:7: bad char");
+        assert_eq!(e.loc(), Some(Loc { line: 3, col: 7 }));
+    }
+
+    #[test]
+    fn elab_error_has_no_location() {
+        let e = Error::elab("unknown module `foo`");
+        assert!(e.loc().is_none());
+        assert!(e.to_string().contains("unknown module"));
+    }
+}

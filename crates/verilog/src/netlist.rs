@@ -1,0 +1,538 @@
+//! Flat gate-level netlist with a retained design-hierarchy tree.
+//!
+//! Elaboration bit-blasts every vector net and expands every module instance,
+//! producing one [`Gate`] per primitive and one [`Net`] per signal bit. The
+//! module/instance structure is *not* thrown away: every gate records the
+//! [`Instance`] that owns it, and the instance tree is kept in
+//! [`Netlist::instances`]. This is exactly the information the design-driven
+//! partitioner of Li & Tropper exploits, and exactly what flat-netlist
+//! partitioners (the hMetis baseline) ignore.
+
+use std::fmt;
+
+/// Index of a net (one signal bit) in [`Netlist::nets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Index of a gate in [`Netlist::gates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+/// Index of an instance-tree node in [`Netlist::instances`]. `InstId(0)` is
+/// always the top module itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl NetId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl GateId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl InstId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+    /// The root (top-module) instance.
+    pub const ROOT: InstId = InstId(0);
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Primitive gate kinds after elaboration.
+///
+/// `buf`/`not` statements with multiple outputs are expanded into one gate per
+/// output. `Const0`/`Const1` drive constant nets arising from literal port
+/// connections and `supply0`/`supply1` declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Buf,
+    Not,
+    /// Positive-edge D flip-flop; inputs `[clk, d]`.
+    Dff,
+    /// Positive-edge D flip-flop with asynchronous active-high reset;
+    /// inputs `[clk, rst, d]`.
+    Dffr,
+    /// Transparent latch; inputs `[en, d]`.
+    Latch,
+    Const0,
+    Const1,
+}
+
+impl GateKind {
+    /// True for state-holding elements (the paper's "invisible nodes with
+    /// memory", which must checkpoint state even inside a module cluster).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff | GateKind::Dffr | GateKind::Latch)
+    }
+
+    /// True for constant drivers (no inputs).
+    pub fn is_const(self) -> bool {
+        matches!(self, GateKind::Const0 | GateKind::Const1)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::Dff => "dff",
+            GateKind::Dffr => "dffr",
+            GateKind::Latch => "latch",
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+        }
+    }
+}
+
+/// One elaborated primitive gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub kind: GateKind,
+    pub output: NetId,
+    pub inputs: Vec<NetId>,
+    /// The instance-tree node whose module body textually contains this gate.
+    pub owner: InstId,
+    /// Declared `#delay`, if any. The unit-delay simulator ignores it.
+    pub delay: Option<u64>,
+}
+
+/// One signal bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Hierarchical name, e.g. `top.acs0.sum[3]`.
+    pub name: String,
+    /// The gate driving this net, if any. Primary inputs and dangling nets
+    /// have no driver.
+    pub driver: Option<GateId>,
+}
+
+/// A node of the design-hierarchy tree: one module instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name within the parent (top module: the module name).
+    pub name: String,
+    /// Name of the module definition this node instantiates.
+    pub module: String,
+    pub parent: Option<InstId>,
+    pub children: Vec<InstId>,
+    /// Depth in the tree; the root has depth 0.
+    pub depth: u32,
+    /// Gates textually inside this module body (not in children).
+    pub own_gates: u32,
+    /// Total gates in the subtree rooted here (own + descendants). This is
+    /// the "super-gate weight" of the paper's hypergraph model.
+    pub subtree_gates: u64,
+}
+
+/// The flat netlist plus hierarchy metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub nets: Vec<Net>,
+    pub gates: Vec<Gate>,
+    pub instances: Vec<Instance>,
+    pub primary_inputs: Vec<NetId>,
+    pub primary_outputs: Vec<NetId>,
+    /// Nets tied to constant 0/1 (supply nets and literal connections).
+    pub const0_net: Option<NetId>,
+    pub const1_net: Option<NetId>,
+}
+
+impl Netlist {
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of module instances excluding the root.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len().saturating_sub(1)
+    }
+
+    /// Full hierarchical path of an instance (e.g. `top.dp.acs3`).
+    pub fn instance_path(&self, id: InstId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(i) = cur {
+            let inst = &self.instances[i.idx()];
+            parts.push(inst.name.as_str());
+            cur = inst.parent;
+        }
+        parts.reverse();
+        parts.join(".")
+    }
+
+    /// Compute per-net fanout (reader gates) as a CSR structure.
+    pub fn build_fanout(&self) -> Fanout {
+        let mut counts = vec![0u32; self.nets.len()];
+        for g in &self.gates {
+            for &n in &g.inputs {
+                counts[n.idx()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(self.nets.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut readers = vec![GateId(0); acc as usize];
+        let mut cursor = offsets.clone();
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &n in &g.inputs {
+                let slot = cursor[n.idx()];
+                readers[slot as usize] = GateId(gi as u32);
+                cursor[n.idx()] += 1;
+            }
+        }
+        Fanout { offsets, readers }
+    }
+
+    /// Walk the instance subtree rooted at `root` in preorder.
+    pub fn subtree(&self, root: InstId) -> Vec<InstId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            // Reverse keeps preorder left-to-right.
+            for &c in self.instances[i.idx()].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Is `anc` an ancestor of (or equal to) `node`?
+    pub fn is_ancestor(&self, anc: InstId, node: InstId) -> bool {
+        let mut cur = Some(node);
+        while let Some(i) = cur {
+            if i == anc {
+                return true;
+            }
+            cur = self.instances[i.idx()].parent;
+        }
+        false
+    }
+
+    /// Recompute `own_gates` and `subtree_gates` for every instance from the
+    /// gate list. Elaboration keeps these up to date; this is for netlists
+    /// assembled by hand (tests, generators).
+    pub fn recount_gates(&mut self) {
+        for inst in &mut self.instances {
+            inst.own_gates = 0;
+            inst.subtree_gates = 0;
+        }
+        for g in &self.gates {
+            self.instances[g.owner.idx()].own_gates += 1;
+        }
+        // Children always follow parents in creation order, so a reverse scan
+        // accumulates subtree counts bottom-up.
+        for i in (0..self.instances.len()).rev() {
+            self.instances[i].subtree_gates += self.instances[i].own_gates as u64;
+            if let Some(p) = self.instances[i].parent {
+                let add = self.instances[i].subtree_gates;
+                self.instances[p.idx()].subtree_gates += add;
+            }
+        }
+    }
+
+    /// Consistency check: every index in range, drivers consistent, hierarchy
+    /// acyclic with correct depths and gate counts. Intended for tests and
+    /// debug assertions; returns a description of the first violation.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.instances.is_empty() {
+            return Err("netlist has no root instance".into());
+        }
+        if self.instances[0].parent.is_some() {
+            return Err("root instance has a parent".into());
+        }
+        for (gi, g) in self.gates.iter().enumerate() {
+            if g.output.idx() >= self.nets.len() {
+                return Err(format!("gate g{gi} output out of range"));
+            }
+            for &n in &g.inputs {
+                if n.idx() >= self.nets.len() {
+                    return Err(format!("gate g{gi} input out of range"));
+                }
+            }
+            if g.owner.idx() >= self.instances.len() {
+                return Err(format!("gate g{gi} owner out of range"));
+            }
+            match self.nets[g.output.idx()].driver {
+                Some(d) if d.idx() == gi => {}
+                other => {
+                    return Err(format!(
+                        "net {} driver is {:?}, expected g{}",
+                        g.output, other, gi
+                    ))
+                }
+            }
+            let arity_ok = match g.kind {
+                GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+                | GateKind::Xnor => g.inputs.len() >= 2,
+                GateKind::Buf | GateKind::Not => g.inputs.len() == 1,
+                GateKind::Dff | GateKind::Latch => g.inputs.len() == 2,
+                GateKind::Dffr => g.inputs.len() == 3,
+                GateKind::Const0 | GateKind::Const1 => g.inputs.is_empty(),
+            };
+            if !arity_ok {
+                return Err(format!(
+                    "gate g{gi} ({}) has invalid arity {}",
+                    g.kind.name(),
+                    g.inputs.len()
+                ));
+            }
+        }
+        for (ni, n) in self.nets.iter().enumerate() {
+            if let Some(d) = n.driver {
+                if d.idx() >= self.gates.len() {
+                    return Err(format!("net n{ni} driver out of range"));
+                }
+                if self.gates[d.idx()].output.idx() != ni {
+                    return Err(format!("net n{ni} driver mismatch"));
+                }
+            }
+        }
+        for &p in self.primary_inputs.iter().chain(&self.primary_outputs) {
+            if p.idx() >= self.nets.len() {
+                return Err("primary port net out of range".into());
+            }
+        }
+        for &p in &self.primary_inputs {
+            if self.nets[p.idx()].driver.is_some() {
+                return Err(format!("primary input {p} has a driver"));
+            }
+        }
+        let mut seen_child = vec![false; self.instances.len()];
+        for (ii, inst) in self.instances.iter().enumerate() {
+            for &c in &inst.children {
+                if c.idx() >= self.instances.len() {
+                    return Err(format!("instance i{ii} child out of range"));
+                }
+                if c.idx() <= ii {
+                    return Err(format!("instance i{ii} child i{} not after parent", c.0));
+                }
+                if seen_child[c.idx()] {
+                    return Err(format!("instance i{} has two parents", c.0));
+                }
+                seen_child[c.idx()] = true;
+                if self.instances[c.idx()].parent != Some(InstId(ii as u32)) {
+                    return Err(format!("instance i{} parent link mismatch", c.0));
+                }
+                if self.instances[c.idx()].depth != inst.depth + 1 {
+                    return Err(format!("instance i{} depth mismatch", c.0));
+                }
+            }
+        }
+        let mut check = self.clone();
+        check.recount_gates();
+        for (a, b) in self.instances.iter().zip(&check.instances) {
+            if a.own_gates != b.own_gates || a.subtree_gates != b.subtree_gates {
+                return Err(format!(
+                    "instance `{}` gate counts stale: ({}, {}) vs recounted ({}, {})",
+                    a.name, a.own_gates, a.subtree_gates, b.own_gates, b.subtree_gates
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// CSR fanout map from nets to reader gates, built by
+/// [`Netlist::build_fanout`].
+#[derive(Debug, Clone)]
+pub struct Fanout {
+    offsets: Vec<u32>,
+    readers: Vec<GateId>,
+}
+
+impl Fanout {
+    /// Gates reading net `n`.
+    #[inline]
+    pub fn readers(&self, n: NetId) -> &[GateId] {
+        let lo = self.offsets[n.idx()] as usize;
+        let hi = self.offsets[n.idx() + 1] as usize;
+        &self.readers[lo..hi]
+    }
+
+    /// Number of reader pins of net `n`.
+    #[inline]
+    pub fn degree(&self, n: NetId) -> usize {
+        (self.offsets[n.idx() + 1] - self.offsets[n.idx()]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small hand-built netlist: two inputs, xor+and (half adder) at top,
+    /// plus a child instance owning a buf.
+    fn sample() -> Netlist {
+        let mut nl = Netlist::default();
+        for (i, name) in ["a", "b", "sum", "carry", "cbuf"].iter().enumerate() {
+            nl.nets.push(Net {
+                name: format!("top.{name}"),
+                driver: None,
+            });
+            let _ = i;
+        }
+        nl.instances.push(Instance {
+            name: "top".into(),
+            module: "top".into(),
+            parent: None,
+            children: vec![InstId(1)],
+            depth: 0,
+            own_gates: 2,
+            subtree_gates: 3,
+        });
+        nl.instances.push(Instance {
+            name: "u1".into(),
+            module: "bufwrap".into(),
+            parent: Some(InstId(0)),
+            children: vec![],
+            depth: 1,
+            own_gates: 1,
+            subtree_gates: 1,
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::Xor,
+            output: NetId(2),
+            inputs: vec![NetId(0), NetId(1)],
+            owner: InstId(0),
+            delay: None,
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::And,
+            output: NetId(3),
+            inputs: vec![NetId(0), NetId(1)],
+            owner: InstId(0),
+            delay: None,
+        });
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            output: NetId(4),
+            inputs: vec![NetId(3)],
+            owner: InstId(1),
+            delay: None,
+        });
+        nl.nets[2].driver = Some(GateId(0));
+        nl.nets[3].driver = Some(GateId(1));
+        nl.nets[4].driver = Some(GateId(2));
+        nl.primary_inputs = vec![NetId(0), NetId(1)];
+        nl.primary_outputs = vec![NetId(2), NetId(4)];
+        nl
+    }
+
+    #[test]
+    fn sample_validates() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn fanout_csr() {
+        let nl = sample();
+        let f = nl.build_fanout();
+        assert_eq!(f.degree(NetId(0)), 2);
+        assert_eq!(f.degree(NetId(1)), 2);
+        assert_eq!(f.degree(NetId(2)), 0);
+        assert_eq!(f.readers(NetId(3)), &[GateId(2)]);
+    }
+
+    #[test]
+    fn subtree_and_ancestry() {
+        let nl = sample();
+        assert_eq!(nl.subtree(InstId::ROOT), vec![InstId(0), InstId(1)]);
+        assert!(nl.is_ancestor(InstId(0), InstId(1)));
+        assert!(!nl.is_ancestor(InstId(1), InstId(0)));
+        assert!(nl.is_ancestor(InstId(1), InstId(1)));
+    }
+
+    #[test]
+    fn instance_paths() {
+        let nl = sample();
+        assert_eq!(nl.instance_path(InstId(1)), "top.u1");
+    }
+
+    #[test]
+    fn recount_matches_elaborated_counts() {
+        let mut nl = sample();
+        nl.recount_gates();
+        assert_eq!(nl.instances[0].own_gates, 2);
+        assert_eq!(nl.instances[0].subtree_gates, 3);
+        assert_eq!(nl.instances[1].subtree_gates, 1);
+    }
+
+    #[test]
+    fn validate_catches_driver_mismatch() {
+        let mut nl = sample();
+        nl.nets[2].driver = None;
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_arity() {
+        let mut nl = sample();
+        nl.gates[0].inputs.pop();
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_stale_counts() {
+        let mut nl = sample();
+        nl.instances[1].subtree_gates = 99;
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_driven_primary_input() {
+        let mut nl = sample();
+        nl.primary_inputs.push(NetId(2));
+        assert!(nl.validate().is_err());
+    }
+
+    #[test]
+    fn gate_kind_properties() {
+        assert!(GateKind::Dff.is_sequential());
+        assert!(GateKind::Latch.is_sequential());
+        assert!(!GateKind::And.is_sequential());
+        assert!(GateKind::Const0.is_const());
+        assert!(!GateKind::Buf.is_const());
+    }
+}

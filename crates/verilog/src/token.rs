@@ -1,0 +1,216 @@
+//! Token definitions for the gate-level Verilog subset.
+
+use crate::error::Loc;
+use std::fmt;
+
+/// A lexed token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub loc: Loc,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (simple or escaped `\foo[1] `).
+    Ident(String),
+    /// Keyword from [`Keyword`].
+    Keyword(Keyword),
+    /// Unsized decimal number, e.g. the `3` in `[3:0]` or `#3`.
+    Number(u64),
+    /// Sized literal, e.g. `4'b1010`, `8'hff`. Stored as (width, bits), bit 0
+    /// of `bits` is the least significant bit. X/Z digits are rejected by the
+    /// lexer (synthesized netlists do not contain them in constants).
+    SizedLiteral { width: u32, bits: u64 },
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Equals,
+    Hash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::SizedLiteral { width, bits } => {
+                write!(f, "literal `{width}'d{bits}`")
+            }
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::Hash => write!(f, "`#`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words recognized by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Assign,
+    Supply0,
+    Supply1,
+    // Gate primitives.
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Buf,
+    Not,
+    // Sequential extension primitives (see crate docs).
+    Dff,
+    Dffr,
+    Latch,
+}
+
+impl Keyword {
+    /// Look up an identifier as a keyword. (Deliberately not the `FromStr`
+    /// trait: lookup failure is an ordinary `None`, not an error.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "assign" => Keyword::Assign,
+            "supply0" => Keyword::Supply0,
+            "supply1" => Keyword::Supply1,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "nand" => Keyword::Nand,
+            "nor" => Keyword::Nor,
+            "xor" => Keyword::Xor,
+            "xnor" => Keyword::Xnor,
+            "buf" => Keyword::Buf,
+            "not" => Keyword::Not,
+            "dff" => Keyword::Dff,
+            "dffr" => Keyword::Dffr,
+            "latch" => Keyword::Latch,
+            _ => return None,
+        })
+    }
+
+    /// True if this keyword begins a primitive gate instantiation.
+    pub fn is_gate(self) -> bool {
+        matches!(
+            self,
+            Keyword::And
+                | Keyword::Or
+                | Keyword::Nand
+                | Keyword::Nor
+                | Keyword::Xor
+                | Keyword::Xnor
+                | Keyword::Buf
+                | Keyword::Not
+                | Keyword::Dff
+                | Keyword::Dffr
+                | Keyword::Latch
+        )
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Assign => "assign",
+            Keyword::Supply0 => "supply0",
+            Keyword::Supply1 => "supply1",
+            Keyword::And => "and",
+            Keyword::Or => "or",
+            Keyword::Nand => "nand",
+            Keyword::Nor => "nor",
+            Keyword::Xor => "xor",
+            Keyword::Xnor => "xnor",
+            Keyword::Buf => "buf",
+            Keyword::Not => "not",
+            Keyword::Dff => "dff",
+            Keyword::Dffr => "dffr",
+            Keyword::Latch => "latch",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Endmodule,
+            Keyword::Input,
+            Keyword::Output,
+            Keyword::Inout,
+            Keyword::Wire,
+            Keyword::Reg,
+            Keyword::Assign,
+            Keyword::Supply0,
+            Keyword::Supply1,
+            Keyword::And,
+            Keyword::Or,
+            Keyword::Nand,
+            Keyword::Nor,
+            Keyword::Xor,
+            Keyword::Xnor,
+            Keyword::Buf,
+            Keyword::Not,
+            Keyword::Dff,
+            Keyword::Dffr,
+            Keyword::Latch,
+        ] {
+            assert_eq!(Keyword::from_str(&kw.to_string()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("always"), None);
+    }
+
+    #[test]
+    fn gate_classification() {
+        assert!(Keyword::And.is_gate());
+        assert!(Keyword::Dff.is_gate());
+        assert!(!Keyword::Module.is_gate());
+        assert!(!Keyword::Wire.is_gate());
+    }
+}

@@ -1,0 +1,28 @@
+//! # dvs-workloads
+//!
+//! Gate-level circuit generators for exercising the partitioner and the
+//! simulators. All generators emit structural Verilog *source text* which is
+//! then lexed, parsed and elaborated by [`dvs_verilog`] — so every workload
+//! also stress-tests the front end.
+//!
+//! * [`viterbi`] — a parameterized hierarchical Viterbi decoder, the
+//!   workload of the paper's evaluation (their netlist: 388 modules,
+//!   ~1.2 M gates, synthesized at RPI). [`viterbi::ViterbiParams::paper_class`]
+//!   approximates that shape at a configurable gate budget.
+//! * [`arith`] — gate-level arithmetic building blocks (ripple adders,
+//!   comparators, muxes, registers) shared by the other generators.
+//! * [`pipeline_soc`] — a modular pipelined datapath with narrow
+//!   inter-stage interfaces: the workload regime where hierarchy-aligned
+//!   partitioning is optimal.
+//! * [`seqcirc`] — sequential circuits: counters and LFSRs.
+//! * [`random_hier`] — seeded random module hierarchies with Rent-style
+//!   locality, for property tests across the whole pipeline.
+
+pub mod arith;
+pub mod pipeline_soc;
+pub mod random_hier;
+pub mod seqcirc;
+pub mod viterbi;
+
+pub use arith::VerilogLib;
+pub use viterbi::{generate_viterbi, ViterbiParams};

@@ -1,0 +1,75 @@
+//! Partitioner comparison: design-driven (all four pairing strategies) vs
+//! the hMetis-style multilevel baseline, on one circuit.
+//!
+//! ```text
+//! cargo run --release -p dvs-examples --bin partition_compare [k] [b]
+//! ```
+
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_core::pairing::PairingStrategy;
+use dvs_hmetis::{partition_kway, HmetisConfig};
+use dvs_hypergraph::builder::{cut_size_gates, gate_level};
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let b: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7.5);
+
+    let src = generate_viterbi(&ViterbiParams::paper_class());
+    let nl = dvs_verilog::parse_and_elaborate(&src)
+        .expect("decoder elaborates")
+        .into_netlist();
+    println!(
+        "workload: {} gates, {} instances; partitioning k={k} b={b}%\n",
+        nl.gate_count(),
+        nl.instance_count()
+    );
+    println!(
+        "{:<28} {:>8} {:>10} {:>12} {:>10}",
+        "algorithm", "cut", "balanced", "time", "flattens"
+    );
+
+    for strategy in [
+        PairingStrategy::Random,
+        PairingStrategy::Exhaustive,
+        PairingStrategy::CutBased,
+        PairingStrategy::GainBased,
+    ] {
+        let cfg = MultiwayConfig {
+            pairing: strategy,
+            ..MultiwayConfig::new(k, b)
+        };
+        let t0 = Instant::now();
+        let r = partition_multiway(&nl, &cfg);
+        let dt = t0.elapsed();
+        println!(
+            "{:<28} {:>8} {:>10} {:>12.2?} {:>10}",
+            format!("design-driven ({})", strategy.name()),
+            r.cut,
+            r.balanced,
+            dt,
+            r.flattens
+        );
+    }
+
+    let gh = gate_level(&nl);
+    let t0 = Instant::now();
+    let hm = partition_kway(&gh.hg, k, &HmetisConfig::with_balance(b, 42));
+    let dt = t0.elapsed();
+    let cut = cut_size_gates(&nl, &gh.gate_blocks(&hm));
+    println!(
+        "{:<28} {:>8} {:>10} {:>12.2?} {:>10}",
+        "hMetis-style (flat netlist)", cut, "yes", dt, "-"
+    );
+
+    println!(
+        "\nNote: on this shuffle-structured trellis the flat multilevel baseline finds\n\
+         smaller cuts by splitting module internals, while the design-driven algorithm\n\
+         is orders of magnitude faster by partitioning {} super-gates instead of {} gates.\n\
+         See EXPERIMENTS.md for the relation to the paper's Table 1/2 claims.",
+        nl.instances[0].children.len(),
+        nl.gate_count()
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: parse a gate-level Verilog netlist, partition it with the
+//! design-driven multiway algorithm, and inspect the result.
+//!
+//! ```text
+//! cargo run --release -p dvs-examples --bin quickstart
+//! ```
+
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_verilog::stats::stats;
+
+/// A small hierarchical design: a 4-stage pipeline of full adders.
+const SRC: &str = r#"
+module top(clk, a, b, y);
+  input clk;
+  input [3:0] a, b;
+  output [3:0] y;
+  wire [4:0] c;
+  supply0 gnd;
+  buf cb (c[0], gnd);
+  stage s0 (clk, a[0], b[0], c[0], y[0], c[1]);
+  stage s1 (clk, a[1], b[1], c[1], y[1], c[2]);
+  stage s2 (clk, a[2], b[2], c[2], y[2], c[3]);
+  stage s3 (clk, a[3], b[3], c[3], y[3], c[4]);
+endmodule
+
+module stage(clk, a, b, cin, sum, cout);
+  input clk, a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2, sraw;
+  xor x1 (s1, a, b);
+  xor x2 (sraw, s1, cin);
+  and a1 (c1, a, b);
+  and a2 (c2, s1, cin);
+  or  o1 (cout, c1, c2);
+  dff f  (sum, clk, sraw);
+endmodule
+"#;
+
+fn main() {
+    // 1. Parse and elaborate.
+    let design = dvs_verilog::parse_and_elaborate(SRC).expect("valid Verilog");
+    let nl = design.netlist();
+    println!("design `{}`:\n{}", design.top(), stats(nl));
+
+    // 2. Partition into 2 blocks with the paper's balance factor b = 10%.
+    let cfg = MultiwayConfig::new(2, 10.0);
+    let result = partition_multiway(nl, &cfg);
+
+    println!("k = 2, b = 10%:");
+    println!("  hyperedge cut : {}", result.cut);
+    println!("  block loads   : {:?} gates", result.loads);
+    println!("  balanced      : {}", result.balanced);
+    println!("  flattenings   : {}", result.flattens);
+    println!("  FM rounds     : {}", result.fm_rounds);
+
+    // 3. Show which block each module instance landed in (majority vote of
+    //    its gates).
+    for inst_id in nl.subtree(dvs_verilog::netlist::InstId::ROOT) {
+        if inst_id == dvs_verilog::netlist::InstId::ROOT {
+            continue;
+        }
+        let votes: Vec<u32> = nl
+            .gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| nl.is_ancestor(inst_id, g.owner))
+            .map(|(gi, _)| result.gate_blocks[gi])
+            .collect();
+        if votes.is_empty() {
+            continue;
+        }
+        let block0 = votes.iter().filter(|&&b| b == 0).count();
+        println!(
+            "  {:<12} -> block {} ({} of {} gates)",
+            nl.instance_path(inst_id),
+            if block0 * 2 >= votes.len() { 0 } else { 1 },
+            block0.max(votes.len() - block0),
+            votes.len()
+        );
+    }
+}

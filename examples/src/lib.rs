@@ -1,0 +1,16 @@
+//! Runnable example applications for the DVS multiway-partitioning library.
+//!
+//! Each binary exercises the public API on a realistic scenario:
+//!
+//! * `quickstart` — parse a small Verilog netlist, partition it, print the
+//!   cut and loads;
+//! * `viterbi_flow` — the paper's full methodology on a generated Viterbi
+//!   decoder: pre-simulation sweep, (k, b) selection, full simulation;
+//! * `presim_tuning` — brute force vs the Fig. 3 heuristic for choosing
+//!   (k, b);
+//! * `partition_compare` — design-driven vs hMetis vs pairing-strategy
+//!   ablation on one circuit;
+//! * `timewarp_demo` — the threaded Time Warp kernel racing the sequential
+//!   simulator and validating bit-exact agreement.
+//!
+//! Run with `cargo run --release -p dvs-examples --bin <name>`.

@@ -1,0 +1,12 @@
+//! Cross-crate integration tests for the DVS multiway-partitioning
+//! reproduction. The tests live in `tests/tests/`; this library only hosts
+//! shared helpers.
+
+use dvs_verilog::Netlist;
+
+/// Parse + elaborate, panicking with the error message on failure.
+pub fn elaborate(src: &str) -> Netlist {
+    dvs_verilog::parse_and_elaborate(src)
+        .unwrap_or_else(|e| panic!("elaboration failed: {e}"))
+        .into_netlist()
+}

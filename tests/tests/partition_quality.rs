@@ -1,0 +1,157 @@
+//! Partition-quality properties across the two partitioners and the
+//! balance machinery, plus property-based tests over random hierarchies.
+
+use dvs_core::multiway::{partition_multiway, partition_multiway_sweep, MultiwayConfig};
+use dvs_core::pairing::PairingStrategy;
+use dvs_hmetis::{partition_kway, HmetisConfig};
+use dvs_hypergraph::builder::{cut_size_gates, design_level, gate_level};
+use dvs_hypergraph::partition::BalanceConstraint;
+use dvs_integration_tests::elaborate;
+use dvs_verilog::flatten::Frontier;
+use dvs_workloads::random_hier::{generate_random_hier, RandomHierParams};
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use proptest::prelude::*;
+
+#[test]
+fn both_partitioners_respect_paper_balance() {
+    let src = generate_viterbi(&ViterbiParams {
+        constraint_len: 5,
+        ..ViterbiParams::paper_class()
+    });
+    let nl = elaborate(&src);
+    let gh = gate_level(&nl);
+    for k in [2u32, 3, 4] {
+        for b in [7.5f64, 15.0] {
+            let c = BalanceConstraint::new(k, nl.gate_count() as u64, b);
+
+            let dd = partition_multiway(&nl, &MultiwayConfig::new(k, b));
+            assert!(
+                c.satisfied(&dd.loads),
+                "design-driven k={k} b={b}: {:?}",
+                dd.loads
+            );
+
+            let hm = partition_kway(&gh.hg, k, &HmetisConfig::with_balance(b, 7));
+            assert!(
+                c.satisfied(hm.block_weights()),
+                "hMetis k={k} b={b}: {:?}",
+                hm.block_weights()
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_envelope_is_monotone_and_feasible() {
+    let src = generate_viterbi(&ViterbiParams {
+        constraint_len: 5,
+        ..ViterbiParams::paper_class()
+    });
+    let nl = elaborate(&src);
+    let bs = [2.5, 5.0, 7.5, 10.0, 12.5, 15.0];
+    for k in [2u32, 4] {
+        let base = MultiwayConfig::new(k, 0.0);
+        let sweep = partition_multiway_sweep(&nl, k, &bs, &base);
+        assert_eq!(sweep.len(), bs.len());
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].cut <= w[0].cut,
+                "k={k}: cut must not increase with b ({} -> {})",
+                w[0].cut,
+                w[1].cut
+            );
+        }
+        for (r, &b) in sweep.iter().zip(&bs) {
+            if r.balanced {
+                let c = BalanceConstraint::new(k, nl.gate_count() as u64, b);
+                assert!(c.satisfied(&r.loads));
+            }
+        }
+    }
+}
+
+#[test]
+fn design_cut_equals_flat_cut() {
+    // The design-level hyperedge cut and the flat net cut agree for any
+    // super-gate-respecting assignment — the metric identity that makes
+    // Tables 1 and 2 comparable.
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = elaborate(&src);
+    let dh = design_level(&nl, &Frontier::initial(&nl));
+    for k in [2u32, 3] {
+        let r = partition_multiway(&nl, &MultiwayConfig::new(k, 20.0));
+        assert_eq!(r.cut, r.design_cut, "k={k}");
+        assert_eq!(cut_size_gates(&nl, &r.gate_blocks), r.cut);
+    }
+    let _ = dh;
+}
+
+#[test]
+fn pairing_strategies_reach_comparable_quality() {
+    let src = generate_viterbi(&ViterbiParams {
+        constraint_len: 5,
+        ..ViterbiParams::paper_class()
+    });
+    let nl = elaborate(&src);
+    let mut cuts = Vec::new();
+    for strat in [
+        PairingStrategy::Random,
+        PairingStrategy::Exhaustive,
+        PairingStrategy::CutBased,
+        PairingStrategy::GainBased,
+    ] {
+        let cfg = MultiwayConfig {
+            pairing: strat,
+            ..MultiwayConfig::new(3, 10.0)
+        };
+        let r = partition_multiway(&nl, &cfg);
+        assert!(r.balanced, "{} must balance", strat.name());
+        cuts.push((strat.name(), r.cut));
+    }
+    // No strategy should be catastrophically worse than the best (the paper
+    // frames them as quality/effort trade-offs, not correctness).
+    let best = cuts.iter().map(|(_, c)| *c).min().unwrap();
+    for (name, c) in &cuts {
+        assert!(
+            *c <= best * 3,
+            "{name} cut {c} is >3x the best ({best}): {cuts:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random hierarchical design partitions into a complete, load-exact
+    /// assignment whose reported cut matches a direct recount.
+    #[test]
+    fn prop_partition_invariants(seed in 0u64..500, k in 2u32..5) {
+        let src = generate_random_hier(&RandomHierParams {
+            seed,
+            ..Default::default()
+        });
+        let nl = elaborate(&src);
+        let r = partition_multiway(&nl, &MultiwayConfig::new(k, 20.0));
+        prop_assert_eq!(r.gate_blocks.len(), nl.gate_count());
+        prop_assert!(r.gate_blocks.iter().all(|&blk| blk < k));
+        prop_assert_eq!(r.loads.iter().sum::<u64>(), nl.gate_count() as u64);
+        prop_assert_eq!(cut_size_gates(&nl, &r.gate_blocks), r.cut);
+    }
+
+    /// hMetis recursive bisection is feasible and complete on random
+    /// hierarchies too.
+    #[test]
+    fn prop_hmetis_invariants(seed in 0u64..500, k in 2u32..5) {
+        let src = generate_random_hier(&RandomHierParams {
+            seed,
+            ..Default::default()
+        });
+        let nl = elaborate(&src);
+        let gh = gate_level(&nl);
+        let part = partition_kway(&gh.hg, k, &HmetisConfig::with_balance(15.0, seed));
+        let c = BalanceConstraint::new(k, gh.hg.total_vweight(), 15.0);
+        prop_assert!(c.satisfied(part.block_weights()),
+            "weights {:?} outside [{}, {}]", part.block_weights(), c.lower(), c.upper());
+        prop_assert_eq!(part.assignment().len(), gh.hg.vertex_count());
+    }
+}
