@@ -72,9 +72,7 @@ fn bench_initial_partitioning(c: &mut Criterion) {
     {
         let cone = cone_partition(&nl, &hh, 4);
         let trivial = {
-            let assign: Vec<u32> = (0..hh.hg.vertex_count())
-                .map(|i| (i % 4) as u32)
-                .collect();
+            let assign: Vec<u32> = (0..hh.hg.vertex_count()).map(|i| (i % 4) as u32).collect();
             Partition::from_assignment(&hh.hg, 4, assign)
         };
         eprintln!(
@@ -115,9 +113,7 @@ fn bench_granularity(c: &mut Criterion) {
         let balance = BalanceConstraint::new(2, dh.hg.total_vweight(), 10.0);
         let cfg = FmConfig::new(balance);
         b.iter(|| {
-            let assign: Vec<u32> = (0..dh.hg.vertex_count())
-                .map(|i| (i % 2) as u32)
-                .collect();
+            let assign: Vec<u32> = (0..dh.hg.vertex_count()).map(|i| (i % 2) as u32).collect();
             let mut p = Partition::from_assignment(&dh.hg, 2, assign);
             black_box(pairwise_fm(&dh.hg, &mut p, 0, 1, &cfg))
         });
@@ -126,9 +122,7 @@ fn bench_granularity(c: &mut Criterion) {
         let balance = BalanceConstraint::new(2, gh.hg.total_vweight(), 10.0);
         let cfg = FmConfig::new(balance);
         b.iter(|| {
-            let assign: Vec<u32> = (0..gh.hg.vertex_count())
-                .map(|i| (i % 2) as u32)
-                .collect();
+            let assign: Vec<u32> = (0..gh.hg.vertex_count()).map(|i| (i % 2) as u32).collect();
             let mut p = Partition::from_assignment(&gh.hg, 2, assign);
             black_box(pairwise_fm(&gh.hg, &mut p, 0, 1, &cfg))
         });
@@ -162,9 +156,7 @@ fn bench_state_saving(c: &mut Criterion) {
                 state_saving: mode,
                 ..TimeWarpConfig::default()
             };
-            b.iter(|| {
-                black_box(run_timewarp(&nl, &plan, &stim, 40, &cfg).stats.events)
-            });
+            b.iter(|| black_box(run_timewarp(&nl, &plan, &stim, 40, &cfg).stats.events));
         });
     }
     group.finish();

@@ -32,7 +32,9 @@ fn grid(n: usize) -> Hypergraph {
 
 fn random_assignment(hg: &Hypergraph, k: u32, seed: u64) -> Partition {
     let mut rng = StdRng::seed_from_u64(seed);
-    let assign: Vec<u32> = (0..hg.vertex_count()).map(|_| rng.gen_range(0..k)).collect();
+    let assign: Vec<u32> = (0..hg.vertex_count())
+        .map(|_| rng.gen_range(0..k))
+        .collect();
     Partition::from_assignment(hg, k, assign)
 }
 

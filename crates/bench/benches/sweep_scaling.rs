@@ -1,0 +1,76 @@
+//! Scaling of the multi-threaded (k, b) search engine: the paper's
+//! brute-force 3×6 grid (k ∈ {2,3,4} × b ∈ {2.5 … 15}) evaluated with 1, 2
+//! and 4 worker threads, plus the Fig. 3 heuristic with its per-k fan-out.
+//!
+//! On a multi-core host the threaded grid completes faster than the serial
+//! one (the 18 points are independent and CPU-bound); on a single-core host
+//! the times converge. Either way the *results* are bit-identical — see
+//! `tests/tests/flow_api.rs` for the assertion — so this bench is purely
+//! about host wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_core::presim::{brute_force_presim_par, heuristic_presim_points, PresimConfig};
+use dvs_core::Parallelism;
+use dvs_verilog::Netlist;
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn workload() -> (Netlist, PresimConfig) {
+    let src = generate_viterbi(&ViterbiParams::paper_class());
+    let nl = dvs_verilog::parse_and_elaborate(&src)
+        .expect("decoder elaborates")
+        .into_netlist();
+    let mut cfg = PresimConfig::paper_defaults(nl.gate_count());
+    cfg.vectors = 200; // short presim keeps each grid point around tens of ms
+    (nl, cfg)
+}
+
+fn bench_brute_force_grid(c: &mut Criterion) {
+    let (nl, cfg) = workload();
+    let ks = [2u32, 3, 4];
+    let bs = [2.5, 5.0, 7.5, 10.0, 12.5, 15.0];
+    let mut group = c.benchmark_group("brute_force_3x6");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    for workers in [1usize, 2, 4] {
+        let par = if workers == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(workers)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}thread")),
+            &par,
+            |bch, &par| {
+                bch.iter(|| black_box(brute_force_presim_par(&nl, &ks, &bs, &cfg, par)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_heuristic_fanout(c: &mut Criterion) {
+    let (nl, cfg) = workload();
+    let mut group = c.benchmark_group("heuristic_max_k4");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    for workers in [1usize, 3] {
+        let par = if workers == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(workers)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}thread")),
+            &par,
+            |bch, &par| {
+                bch.iter(|| black_box(heuristic_presim_points(&nl, 4, &cfg, par)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_brute_force_grid, bench_heuristic_fanout);
+criterion_main!(benches);

@@ -10,17 +10,45 @@ fn main() {
     let p = dvs_workloads::viterbi::ViterbiParams::full_scale();
     let t0 = Instant::now();
     let src = dvs_workloads::viterbi::generate_viterbi(&p);
-    eprintln!("generated {} MB in {:.1?}", src.len() / 1_000_000, t0.elapsed());
+    eprintln!(
+        "generated {} MB in {:.1?}",
+        src.len() / 1_000_000,
+        t0.elapsed()
+    );
     let t0 = Instant::now();
-    let nl = dvs_verilog::parse_and_elaborate(&src).unwrap().into_netlist();
-    eprintln!("elaborated {} gates, {} instances in {:.1?}", nl.gate_count(), nl.instance_count(), t0.elapsed());
+    let nl = dvs_verilog::parse_and_elaborate(&src)
+        .unwrap()
+        .into_netlist();
+    eprintln!(
+        "elaborated {} gates, {} instances in {:.1?}",
+        nl.gate_count(),
+        nl.instance_count(),
+        t0.elapsed()
+    );
     let t0 = Instant::now();
-    let r = dvs_core::multiway::partition_multiway(&nl, &dvs_core::multiway::MultiwayConfig::new(4, 7.5));
-    eprintln!("dd partition: cut {} bal {} in {:.1?}", r.cut, r.balanced, t0.elapsed());
+    let r = dvs_core::multiway::partition_multiway(
+        &nl,
+        &dvs_core::multiway::MultiwayConfig::new(4, 7.5),
+    );
+    eprintln!(
+        "dd partition: cut {} bal {} in {:.1?}",
+        r.cut,
+        r.balanced,
+        t0.elapsed()
+    );
     let t0 = Instant::now();
     let plan = dvs_sim::cluster::ClusterPlan::new(&nl, &r.gate_blocks, 4);
-    let model = dvs_sim::cluster_model::ClusterModel::new(&nl, plan, dvs_sim::cluster_model::ClusterModelConfig::athlon_cluster(nl.gate_count()));
+    let model = dvs_sim::cluster_model::ClusterModel::new(
+        &nl,
+        plan,
+        dvs_sim::cluster_model::ClusterModelConfig::athlon_cluster(nl.gate_count()),
+    );
     let stim = dvs_sim::stimulus::VectorStimulus::from_netlist(&nl, 10, 1);
     let run = model.run(&stim, 100);
-    eprintln!("modeled 100 vectors in {:.1?}: speedup {:.2} msgs {}", t0.elapsed(), run.speedup, run.stats.messages);
+    eprintln!(
+        "modeled 100 vectors in {:.1?}: speedup {:.2} msgs {}",
+        t0.elapsed(),
+        run.speedup,
+        run.stats.messages
+    );
 }

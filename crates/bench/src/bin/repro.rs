@@ -1,19 +1,25 @@
 //! `repro` — regenerate every table and figure of Li & Tropper (ICPP 2008).
 //!
 //! ```text
-//! repro [--scale quick|paper|full] [--csv DIR] [targets...]
+//! repro [--scale quick|paper|full] [--jobs N] [--csv DIR] [targets...]
 //!
 //! targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 all
 //!          (default: all)
 //! ```
+//!
+//! `--jobs N` fans the per-`k` grid columns out over N worker threads
+//! (`--jobs 0`, the default, uses the host's available parallelism). The
+//! tables are identical for every value; only wall time changes.
 
 use dvs_bench::experiments::*;
+use dvs_core::Parallelism;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 fn main() {
     let mut scale = "paper".to_string();
     let mut csv_dir: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut targets: BTreeSet<String> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1);
@@ -31,9 +37,16 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--jobs" => {
+                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a thread count (0 = auto)");
+                    std::process::exit(2);
+                });
+                jobs = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|paper|full] [--csv DIR] [targets...]\n\
+                    "usage: repro [--scale quick|paper|full] [--jobs N] [--csv DIR] [targets...]\n\
                      targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 regime all"
                 );
                 return;
@@ -45,15 +58,14 @@ fn main() {
     }
     if targets.is_empty() || targets.contains("all") {
         for t in [
-            "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "fig7",
-            "regime",
+            "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "fig7", "regime",
         ] {
             targets.insert(t.to_string());
         }
         targets.remove("all");
     }
 
-    let cfg = match scale.as_str() {
+    let mut cfg = match scale.as_str() {
         "quick" => ReproConfig::quick(),
         "paper" => ReproConfig::paper_scaled(),
         "full" => ReproConfig::full(),
@@ -61,6 +73,11 @@ fn main() {
             eprintln!("unknown scale `{other}` (quick|paper|full)");
             std::process::exit(2);
         }
+    };
+    cfg.parallelism = match jobs {
+        None | Some(0) => Parallelism::Auto,
+        Some(1) => Parallelism::Serial,
+        Some(n) => Parallelism::Threads(n),
     };
 
     eprintln!(
@@ -144,7 +161,11 @@ fn main() {
         );
     }
     if targets.contains("fig5") {
-        emit("fig5", "Figure 5: simulation time vs machines", fig5(&wl, &data));
+        emit(
+            "fig5",
+            "Figure 5: simulation time vs machines",
+            fig5(&wl, &data),
+        );
     }
     if targets.contains("fig6") {
         emit(

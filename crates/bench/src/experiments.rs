@@ -14,6 +14,7 @@
 //! compute/communication balance that determines speedups. `full` switches
 //! to the 4096-state, ≈1 M-gate decoder and the paper's vector counts.
 
+use dvs_core::engine::{map_indexed, Parallelism};
 use dvs_core::multiway::{partition_multiway_sweep, MultiwayConfig, MultiwayResult};
 use dvs_core::presim::{evaluate_partition, PresimConfig, PresimPoint};
 use dvs_core::report::{secs, speedup, Table};
@@ -39,6 +40,10 @@ pub struct ReproConfig {
     pub ks: Vec<u32>,
     pub bs: Vec<f64>,
     pub seed: u64,
+    /// Worker threads for the per-`k` grid fan-out (the b-sweep within one
+    /// `k` is a feasible-envelope carry and stays sequential). Purely a
+    /// host-performance knob: results are identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl ReproConfig {
@@ -52,6 +57,7 @@ impl ReproConfig {
             ks: vec![2, 3, 4],
             bs: vec![2.5, 5.0, 7.5, 10.0, 12.5, 15.0],
             seed: 0xD5,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -113,17 +119,19 @@ pub struct ReproData {
 }
 
 /// Run the full grid: partition (design-driven sweep + hMetis baseline) and
-/// pre-simulate every (k, b).
+/// pre-simulate every (k, b). The per-`k` column computations are
+/// independent, so they fan out over `cfg.parallelism` worker threads; the
+/// b-sweep within one `k` carries the feasible envelope forward and stays
+/// sequential. Results are identical for every thread count — columns are
+/// collected in `ks` order and nothing is seeded by schedule.
 pub fn compute_grid(wl: &Workload, cfg: &ReproConfig) -> ReproData {
     let nl = &wl.nl;
     let gh = gate_level(nl);
     let mut presim_cfg = PresimConfig::paper_defaults(nl.gate_count());
     presim_cfg.vectors = cfg.presim_vectors;
 
-    let mut grid = Vec::with_capacity(cfg.ks.len() * cfg.bs.len());
-    let mut seq_secs = 0.0f64;
-
-    for &k in &cfg.ks {
+    let columns = map_indexed(cfg.ks.len(), cfg.parallelism, |ki| {
+        let k = cfg.ks[ki];
         // Design-driven sweep over b (ascending; feasible-envelope).
         let base = MultiwayConfig {
             seed: cfg.seed,
@@ -134,6 +142,7 @@ pub fn compute_grid(wl: &Workload, cfg: &ReproConfig) -> ReproData {
         let dd_total = t0.elapsed();
         let dd_each = dd_total / cfg.bs.len() as u32;
 
+        let mut column = Vec::with_capacity(cfg.bs.len());
         for (bi, &b) in cfg.bs.iter().enumerate() {
             let dd = dd_sweep[bi].clone();
 
@@ -152,8 +161,7 @@ pub fn compute_grid(wl: &Workload, cfg: &ReproConfig) -> ReproData {
                 b,
                 &presim_cfg,
             );
-            seq_secs = presim.seq_seconds;
-            grid.push(GridPoint {
+            column.push(GridPoint {
                 k,
                 b,
                 dd,
@@ -163,7 +171,10 @@ pub fn compute_grid(wl: &Workload, cfg: &ReproConfig) -> ReproData {
                 presim,
             });
         }
-    }
+        column
+    });
+    let grid: Vec<GridPoint> = columns.into_iter().flatten().collect();
+    let seq_secs = grid.last().map_or(0.0, |g| g.presim.seq_seconds);
     ReproData {
         cfg: cfg.clone(),
         grid,
@@ -327,11 +338,7 @@ pub fn fig7(data: &ReproData) -> Table {
     per_b_by_machines(data, "Rollback number", |g| g.presim.rollbacks)
 }
 
-fn per_b_by_machines(
-    data: &ReproData,
-    what: &str,
-    f: impl Fn(&GridPoint) -> u64,
-) -> Table {
+fn per_b_by_machines(data: &ReproData, what: &str, f: impl Fn(&GridPoint) -> u64) -> Table {
     let mut headers = vec![format!("{what} / machines")];
     headers.extend(data.cfg.ks.iter().map(|k| k.to_string()));
     let mut t = Table::new(headers);
@@ -367,9 +374,7 @@ pub fn headline(wl: &Workload, data: &ReproData) -> Headline {
     let mut time_log = 0.0f64;
     for g in &data.grid {
         cut_log += (g.hm_cut.max(1) as f64 / g.dd.cut.max(1) as f64).ln();
-        time_log += (g.hm_time.as_secs_f64().max(1e-9)
-            / g.dd_time.as_secs_f64().max(1e-9))
-        .ln();
+        time_log += (g.hm_time.as_secs_f64().max(1e-9) / g.dd_time.as_secs_f64().max(1e-9)).ln();
     }
     let n = data.grid.len() as f64;
     let best_k = *data
@@ -410,10 +415,7 @@ pub fn regime_table(cfg: &ReproConfig) -> Table {
         "hMetis time (ms)",
     ]);
     let cases: Vec<(&str, String)> = vec![
-        (
-            "viterbi (shuffle trellis)",
-            generate_viterbi(&cfg.viterbi),
-        ),
+        ("viterbi (shuffle trellis)", generate_viterbi(&cfg.viterbi)),
         (
             "pipeline SoC (modular)",
             generate_pipeline_soc(&PipelineParams::default()),
@@ -426,10 +428,7 @@ pub fn regime_table(cfg: &ReproConfig) -> Table {
         let gh = gate_level(&nl);
         for k in [2u32, 4] {
             let t0 = Instant::now();
-            let dd = dvs_core::multiway::partition_multiway(
-                &nl,
-                &MultiwayConfig::new(k, 7.5),
-            );
+            let dd = dvs_core::multiway::partition_multiway(&nl, &MultiwayConfig::new(k, 7.5));
             let dd_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t0 = Instant::now();
             let hm = partition_kway(&gh.hg, k, &HmetisConfig::with_balance(7.5, cfg.seed));
@@ -466,6 +465,7 @@ mod tests {
         cfg.bs = vec![7.5, 15.0];
         cfg.presim_vectors = 60;
         cfg.full_vectors = 120;
+        cfg.parallelism = Parallelism::Serial;
         // A smaller decoder keeps this unit test fast.
         cfg.viterbi = ViterbiParams {
             constraint_len: 5,
@@ -478,6 +478,23 @@ mod tests {
         let wl = build_workload(&cfg);
         let data = compute_grid(&wl, &cfg);
         (wl, data)
+    }
+
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let (wl, serial_data) = quick_data();
+        let mut cfg = serial_data.cfg.clone();
+        cfg.parallelism = Parallelism::Threads(3);
+        let par_data = compute_grid(&wl, &cfg);
+        assert_eq!(serial_data.grid.len(), par_data.grid.len());
+        for (s, p) in serial_data.grid.iter().zip(&par_data.grid) {
+            assert_eq!((s.k, s.b.to_bits()), (p.k, p.b.to_bits()));
+            assert_eq!(s.dd.cut, p.dd.cut);
+            assert_eq!(s.dd.gate_blocks, p.dd.gate_blocks);
+            assert_eq!(s.hm_cut, p.hm_cut);
+            assert_eq!(s.presim.messages, p.presim.messages);
+            assert_eq!(s.presim.speedup.to_bits(), p.presim.speedup.to_bits());
+        }
     }
 
     #[test]

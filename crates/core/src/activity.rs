@@ -98,9 +98,8 @@ mod tests {
         // Two modules of equal gate count; `hot` toggles every cycle (fed by
         // the clock through an inverter chain), `cold` is fed by a constant
         // and never toggles after settling.
-        let mut src = String::from(
-            "module top(clk, y, z);\n input clk; output y, z;\n supply0 gnd;\n",
-        );
+        let mut src =
+            String::from("module top(clk, y, z);\n input clk; output y, z;\n supply0 gnd;\n");
         src.push_str(" chain hot (clk, y);\n");
         src.push_str(" chain cold (gnd, z);\n");
         src.push_str("endmodule\n");
@@ -113,7 +112,9 @@ mod tests {
             src.push_str(&format!(" not n{j} (t{}, t{j});\n", j + 1));
         }
         src.push_str(" buf bo (o, t12);\nendmodule\n");
-        dvs_verilog::parse_and_elaborate(&src).unwrap().into_netlist()
+        dvs_verilog::parse_and_elaborate(&src)
+            .unwrap()
+            .into_netlist()
     }
 
     #[test]
@@ -163,7 +164,10 @@ mod tests {
         let act = vec![5u64; 8];
         let blocks = vec![0, 0, 0, 0, 1, 1, 1, 1];
         assert!(event_imbalance(&act, &blocks, 2).abs() < 1e-12);
-        let skew = [0, 0, 0, 0, 1, 1, 1, 1].iter().map(|&b| b as u32).collect::<Vec<_>>();
+        let skew = [0, 0, 0, 0, 1, 1, 1, 1]
+            .iter()
+            .map(|&b| b as u32)
+            .collect::<Vec<_>>();
         let act2 = vec![10, 10, 10, 10, 1, 1, 1, 1];
         assert!(event_imbalance(&act2, &skew, 2) > 0.5);
     }

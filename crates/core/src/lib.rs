@@ -34,8 +34,10 @@
 //!   search of paper Fig. 3;
 //! * [`activity`] — the paper's future-work extension: profiled per-gate
 //!   activity as the load metric instead of gate counts;
-//! * [`pipeline`] — a one-call flow from Verilog source to a chosen,
-//!   simulated partition;
+//! * [`engine`] — deterministic fan-out of independent search candidates
+//!   over scoped worker threads;
+//! * [`pipeline`] — the [`Flow`]/[`FlowBuilder`] front door: Verilog source
+//!   (or netlist) to a chosen, simulated partition, with per-stage metrics;
 //! * [`report`] — fixed-width table rendering used by the reproduction
 //!   harness.
 //!
@@ -68,12 +70,15 @@
 
 pub mod activity;
 pub mod cone;
+pub mod engine;
 pub mod multiway;
 pub mod pairing;
 pub mod pipeline;
 pub mod presim;
 pub mod report;
 
+pub use engine::Parallelism;
 pub use multiway::{partition_multiway, MultiwayConfig, MultiwayResult};
 pub use pairing::PairingStrategy;
+pub use pipeline::{Flow, FlowBuilder, FlowConfig, FlowError, FlowMetrics, FlowReport, Search};
 pub use presim::{brute_force_presim, heuristic_presim, PresimConfig, PresimPoint};

@@ -19,7 +19,9 @@
 
 use crate::cone::cone_partition_scaled;
 use crate::pairing::{PairingState, PairingStrategy};
-use dvs_hypergraph::builder::{cut_size_gates, design_level_weighted, HierHypergraph, VertexOrigin};
+use dvs_hypergraph::builder::{
+    cut_size_gates, design_level_weighted, HierHypergraph, VertexOrigin,
+};
 use dvs_hypergraph::fm::{pairwise_fm, FmConfig};
 use dvs_hypergraph::partition::{BalanceConstraint, Partition};
 use dvs_verilog::flatten::Frontier;
@@ -82,6 +84,12 @@ pub struct MultiwayResult {
     pub fm_rounds: usize,
     /// Vertices in the final design-level hypergraph.
     pub final_vertices: usize,
+    /// Host seconds spent in cone partitioning (all restarts). A
+    /// measurement on the reproducing machine, not part of the model —
+    /// excluded from determinism comparisons.
+    pub cone_seconds: f64,
+    /// Host seconds spent in pairwise refinement (all restarts).
+    pub refine_seconds: f64,
 }
 
 /// Run the design-driven multiway partitioning algorithm with restarts,
@@ -108,6 +116,8 @@ pub fn partition_multiway_weighted(
     };
     let balance = BalanceConstraint::new(cfg.k, total, cfg.b_percent);
     let mut best: Option<MultiwayResult> = None;
+    let mut cone_seconds = 0.0;
+    let mut refine_seconds = 0.0;
     for r in 0..cfg.restarts.max(1) {
         let run_cfg = MultiwayConfig {
             // Cone partitioning is deterministic; vary the pairing seed and
@@ -117,6 +127,8 @@ pub fn partition_multiway_weighted(
             ..cfg.clone()
         };
         let candidate = partition_multiway_once(nl, &run_cfg, gate_weights);
+        cone_seconds += candidate.cone_seconds;
+        refine_seconds += candidate.refine_seconds;
         let key = (balance.violation(&candidate.loads), candidate.cut);
         let better = best
             .as_ref()
@@ -125,7 +137,12 @@ pub fn partition_multiway_weighted(
             best = Some(candidate);
         }
     }
-    best.expect("restarts >= 1")
+    let mut best = best.expect("restarts >= 1");
+    // The winner reports the work of the whole restart loop, not only its
+    // own restart, so callers see the true cost of this invocation.
+    best.cone_seconds = cone_seconds;
+    best.refine_seconds = refine_seconds;
+    best
 }
 
 /// Sweep the balance factor over `bs` (ascending) for a fixed `k`, carrying
@@ -134,7 +151,12 @@ pub fn partition_multiway_weighted(
 /// over all candidates feasible at each `b`. This is how the paper's Table 1
 /// row family should be read — the algorithm never has a reason to return a
 /// worse partition when the constraint relaxes.
-pub fn partition_multiway_sweep(nl: &Netlist, k: u32, bs: &[f64], base: &MultiwayConfig) -> Vec<MultiwayResult> {
+pub fn partition_multiway_sweep(
+    nl: &Netlist,
+    k: u32,
+    bs: &[f64],
+    base: &MultiwayConfig,
+) -> Vec<MultiwayResult> {
     let total = nl.gate_count() as u64;
     let mut results: Vec<MultiwayResult> = Vec::with_capacity(bs.len());
     let mut pool: Vec<MultiwayResult> = Vec::new();
@@ -151,7 +173,10 @@ pub fn partition_multiway_sweep(nl: &Netlist, k: u32, bs: &[f64], base: &Multiwa
             .iter()
             .filter(|r| balance.satisfied(&r.loads))
             .min_by_key(|r| r.cut)
-            .or_else(|| pool.iter().min_by_key(|r| (balance.violation(&r.loads), r.cut)))
+            .or_else(|| {
+                pool.iter()
+                    .min_by_key(|r| (balance.violation(&r.loads), r.cut))
+            })
             .expect("pool is non-empty")
             .clone();
         results.push(MultiwayResult {
@@ -178,17 +203,21 @@ fn partition_multiway_once(
     let mut hh = design_level_weighted(nl, &frontier, gate_weights);
     // Derive a cone-size perturbation from the seed so restarts explore
     // different initial partitions (0.7 .. 1.3 around the balanced target).
-    let frac = (cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
-        / (1u64 << 24) as f64;
+    let frac = (cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 / (1u64 << 24) as f64;
     let scale = 0.7 + 0.6 * frac;
+    let t_cone = std::time::Instant::now();
     let mut part = cone_partition_scaled(nl, &hh, cfg.k, scale);
+    let cone_seconds = t_cone.elapsed().as_secs_f64();
 
     let mut flattens = 0usize;
     let mut fm_rounds = 0usize;
+    let mut refine_seconds = 0.0f64;
 
     loop {
         // Iterative movement over pairings until no configuration is left.
+        let t_refine = std::time::Instant::now();
         refine_all_pairs(&hh, &mut part, &balance, cfg, &mut fm_rounds);
+        refine_seconds += t_refine.elapsed().as_secs_f64();
 
         if balance.satisfied(part.block_weights()) {
             break;
@@ -229,6 +258,8 @@ fn partition_multiway_once(
         flattens,
         fm_rounds,
         final_vertices: hh.hg.vertex_count(),
+        cone_seconds,
+        refine_seconds,
     }
 }
 
@@ -287,9 +318,7 @@ fn pick_flatten_victim(
         if best_any.is_none_or(|(bw, _)| w > bw) {
             best_any = Some(entry);
         }
-        if part.block_weight(part.block_of(v)) > upper
-            && best_over.is_none_or(|(bw, _)| w > bw)
-        {
+        if part.block_weight(part.block_of(v)) > upper && best_over.is_none_or(|(bw, _)| w > bw) {
             best_over = Some(entry);
         }
     }

@@ -166,11 +166,7 @@ mod tests {
     fn fm_cfg(hg: &Hypergraph, k: u32) -> FmConfig {
         FmConfig {
             max_passes: 2,
-            bounds: BlockBounds::uniform(&BalanceConstraint::new(
-                k,
-                hg.total_vweight(),
-                25.0,
-            )),
+            bounds: BlockBounds::uniform(&BalanceConstraint::new(k, hg.total_vweight(), 25.0)),
         }
     }
 

@@ -17,12 +17,15 @@
 //!   paper's pseudo-code returns the loop's final indices; we return the
 //!   argmax it tracked, which is its evident intent.)
 
+use crate::engine::{map_indexed, mix_seed, Parallelism};
 use crate::multiway::{partition_multiway, MultiwayConfig};
 use crate::pairing::PairingStrategy;
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_verilog::netlist::Netlist;
+use std::cmp::Ordering;
+use std::time::Instant;
 
 /// Pre-simulation parameters.
 #[derive(Debug, Clone)]
@@ -56,6 +59,26 @@ impl PresimConfig {
     }
 }
 
+/// Host-side cost of producing one [`PresimPoint`]: wall time per stage and
+/// the partitioner's work counters. Wall times are measurements on the
+/// reproducing machine (they vary run to run and are excluded from
+/// determinism comparisons); the counters are deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointTiming {
+    /// Seconds spent partitioning (cone + refinement + flattening).
+    pub partition_seconds: f64,
+    /// Seconds of `partition_seconds` spent in cone partitioning.
+    pub cone_seconds: f64,
+    /// Seconds of `partition_seconds` spent in pairwise FM refinement.
+    pub refine_seconds: f64,
+    /// Seconds spent pre-simulating the partition under the cluster model.
+    pub simulate_seconds: f64,
+    /// Super-gates flattened while partitioning (deterministic counter).
+    pub flattens: usize,
+    /// Pairwise FM invocations while partitioning (deterministic counter).
+    pub fm_rounds: usize,
+}
+
 /// One evaluated (k, b) data point — a row of the paper's Table 3.
 #[derive(Debug, Clone)]
 pub struct PresimPoint {
@@ -77,18 +100,40 @@ pub struct PresimPoint {
     /// The partition itself, for reuse in the full simulation.
     pub gate_blocks: Vec<u32>,
     pub balanced: bool,
+    /// Host cost of producing this point.
+    pub timing: PointTiming,
+}
+
+/// The partitioner seed used for the point `(k, b)`: a pure function of the
+/// configured `part_seed`, the point's coordinates and the stimulus seed.
+/// Deriving the seed per point (instead of sharing one seed across the
+/// sweep) is what lets the search engine evaluate points on any number of
+/// threads, in any completion order, and still produce bit-identical
+/// results — no point's RNG stream depends on which points ran before it.
+pub fn point_seed(k: u32, b: f64, cfg: &PresimConfig) -> u64 {
+    cfg.part_seed ^ mix_seed(k as u64, b.to_bits(), cfg.stim_seed)
 }
 
 /// Partition for (k, b) and evaluate it with `vectors` pre-simulation
-/// vectors under the cluster model.
+/// vectors under the cluster model. The partitioner is seeded with
+/// [`point_seed`], so the result is a pure function of
+/// `(nl, k, b, cfg)` — independent of evaluation order or thread count.
 pub fn presim_point(nl: &Netlist, k: u32, b: f64, cfg: &PresimConfig) -> PresimPoint {
     let mcfg = MultiwayConfig {
         pairing: cfg.pairing,
-        seed: cfg.part_seed,
+        seed: point_seed(k, b, cfg),
         ..MultiwayConfig::new(k, b)
     };
+    let t_part = Instant::now();
     let part = partition_multiway(nl, &mcfg);
-    evaluate_partition(nl, part.gate_blocks, part.cut, part.balanced, k, b, cfg)
+    let partition_seconds = t_part.elapsed().as_secs_f64();
+    let mut point = evaluate_partition(nl, part.gate_blocks, part.cut, part.balanced, k, b, cfg);
+    point.timing.partition_seconds = partition_seconds;
+    point.timing.cone_seconds = part.cone_seconds;
+    point.timing.refine_seconds = part.refine_seconds;
+    point.timing.flattens = part.flattens;
+    point.timing.fm_rounds = part.fm_rounds;
+    point
 }
 
 /// Evaluate an existing per-gate partition (used for the hMetis baseline
@@ -102,10 +147,12 @@ pub fn evaluate_partition(
     b: f64,
     cfg: &PresimConfig,
 ) -> PresimPoint {
+    let t_sim = Instant::now();
     let plan = ClusterPlan::new(nl, &gate_blocks, k as usize);
     let model = ClusterModel::new(nl, plan, cfg.model.clone());
     let stim = VectorStimulus::from_netlist(nl, cfg.period, cfg.stim_seed);
     let run = model.run(&stim, cfg.vectors);
+    let simulate_seconds = t_sim.elapsed().as_secs_f64();
     PresimPoint {
         k,
         b,
@@ -119,63 +166,107 @@ pub fn evaluate_partition(
         machine_rollbacks: run.machine_rollbacks,
         gate_blocks,
         balanced,
+        timing: PointTiming {
+            simulate_seconds,
+            ..PointTiming::default()
+        },
     }
 }
 
-/// Evaluate every (k, b) combination — the full Table 3 sweep.
+/// Evaluate every (k, b) combination — the full Table 3 sweep — on the
+/// calling thread. Equivalent to [`brute_force_presim_par`] with
+/// [`Parallelism::Serial`].
 pub fn brute_force_presim(
     nl: &Netlist,
     ks: &[u32],
     bs: &[f64],
     cfg: &PresimConfig,
 ) -> Vec<PresimPoint> {
-    let mut out = Vec::with_capacity(ks.len() * bs.len());
-    for &k in ks {
-        for &b in bs {
-            out.push(presim_point(nl, k, b, cfg));
-        }
-    }
-    out
+    brute_force_presim_par(nl, ks, bs, cfg, Parallelism::Serial)
 }
 
-/// The best point by speedup (the paper's Table 4 selection).
+/// Evaluate every (k, b) combination with up to `par` worker threads.
+/// Points are returned in grid order (`ks` major, `bs` minor) and each
+/// point's partitioner is seeded by [`point_seed`], so the output is
+/// bit-identical for every thread count.
+pub fn brute_force_presim_par(
+    nl: &Netlist,
+    ks: &[u32],
+    bs: &[f64],
+    cfg: &PresimConfig,
+    par: Parallelism,
+) -> Vec<PresimPoint> {
+    let jobs = ks.len() * bs.len();
+    map_indexed(jobs, par, |i| {
+        let k = ks[i / bs.len()];
+        let b = bs[i % bs.len()];
+        presim_point(nl, k, b, cfg)
+    })
+}
+
+/// Canonical "is `a` better than `b`" ordering over pre-simulation points:
+/// higher speedup wins; exact speedup ties go to fewer machines, then to the
+/// tighter balance factor. A total order over distinct grid points, so the
+/// selected winner never depends on evaluation order or thread count.
+pub fn compare_points(a: &PresimPoint, b: &PresimPoint) -> Ordering {
+    a.speedup
+        .partial_cmp(&b.speedup)
+        .expect("finite speedups")
+        .then_with(|| b.k.cmp(&a.k))
+        .then_with(|| b.b.partial_cmp(&a.b).expect("finite balance factors"))
+}
+
+/// The best point by speedup (the paper's Table 4 selection), with the
+/// deterministic tie-breaking of [`compare_points`].
 pub fn best_point(points: &[PresimPoint]) -> Option<&PresimPoint> {
-    points
-        .iter()
-        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite speedups"))
+    points.iter().max_by(|a, b| compare_points(a, b))
 }
 
 /// The heuristic search of paper Fig. 3. Returns the best point found and
-/// the number of pre-simulation runs spent.
+/// the number of pre-simulation runs spent. Equivalent to running
+/// [`heuristic_presim_points`] serially and selecting with [`best_point`].
 pub fn heuristic_presim(nl: &Netlist, max_k: u32, cfg: &PresimConfig) -> (PresimPoint, usize) {
+    let points = heuristic_presim_points(nl, max_k, cfg, Parallelism::Serial);
+    let runs = points.len();
+    let best = best_point(&points).expect("at least one run").clone();
+    (best, runs)
+}
+
+/// Every point the Fig. 3 heuristic evaluates, with the per-`k` b-sweeps
+/// fanned out over `par` worker threads. Within one `k` the sweep stays
+/// sequential — the paper's early stop ("increase b until the speedup
+/// decreases for the first time") depends on the previous point — but
+/// different `k` sweeps are independent. Points are returned in the serial
+/// scan order (k descending from `max_k`, b ascending within each k), so
+/// the output is identical for every thread count.
+pub fn heuristic_presim_points(
+    nl: &Netlist,
+    max_k: u32,
+    cfg: &PresimConfig,
+    par: Parallelism,
+) -> Vec<PresimPoint> {
     assert!(max_k >= 2);
-    let mut best: Option<PresimPoint> = None;
-    let mut runs = 0usize;
-    let mut k = max_k;
-    while k >= 2 {
+    let jobs = (max_k - 1) as usize;
+    let sweeps = map_indexed(jobs, par, |i| {
+        let k = max_k - i as u32;
         // "Allow b to vary from 7.5 to 15 … increase b until the speedup
         // decreases for the first time and halt when this happens."
+        let mut sweep = Vec::new();
         let mut prev_speedup = f64::NEG_INFINITY;
         let mut b = 7.5;
         while b < 15.0 {
             let point = presim_point(nl, k, b, cfg);
-            runs += 1;
             let speedup = point.speedup;
-            if best
-                .as_ref()
-                .is_none_or(|bp| point.speedup > bp.speedup)
-            {
-                best = Some(point);
-            }
+            sweep.push(point);
             if speedup <= prev_speedup {
                 break; // first decrease for this k
             }
             prev_speedup = speedup;
             b += 2.5;
         }
-        k -= 1;
-    }
-    (best.expect("at least one run"), runs)
+        sweep
+    });
+    sweeps.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -254,20 +345,54 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_matches_serial_grid() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let ks = [2u32, 3, 4];
+        let bs = [7.5, 10.0, 12.5];
+        let serial = brute_force_presim_par(&nl, &ks, &bs, &cfg, Parallelism::Serial);
+        let par = brute_force_presim_par(&nl, &ks, &bs, &cfg, Parallelism::Threads(4));
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!((s.k, s.b.to_bits()), (p.k, p.b.to_bits()));
+            assert_eq!(s.gate_blocks, p.gate_blocks);
+            assert_eq!(s.cut, p.cut);
+            assert_eq!(s.messages, p.messages);
+            assert_eq!(s.rollbacks, p.rollbacks);
+            assert_eq!(s.speedup.to_bits(), p.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_heuristic_matches_serial_heuristic() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let serial = heuristic_presim_points(&nl, 4, &cfg, Parallelism::Serial);
+        let par = heuristic_presim_points(&nl, 4, &cfg, Parallelism::Threads(3));
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!((s.k, s.b.to_bits()), (p.k, p.b.to_bits()));
+            assert_eq!(s.gate_blocks, p.gate_blocks);
+            assert_eq!(s.speedup.to_bits(), p.speedup.to_bits());
+        }
+    }
+
+    #[test]
+    fn point_seed_is_a_pure_function_of_the_point() {
+        let cfg = PresimConfig::paper_defaults(64);
+        assert_eq!(point_seed(2, 7.5, &cfg), point_seed(2, 7.5, &cfg));
+        assert_ne!(point_seed(2, 7.5, &cfg), point_seed(3, 7.5, &cfg));
+        assert_ne!(point_seed(2, 7.5, &cfg), point_seed(2, 10.0, &cfg));
+    }
+
+    #[test]
     fn evaluate_partition_matches_presim_point() {
         // The shared measurement path must agree with the combined call.
         let nl = pipeline_netlist();
         let cfg = quick_cfg(&nl);
         let p = presim_point(&nl, 2, 10.0, &cfg);
-        let again = evaluate_partition(
-            &nl,
-            p.gate_blocks.clone(),
-            p.cut,
-            p.balanced,
-            2,
-            10.0,
-            &cfg,
-        );
+        let again =
+            evaluate_partition(&nl, p.gate_blocks.clone(), p.cut, p.balanced, 2, 10.0, &cfg);
         assert_eq!(p.messages, again.messages);
         assert!((p.sim_seconds - again.sim_seconds).abs() < 1e-12);
     }

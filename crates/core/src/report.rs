@@ -83,6 +83,55 @@ impl Table {
     }
 }
 
+/// Render a flow's per-stage metrics as a two-column table: one row per
+/// stage wall time, then the work counters. Host measurements, so the
+/// values differ between runs and thread counts — the table is for humans
+/// profiling the reproduction, not for comparisons.
+pub fn metrics_table(m: &crate::pipeline::FlowMetrics) -> Table {
+    let mut t = Table::new(vec!["stage", "value"]);
+    t.row(vec![
+        "parse+elaborate (s)".to_string(),
+        format!("{:.4}", m.parse_elaborate_seconds),
+    ]);
+    t.row(vec![
+        "cone partition (s)".to_string(),
+        format!("{:.4}", m.cone_partition_seconds),
+    ]);
+    t.row(vec![
+        "pairwise refine (s)".to_string(),
+        format!("{:.4}", m.pairwise_refine_seconds),
+    ]);
+    for pc in &m.point_costs {
+        t.row(vec![
+            format!("presim k={} b={} (s)", pc.k, pc.b),
+            format!("{:.4}", pc.seconds),
+        ]);
+    }
+    t.row(vec![
+        "(k, b) search wall (s)".to_string(),
+        format!("{:.4}", m.search_seconds),
+    ]);
+    t.row(vec![
+        "full run (s)".to_string(),
+        format!("{:.4}", m.full_run_seconds),
+    ]);
+    t.row(vec![
+        "total (s)".to_string(),
+        format!("{:.4}", m.total_seconds),
+    ]);
+    t.row(vec![
+        "flatten events".to_string(),
+        m.flatten_events.to_string(),
+    ]);
+    t.row(vec!["FM passes".to_string(), m.fm_passes.to_string()]);
+    t.row(vec!["presim runs".to_string(), m.presim_runs.to_string()]);
+    t.row(vec![
+        "search workers".to_string(),
+        m.search_workers.to_string(),
+    ]);
+    t
+}
+
 /// Format seconds like the paper's tables (two decimals).
 pub fn secs(s: f64) -> String {
     format!("{s:.2}")
@@ -129,5 +178,34 @@ mod tests {
     fn number_formatting() {
         assert_eq!(secs(38.9321), "38.93");
         assert_eq!(speedup(1.957), "1.96");
+    }
+
+    #[test]
+    fn metrics_table_lists_every_stage_and_counter() {
+        let m = crate::pipeline::FlowMetrics {
+            point_costs: vec![crate::pipeline::PointCost {
+                k: 2,
+                b: 7.5,
+                seconds: 0.25,
+            }],
+            flatten_events: 3,
+            fm_passes: 17,
+            presim_runs: 1,
+            search_workers: 4,
+            ..Default::default()
+        };
+        let s = metrics_table(&m).render();
+        for needle in [
+            "parse+elaborate",
+            "cone partition",
+            "pairwise refine",
+            "presim k=2 b=7.5",
+            "full run",
+            "flatten events",
+            "FM passes",
+            "search workers",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
     }
 }

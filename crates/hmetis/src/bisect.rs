@@ -65,8 +65,7 @@ fn vcycle(
     fm_cfg: &FmConfig,
     rng: &mut impl Rng,
 ) -> Partition {
-    let max_cluster_w =
-        ((hg.total_vweight() as f64 * cfg.max_cluster_frac).ceil() as u64).max(1);
+    let max_cluster_w = ((hg.total_vweight() as f64 * cfg.max_cluster_frac).ceil() as u64).max(1);
     let mut ladder: Vec<Contraction> = Vec::new();
     let mut cur = hg.clone();
     let mut cur_assign = part.assignment().to_vec();
@@ -106,7 +105,11 @@ pub fn refine_down(
     }
     for (idx, c) in ladder.iter().enumerate().rev() {
         assign = c.uncontract_assignment(&assign);
-        let fine: &Hypergraph = if idx == 0 { hg } else { &ladder[idx - 1].coarse };
+        let fine: &Hypergraph = if idx == 0 {
+            hg
+        } else {
+            &ladder[idx - 1].coarse
+        };
         let mut p = Partition::from_assignment(fine, 2, assign);
         pairwise_fm(fine, &mut p, 0, 1, fm_cfg);
         assign = p.assignment().to_vec();
@@ -150,8 +153,7 @@ mod tests {
     #[test]
     fn bisection_finds_the_bottleneck() {
         let hg = dumbbell();
-        let bounds =
-            BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 10.0));
+        let bounds = BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 10.0));
         let cfg = HmetisConfig::default();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let part = multilevel_bisect(&hg, &bounds, &cfg, &mut rng);
@@ -166,8 +168,7 @@ mod tests {
     #[test]
     fn bisection_is_deterministic_given_seed() {
         let hg = dumbbell();
-        let bounds =
-            BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 10.0));
+        let bounds = BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 10.0));
         let cfg = HmetisConfig::default();
         let p1 = multilevel_bisect(
             &hg,

@@ -43,8 +43,7 @@ pub fn coarsen_ladder(
     rng: &mut impl Rng,
 ) -> (Vec<Contraction>, Hypergraph) {
     // Cap clusters to a fraction of a balanced bisection side.
-    let max_cluster_w =
-        ((hg.total_vweight() as f64 * cfg.max_cluster_frac).ceil() as u64).max(1);
+    let max_cluster_w = ((hg.total_vweight() as f64 * cfg.max_cluster_frac).ceil() as u64).max(1);
     let mut ladder = Vec::new();
     let mut cur = hg.clone();
     while let Some(c) = coarsen_level(&cur, cfg, max_cluster_w, rng) {
@@ -150,7 +149,11 @@ fn edge_matching(
 
 /// Renumber arbitrary representative ids to a dense `0..n` range.
 fn renumber(cluster_of: &[u32]) -> (Vec<u32>, usize) {
-    let width = cluster_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let width = cluster_of
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut remap = vec![u32::MAX; width];
     let mut next = 0u32;
     let mut out = Vec::with_capacity(cluster_of.len());

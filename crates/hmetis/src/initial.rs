@@ -124,15 +124,18 @@ mod tests {
     #[test]
     fn initial_bisection_is_feasible_and_cut_small() {
         let hg = ring(32);
-        let bounds =
-            BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 10.0));
+        let bounds = BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 10.0));
         let cfg = HmetisConfig::default();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let part = initial_bisection(&hg, &bounds, &cfg, &mut rng);
         assert!(bounds.satisfied(part.block_weights()));
         // A ring's optimal bisection cut is 2; FM from BFS growth should be
         // at or near it.
-        assert!(part.hyperedge_cut(&hg) <= 4, "cut {}", part.hyperedge_cut(&hg));
+        assert!(
+            part.hyperedge_cut(&hg) <= 4,
+            "cut {}",
+            part.hyperedge_cut(&hg)
+        );
     }
 
     #[test]
@@ -162,8 +165,7 @@ mod tests {
             b.add_edge([v[10 + i], v[10 + (i + 1) % 10]], 1);
         }
         let hg = b.build();
-        let bounds =
-            BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 5.0));
+        let bounds = BlockBounds::uniform(&BalanceConstraint::new(2, hg.total_vweight(), 5.0));
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let assign = bfs_grow(&hg, &bounds, &mut rng);
         let part = Partition::from_assignment(&hg, 2, assign);

@@ -61,7 +61,10 @@ fn recurse(
     let lo1 = (mr as u64 * glo).min(sub_total);
     let hi1 = (mr as u64 * ghi).min(sub_total);
     let bounds = BlockBounds {
-        lower: vec![lo0.max(sub_total.saturating_sub(hi1)), lo1.max(sub_total.saturating_sub(hi0))],
+        lower: vec![
+            lo0.max(sub_total.saturating_sub(hi1)),
+            lo1.max(sub_total.saturating_sub(hi0)),
+        ],
         upper: vec![hi0, hi1],
     };
 
@@ -189,8 +192,7 @@ mod tests {
         assert!(c.satisfied(part.block_weights()));
         assert_eq!(part.k(), 3);
         // All three blocks used.
-        let used: std::collections::HashSet<u32> =
-            part.assignment().iter().copied().collect();
+        let used: std::collections::HashSet<u32> = part.assignment().iter().copied().collect();
         assert_eq!(used.len(), 3);
     }
 

@@ -263,9 +263,9 @@ mod tests {
         let nl = d.netlist();
         let gh = gate_level(nl);
         assert_eq!(gh.hg.vertex_count(), 5); // and + 2*(not+buf)
-        // Nets: a, b feed g0 only... a: driver none, readers {g0} → 1 pin,
-        // dropped. t: driver g0, readers n0(p0), n0(p1) → 3 pins. m in each
-        // pair: 2 pins. y, z: 1 pin each (no readers) → dropped.
+                                             // Nets: a, b feed g0 only... a: driver none, readers {g0} → 1 pin,
+                                             // dropped. t: driver g0, readers n0(p0), n0(p1) → 3 pins. m in each
+                                             // pair: 2 pins. y, z: 1 pin each (no readers) → dropped.
         assert_eq!(gh.hg.edge_count(), 3);
         assert_eq!(gh.gate_vertex.len(), 5);
         assert!(gh
@@ -301,8 +301,8 @@ mod tests {
         let dh = design_level(nl, &f);
         // p0's two gates are now loose vertices (p0 has no children).
         assert_eq!(dh.hg.vertex_count(), 4); // p1 + g0 + not + buf
-        // Net m inside old p0 is now visible: edges t and m... but m has 2
-        // pins (n0, b0) both loose now → edge kept.
+                                             // Net m inside old p0 is now visible: edges t and m... but m has 2
+                                             // pins (n0, b0) both loose now → edge kept.
         assert_eq!(dh.hg.edge_count(), 2);
     }
 

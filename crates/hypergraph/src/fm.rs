@@ -172,12 +172,16 @@ fn run_pass(
             let part_ref = &*part;
             let side = &st.side;
             table.find_max(|v| {
-                let (from, to) = if side[v as usize] == 1 { (a, b) } else { (b, a) };
+                let (from, to) = if side[v as usize] == 1 {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 let w = hg.vweight(VertexId(v));
                 let new_from = part_ref.block_weight(from) - w;
                 let new_to = part_ref.block_weight(to) + w;
-                let new_viol = bounds.block_violation(from, new_from)
-                    + bounds.block_violation(to, new_to);
+                let new_viol =
+                    bounds.block_violation(from, new_from) + bounds.block_violation(to, new_to);
                 new_viol <= cur_violation.max(excursion)
             })
         };

@@ -64,13 +64,7 @@ impl BalanceConstraint {
         let hi = self.upper();
         weights
             .iter()
-            .map(|&w| {
-                if w < lo {
-                    lo - w
-                } else {
-                    w.saturating_sub(hi)
-                }
-            })
+            .map(|&w| if w < lo { lo - w } else { w.saturating_sub(hi) })
             .sum()
     }
 }
@@ -231,9 +225,7 @@ impl Partition {
     /// Hyperedge cut: number of edges spanning more than one block — the
     /// metric of the paper's Tables 1 and 2 (unweighted) .
     pub fn hyperedge_cut(&self, hg: &Hypergraph) -> u64 {
-        hg.edges()
-            .filter(|&e| self.edge_span(hg, e) > 1)
-            .count() as u64
+        hg.edges().filter(|&e| self.edge_span(hg, e) > 1).count() as u64
     }
 
     /// Weighted hyperedge cut: sum of edge weights over cut edges.
@@ -385,7 +377,7 @@ mod tests {
         assert_eq!(p.block_weight(1), 3);
         assert_eq!(p.block_of(VertexId(1)), 1);
         assert_eq!(p.hyperedge_cut(&hg), 1); // cut moved to e0
-        // Move back.
+                                             // Move back.
         p.move_vertex(&hg, VertexId(1), 0);
         assert_eq!(p.block_weights(), &[2, 2]);
     }

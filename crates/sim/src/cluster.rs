@@ -80,9 +80,7 @@ impl ClusterPlan {
                     scratch[dst as usize] = true;
                 }
             }
-            let dests: Vec<u32> = (0..k as u32)
-                .filter(|&b| scratch[b as usize])
-                .collect();
+            let dests: Vec<u32> = (0..k as u32).filter(|&b| scratch[b as usize]).collect();
             if !dests.is_empty() {
                 for &d in &dests {
                     clusters[d as usize].imports.push(net);

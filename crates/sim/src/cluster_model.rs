@@ -32,6 +32,7 @@ use crate::stats::SimStats;
 use crate::stimulus::VectorStimulus;
 use crate::wheel::VTime;
 use dvs_verilog::netlist::{GateId, NetId, Netlist};
+use std::time::Instant;
 
 /// Cost model constants. Defaults approximate the paper's testbed: a 1 GHz
 /// Athlon evaluating roughly one gate event per microsecond, MPICH-over-TCP
@@ -91,6 +92,18 @@ impl ClusterModelConfig {
     }
 }
 
+/// Host wall-clock cost of one modeled cluster run, split by stage. These
+/// are *measurement* times on the machine running the reproduction, not
+/// modeled cluster times — they vary run to run and must never enter any
+/// determinism comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTiming {
+    /// Seconds spent profiling the workload with the sequential kernel.
+    pub profile_seconds: f64,
+    /// Seconds spent meta-simulating the machines' wall clocks.
+    pub model_seconds: f64,
+}
+
 /// Result of a modeled cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterRun {
@@ -109,6 +122,8 @@ pub struct ClusterRun {
     pub machine_rollbacks: Vec<u64>,
     /// Exact per-machine sent-message counts.
     pub machine_messages: Vec<u64>,
+    /// Host wall-clock cost of producing this run (profiling + modeling).
+    pub timing: RunTiming,
 }
 
 /// Profiling observer: attributes gate events and cut-net toggles to
@@ -203,6 +218,7 @@ impl<'a> ClusterModel<'a> {
         };
 
         // Exact workload profile from the sequential kernel.
+        let t_profile = Instant::now();
         let sim_cfg = SimConfig {
             cycles,
             init_zero: true,
@@ -210,8 +226,10 @@ impl<'a> ClusterModel<'a> {
         let mut sim = SeqSim::new(self.nl, &sim_cfg);
         sim.run(stim, cycles, &mut prof);
         let base = sim.stats().clone();
+        let profile_seconds = t_profile.elapsed().as_secs_f64();
 
         // Meta-simulate the machines' wall clocks.
+        let t_model = Instant::now();
         let ev_ns = match self.cfg.calibrate_seq_ns_per_cycle {
             Some(per_cycle) if base.gate_evals > 0 && cycles > 0 => {
                 per_cycle * cycles as f64 / base.gate_evals as f64
@@ -300,6 +318,10 @@ impl<'a> ClusterModel<'a> {
             machine_events,
             machine_rollbacks: rollbacks,
             machine_messages,
+            timing: RunTiming {
+                profile_seconds,
+                model_seconds: t_model.elapsed().as_secs_f64(),
+            },
         }
     }
 }
@@ -347,6 +369,8 @@ mod tests {
         assert_eq!(run.stats.rollbacks, 0);
         assert!((run.speedup - 1.0).abs() < 1e-9);
         assert!(run.wall_seconds > 0.0);
+        assert!(run.timing.profile_seconds > 0.0);
+        assert!(run.timing.model_seconds >= 0.0);
     }
 
     #[test]
@@ -361,10 +385,7 @@ mod tests {
         assert_eq!(r1.stats.messages, r2.stats.messages);
         assert_eq!(r1.stats.rollbacks, r2.stats.rollbacks);
         assert!(r1.stats.messages > 0, "split pipeline must communicate");
-        assert_eq!(
-            r1.machine_events.iter().sum::<u64>(),
-            r1.stats.gate_evals
-        );
+        assert_eq!(r1.machine_events.iter().sum::<u64>(), r1.stats.gate_evals);
     }
 
     #[test]

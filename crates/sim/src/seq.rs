@@ -176,8 +176,7 @@ impl<'a> SeqSim<'a> {
                             GateKind::Dffr => {
                                 // Rising clock edge, or any change of the
                                 // asynchronous reset.
-                                let is_clk_edge =
-                                    gate.inputs[0] == net && is_posedge(old, new);
+                                let is_clk_edge = gate.inputs[0] == net && is_posedge(old, new);
                                 let is_rst_change = gate.inputs[1] == net;
                                 if is_clk_edge || is_rst_change {
                                     if seen[g.idx()] != stamp {
@@ -295,10 +294,8 @@ mod tests {
 
     #[test]
     fn inverter_follows_input() {
-        let d = parse_and_elaborate(
-            "module top(a, y); input a; output y; not n (y, a); endmodule",
-        )
-        .unwrap();
+        let d = parse_and_elaborate("module top(a, y); input a; output y; not n (y, a); endmodule")
+            .unwrap();
         let nl = d.into_netlist();
         let mut sim = SeqSim::new(&nl, &SimConfig::default());
         let stim = VectorStimulus::from_netlist(&nl, 10, 3);

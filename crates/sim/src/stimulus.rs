@@ -56,7 +56,8 @@ impl VectorStimulus {
     #[inline]
     pub fn bit(&self, net: NetId, cycle: u64) -> Logic {
         let h = splitmix64(
-            self.seed ^ splitmix64(net.0 as u64 ^ 0xA076_1D64_78BD_642F)
+            self.seed
+                ^ splitmix64(net.0 as u64 ^ 0xA076_1D64_78BD_642F)
                 ^ splitmix64(cycle ^ 0xE703_7ED1_A0B4_28DB),
         );
         Logic::from_bool(h & 1 == 1)

@@ -149,14 +149,8 @@ pub fn run_timewarp(
             let cfg = cfg.clone();
             let stim = stim.clone();
             handles.push(scope.spawn(move || {
-                let mut proc = ClusterProcess::new(
-                    nl,
-                    plan_ref,
-                    me as u32,
-                    stim,
-                    cycles,
-                    cfg.state_saving,
-                );
+                let mut proc =
+                    ClusterProcess::new(nl, plan_ref, me as u32, stim, cycles, cfg.state_saving);
                 worker_loop(&mut proc, rx, &senders, &shared, &cfg, me);
                 (proc.take_stats(), proc.into_values())
             }));

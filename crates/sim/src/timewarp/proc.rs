@@ -416,11 +416,7 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
 
     /// Process the earliest pending epoch if its time is ≤ `limit`.
     /// Returns `false` when idle or throttled.
-    pub fn process_next_epoch(
-        &mut self,
-        limit: VTime,
-        send: &mut impl FnMut(TwMessage),
-    ) -> bool {
+    pub fn process_next_epoch(&mut self, limit: VTime, send: &mut impl FnMut(TwMessage)) -> bool {
         if !self.settled {
             self.settle(send);
         }
@@ -437,8 +433,7 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
                     return false; // idle
                 }
                 Some(t) => {
-                    if self.stim_cycle < self.cycles && t >= self.stim_cycle * self.stim.period
-                    {
+                    if self.stim_cycle < self.cycles && t >= self.stim_cycle * self.stim.period {
                         self.gen_stimulus();
                         continue;
                     }
@@ -573,7 +568,13 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
                 let lseq = self.lseq;
                 self.lseq += 1;
                 self.sched_log.push((t, lseq));
-                self.push_pending(ev, Source::Local { created_at: t, lseq });
+                self.push_pending(
+                    ev,
+                    Source::Local {
+                        created_at: t,
+                        lseq,
+                    },
+                );
                 self.emit(t, ev, send);
             }
         }

@@ -240,7 +240,11 @@ mod tests {
         assert_eq!(rec.tracked_count(), 1);
         run_recorded(&mut rec, 8);
         // q toggles once per cycle.
-        assert!((7..=9).contains(&rec.change_count()), "{}", rec.change_count());
+        assert!(
+            (7..=9).contains(&rec.change_count()),
+            "{}",
+            rec.change_count()
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn assert_tw_matches_seq(nl: &Netlist, gate_blocks: &[u32], k: usize, cycles: u6
         }
     }
     // Sanity on bookkeeping.
-    assert!(tw.stats.events >= seq.stats().events, "TW reprocesses, never skips");
+    assert!(
+        tw.stats.events >= seq.stats().events,
+        "TW reprocesses, never skips"
+    );
 }
 
 /// A sequential circuit with cross-partition feedback: a 4-bit ripple

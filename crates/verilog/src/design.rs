@@ -182,7 +182,10 @@ struct Elaborator<'a> {
 pub fn elaborate(unit: &SourceUnit, opts: &ElabOptions) -> Result<Design> {
     let mut modules = HashMap::new();
     for m in &unit.modules {
-        if modules.insert(m.name.as_str(), ModuleInfo::build(m)?).is_some() {
+        if modules
+            .insert(m.name.as_str(), ModuleInfo::build(m)?)
+            .is_some()
+        {
             return Err(Error::elab(format!("module `{}` defined twice", m.name)));
         }
     }
@@ -450,12 +453,9 @@ impl<'a> Elaborator<'a> {
                 .ok_or_else(|| Error::elab(format!("`{path}`: undeclared signal `{name}`"))),
             Expr::BitSelect(name, idx) => {
                 let b = self.lookup(name, path, net_map)?;
-                let off = b
-                    .range
-                    .and_then(|r| r.offset_of(*idx))
-                    .ok_or_else(|| {
-                        Error::elab(format!("`{path}`: bit select `{name}[{idx}]` out of range"))
-                    })?;
+                let off = b.range.and_then(|r| r.offset_of(*idx)).ok_or_else(|| {
+                    Error::elab(format!("`{path}`: bit select `{name}[{idx}]` out of range"))
+                })?;
                 Ok(vec![b.bits[off as usize]])
             }
             Expr::PartSelect(name, sel) => {
@@ -534,13 +534,7 @@ impl<'a> Elaborator<'a> {
         Ok(gid)
     }
 
-    fn scalar(
-        &mut self,
-        e: &Expr,
-        path: &str,
-        net_map: &NetMap,
-        what: &str,
-    ) -> Result<NetId> {
+    fn scalar(&mut self, e: &Expr, path: &str, net_map: &NetMap, what: &str) -> Result<NetId> {
         let bits = self.resolve_expr(e, path, net_map)?;
         if bits.len() != 1 {
             return Err(Error::elab(format!(

@@ -63,7 +63,8 @@ impl Frontier {
             return false;
         };
         self.nodes.swap_remove(pos);
-        self.nodes.extend(nl.instances[node.idx()].children.iter().copied());
+        self.nodes
+            .extend(nl.instances[node.idx()].children.iter().copied());
         true
     }
 
@@ -83,10 +84,7 @@ impl Frontier {
                 inst_label[sub.idx()] = Some(fi as u32);
             }
         }
-        nl.gates
-            .iter()
-            .map(|g| inst_label[g.owner.idx()])
-            .collect()
+        nl.gates.iter().map(|g| inst_label[g.owner.idx()]).collect()
     }
 
     /// Total gate weight of each frontier node (its super-gate weight).

@@ -88,9 +88,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     loop {
                         match self.peek() {
-                            None => {
-                                return Err(Error::lex(start, "unterminated block comment"))
-                            }
+                            None => return Err(Error::lex(start, "unterminated block comment")),
                             Some(b'*') if self.peek2() == Some(b'/') => {
                                 self.bump();
                                 self.bump();

@@ -304,7 +304,11 @@ impl Netlist {
                 }
             }
             let arity_ok = match g.kind {
-                GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+                GateKind::And
+                | GateKind::Or
+                | GateKind::Nand
+                | GateKind::Nor
+                | GateKind::Xor
                 | GateKind::Xnor => g.inputs.len() >= 2,
                 GateKind::Buf | GateKind::Not => g.inputs.len() == 1,
                 GateKind::Dff | GateKind::Latch => g.inputs.len() == 2,

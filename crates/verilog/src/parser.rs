@@ -202,8 +202,8 @@ impl Parser {
     fn parse_port_decl(&mut self, direction: Direction) -> Result<Item> {
         let loc = self.loc();
         self.bump(); // direction keyword
-        // `input wire [3:0] a;` — tolerate an interposed net kind keyword, as
-        // emitted by some synthesis tools.
+                     // `input wire [3:0] a;` — tolerate an interposed net kind keyword, as
+                     // emitted by some synthesis tools.
         if matches!(
             self.peek(),
             TokenKind::Keyword(Keyword::Wire) | TokenKind::Keyword(Keyword::Reg)

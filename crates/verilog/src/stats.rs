@@ -191,12 +191,7 @@ mod tests {
         assert_eq!(s.logic_depth, Some(3));
         assert_eq!(s.sequential_gates, 0);
         assert!(s.max_fanout >= 2); // s1 feeds x2 and a2
-        let and_count = s
-            .gates_by_kind
-            .iter()
-            .find(|(k, _)| *k == "and")
-            .unwrap()
-            .1;
+        let and_count = s.gates_by_kind.iter().find(|(k, _)| *k == "and").unwrap().1;
         assert_eq!(and_count, 2);
     }
 

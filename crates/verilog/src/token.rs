@@ -22,7 +22,10 @@ pub enum TokenKind {
     /// Sized literal, e.g. `4'b1010`, `8'hff`. Stored as (width, bits), bit 0
     /// of `bits` is the least significant bit. X/Z digits are rejected by the
     /// lexer (synthesized netlists do not contain them in constants).
-    SizedLiteral { width: u32, bits: u64 },
+    SizedLiteral {
+        width: u32,
+        bits: u64,
+    },
     LParen,
     RParen,
     LBracket,

@@ -81,8 +81,7 @@ fn write_item(out: &mut String, item: &Item) {
             let insts: Vec<String> = instances
                 .iter()
                 .map(|gi| {
-                    let terms: Vec<String> =
-                        gi.terminals.iter().map(|t| t.display()).collect();
+                    let terms: Vec<String> = gi.terminals.iter().map(|t| t.display()).collect();
                     match &gi.name {
                         Some(n) => format!(" {n} ({})", terms.join(", ")),
                         None => format!(" ({})", terms.join(", ")),
@@ -144,7 +143,13 @@ pub fn write_flat(nl: &Netlist) -> String {
             .next()
             .unwrap_or("port")
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         name_of[p.idx()] = format!("p{}_{base}", p.0);
     }
@@ -225,10 +230,7 @@ mod tests {
         let d2 = crate::design::elaborate(&reparsed, &Default::default()).unwrap();
         assert_eq!(d1.netlist().gate_count(), d2.netlist().gate_count());
         assert_eq!(d1.netlist().net_count(), d2.netlist().net_count());
-        assert_eq!(
-            d1.netlist().instance_count(),
-            d2.netlist().instance_count()
-        );
+        assert_eq!(d1.netlist().instance_count(), d2.netlist().instance_count());
     }
 
     #[test]

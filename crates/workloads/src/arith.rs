@@ -194,7 +194,12 @@ mod tests {
         let stim = VectorStimulus::from_netlist(&nl, 64, 1);
         sim.run(&stim, 2, &mut NullObserver);
         let mut val = 0u64;
-        for (i, &o) in nl.primary_outputs.iter().enumerate().take(out_width as usize) {
+        for (i, &o) in nl
+            .primary_outputs
+            .iter()
+            .enumerate()
+            .take(out_width as usize)
+        {
             if sim.value(o) == Logic::One {
                 val |= 1 << i;
             }

@@ -119,11 +119,12 @@ fn emit_module(
 
     // Child instances interleaved with gates.
     let mut child_idx = 0u32;
-    let total_items = p.gates_per_module + if child_defs.is_empty() {
-        0
-    } else {
-        p.children_per_module
-    };
+    let total_items = p.gates_per_module
+        + if child_defs.is_empty() {
+            0
+        } else {
+            p.children_per_module
+        };
     for item in 0..total_items {
         let place_child = !child_defs.is_empty()
             && child_idx < p.children_per_module
@@ -152,8 +153,7 @@ fn emit_module(
                 let d = pick(rng, &pool);
                 writeln!(out, "  dff g{item} ({w}, clk, {d});").unwrap();
             } else {
-                let kind = ["and", "or", "nand", "nor", "xor", "xnor"]
-                    [rng.gen_range(0..6)];
+                let kind = ["and", "or", "nand", "nor", "xor", "xnor"][rng.gen_range(0..6)];
                 let a = pick(rng, &pool);
                 let b = pick(rng, &pool);
                 writeln!(out, "  {kind} g{item} ({w}, {a}, {b});").unwrap();
@@ -183,15 +183,11 @@ mod tests {
                 ..Default::default()
             };
             let src = generate_random_hier(&p);
-            let d = parse_and_elaborate(&src)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let d = parse_and_elaborate(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let nl = d.netlist();
             nl.validate().unwrap();
             let st = stats(nl);
-            assert!(
-                st.logic_depth.is_some(),
-                "seed {seed}: combinational cycle"
-            );
+            assert!(st.logic_depth.is_some(), "seed {seed}: combinational cycle");
             assert!(st.gates > 50);
             assert!(st.instances > 3, "hierarchy expected");
         }

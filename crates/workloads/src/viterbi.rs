@@ -596,7 +596,11 @@ mod tests {
         assert!(stim.clock.is_some(), "clk must be detected");
         sim.run(&stim, 50, &mut NullObserver);
         let st = sim.stats();
-        assert!(st.gate_evals > 1_000, "ACS army must churn: {}", st.gate_evals);
+        assert!(
+            st.gate_evals > 1_000,
+            "ACS army must churn: {}",
+            st.gate_evals
+        );
         assert!(st.net_toggles > 500);
     }
 

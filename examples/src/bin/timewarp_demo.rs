@@ -78,14 +78,15 @@ fn main() {
     // Validate: every driven net must agree with the sequential result.
     let mut mismatches = 0usize;
     for (ni, net) in nl.nets.iter().enumerate() {
-        if net.driver.is_some()
-            && tw.values[ni] != seq.value(dvs_verilog::NetId(ni as u32))
-        {
+        if net.driver.is_some() && tw.values[ni] != seq.value(dvs_verilog::NetId(ni as u32)) {
             mismatches += 1;
         }
     }
     if mismatches == 0 {
-        println!("\nvalidation: PASS — all {} driven nets bit-exact", nl.net_count());
+        println!(
+            "\nvalidation: PASS — all {} driven nets bit-exact",
+            nl.net_count()
+        );
     } else {
         println!("\nvalidation: FAIL — {mismatches} nets differ");
         std::process::exit(1);

@@ -1,12 +1,17 @@
 //! The paper's full methodology, end to end, on a generated Viterbi
-//! decoder: generate the netlist → pre-simulate the (k, b) grid → pick the
-//! best partition → run the full-length simulation on the modeled cluster.
+//! decoder: generate the netlist → pre-simulate the (k, b) grid with the
+//! multi-threaded search engine → pick the best partition → run the
+//! full-length simulation on the modeled cluster.
 //!
 //! ```text
-//! cargo run --release -p dvs-examples --bin viterbi_flow [k_max] [presim_vectors] [full_vectors]
+//! cargo run --release -p dvs-examples --bin viterbi_flow [k_max] [presim_vectors] [full_vectors] [jobs]
 //! ```
+//!
+//! `jobs` sets the search thread count (0 = auto). The report is
+//! bit-identical for every value; only the host wall times change.
 
-use dvs_core::pipeline::{run_flow, FlowConfig, Search};
+use dvs_core::report::metrics_table;
+use dvs_core::{FlowBuilder, Parallelism, Search};
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
 
 fn main() {
@@ -14,6 +19,12 @@ fn main() {
     let k_max: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let presim_vectors: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
     let full_vectors: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5_000);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let parallelism = match jobs {
+        0 => Parallelism::Auto,
+        1 => Parallelism::Serial,
+        n => Parallelism::Threads(n),
+    };
 
     println!("generating Viterbi decoder (paper-class scale)...");
     let params = ViterbiParams::paper_class();
@@ -25,27 +36,30 @@ fn main() {
         src.len()
     );
 
-    let nl_gates = {
-        let d = dvs_verilog::parse_and_elaborate(&src).expect("decoder elaborates");
-        d.netlist().gate_count()
-    };
-
-    let mut cfg = FlowConfig::paper_defaults(nl_gates);
-    cfg.search = Search::BruteForce {
-        ks: (2..=k_max).collect(),
-        bs: vec![2.5, 5.0, 7.5, 10.0, 12.5, 15.0],
-    };
-    cfg.presim.vectors = presim_vectors;
-    cfg.full_vectors = full_vectors;
-
     println!(
         "pre-simulating {} (k, b) combinations with {presim_vectors} vectors each...",
         (k_max - 1) as usize * 6
     );
-    let report = run_flow(&src, &cfg).expect("flow runs");
+    let report = FlowBuilder::from_source(&src)
+        .search(Search::BruteForce {
+            ks: (2..=k_max).collect(),
+            bs: vec![2.5, 5.0, 7.5, 10.0, 12.5, 15.0],
+        })
+        .presim_vectors(presim_vectors)
+        .full_vectors(full_vectors)
+        .parallelism(parallelism)
+        .build()
+        .and_then(|flow| flow.run())
+        .unwrap_or_else(|err| {
+            eprintln!("error: {err} (k_max must be at least 2)");
+            std::process::exit(2);
+        });
 
     println!("\npre-simulation grid (paper Table 3):");
-    println!("{:>3} {:>6} {:>9} {:>10} {:>8}", "k", "b", "cut", "time (s)", "speedup");
+    println!(
+        "{:>3} {:>6} {:>9} {:>10} {:>8}",
+        "k", "b", "cut", "time (s)", "speedup"
+    );
     for p in &report.presim_points {
         println!(
             "{:>3} {:>6} {:>9} {:>10.2} {:>8.2}",
@@ -60,8 +74,17 @@ fn main() {
     println!("  messages       : {}", c.messages);
     println!("  rollbacks      : {}", c.rollbacks);
 
-    println!("\nfull simulation ({} vectors, modeled cluster):", full_vectors);
+    println!("\nfull simulation ({full_vectors} vectors, modeled cluster):");
     println!("  sequential : {:.2} s", report.full.seq_seconds);
     println!("  parallel   : {:.2} s", report.full.wall_seconds);
-    println!("  speedup    : {:.2}  (paper: 1.91 at k=4)", report.full_speedup);
+    println!(
+        "  speedup    : {:.2}  (paper: 1.91 at k=4)",
+        report.full_speedup
+    );
+
+    println!(
+        "\nhost-side flow metrics ({} search workers):",
+        report.metrics.search_workers
+    );
+    print!("{}", metrics_table(&report.metrics).render());
 }

@@ -4,6 +4,7 @@
 use dvs_core::multiway::{partition_multiway, MultiwayConfig};
 use dvs_hypergraph::builder::cut_size_gates;
 use dvs_hypergraph::partition::BalanceConstraint;
+use dvs_integration_tests::elaborate;
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
@@ -11,7 +12,6 @@ use dvs_sim::stimulus::VectorStimulus;
 use dvs_workloads::random_hier::{generate_random_hier, RandomHierParams};
 use dvs_workloads::seqcirc::{generate_counter, generate_lfsr};
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
-use dvs_integration_tests::elaborate;
 
 /// The whole flow on one source: parse, partition for (k, b), build the
 /// cluster plan, run the modeled cluster, and check every invariant that
@@ -46,10 +46,7 @@ fn roundtrip(src: &str, k: u32, b: f64) {
     let run = model.run(&stim, 50);
     assert!(run.wall_seconds > 0.0);
     assert!(run.speedup > 0.0);
-    assert_eq!(
-        run.machine_events.iter().sum::<u64>(),
-        run.stats.gate_evals
-    );
+    assert_eq!(run.machine_events.iter().sum::<u64>(), run.stats.gate_evals);
     if k == 1 {
         assert_eq!(run.stats.messages, 0);
     }

@@ -1,0 +1,64 @@
+//! Offline stand-in for `parking_lot`: the poison-free `Mutex` API subset
+//! this workspace uses (`new`, `lock`, `try_lock`), layered on std's mutex.
+//! Poisoning is erased by recovering the inner guard, matching parking_lot's
+//! semantics of not propagating panics through locks.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, TryLockError};
+
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(5u32);
+        {
+            let g = m.lock();
+            assert_eq!(*g, 5);
+            assert!(m.try_lock().is_none(), "held lock blocks try_lock");
+        }
+        assert_eq!(*m.try_lock().expect("free lock"), 5);
+    }
+
+    #[test]
+    fn into_inner() {
+        let m = Mutex::new(String::from("x"));
+        assert_eq!(m.into_inner(), "x");
+    }
+}

