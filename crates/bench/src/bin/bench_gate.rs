@@ -1,0 +1,142 @@
+//! `bench_gate` — the deterministic perf-regression gate CI runs on every
+//! push.
+//!
+//! ```text
+//! bench_gate [--label NAME] [--baseline PATH] [--out PATH] [--write-baseline]
+//! ```
+//!
+//! Runs the fixed smoke grid (see `dvs_bench::gate::smoke_grid`), once
+//! serial and once on 4 threads per case, asserts the canonical artifacts
+//! of the two legs are byte-identical, writes `BENCH_<label>.json`, and
+//! compares against the checked-in baseline. Exit status:
+//!
+//! * `0` — gate passed (or `--write-baseline` refreshed the baseline);
+//! * `1` — determinism broken, a counter drifted, or a time left its
+//!   tolerance band;
+//! * `2` — usage or I/O error (unreadable baseline, unwritable artifact).
+
+use dvs_bench::gate::{bench_artifact, compare, run_case, smoke_grid, Tolerances};
+use dvs_core::json::Json;
+use std::time::Instant;
+
+fn main() {
+    let mut label = "local".to_string();
+    let mut baseline_path = "results/bench_baseline.json".to_string();
+    let mut out_path: Option<String> = None;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = need(&mut args, "--label needs a name"),
+            "--baseline" => baseline_path = need(&mut args, "--baseline needs a path"),
+            "--out" => out_path = Some(need(&mut args, "--out needs a path")),
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate [--label NAME] [--baseline PATH] [--out PATH] \
+                     [--write-baseline]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_{label}.json"));
+
+    let t0 = Instant::now();
+    let grid = smoke_grid();
+    let mut cases = Vec::new();
+    for case in &grid {
+        let t = Instant::now();
+        match run_case(case) {
+            Ok(artifact) => {
+                eprintln!(
+                    "   case `{}`: serial and threaded legs agree [{:.2?}]",
+                    case.name,
+                    t.elapsed()
+                );
+                cases.push(artifact);
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let artifact = bench_artifact(&label, &cases);
+    let pretty = artifact.emit_pretty().unwrap_or_else(|e| {
+        eprintln!("cannot serialize artifact: {e}");
+        std::process::exit(2);
+    });
+    write_file(&out_path, &pretty);
+    eprintln!("   wrote {out_path}");
+
+    if write_baseline {
+        // The baseline is the same artifact under a fixed label, so runs
+        // on any machine diff only in the host section (tolerance-banded).
+        let base = bench_artifact("baseline", &cases);
+        let pretty = base.emit_pretty().expect("serialize baseline");
+        write_file(&baseline_path, &pretty);
+        eprintln!("   wrote {baseline_path} (baseline refreshed)");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read baseline `{baseline_path}`: {e}\n\
+             (generate one with `bench_gate --write-baseline`)"
+        );
+        std::process::exit(2);
+    });
+    let baseline = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("baseline `{baseline_path}` is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let outcome = compare(&artifact, &baseline, &Tolerances::default()).unwrap_or_else(|e| {
+        eprintln!("baseline `{baseline_path}` is malformed: {e}");
+        std::process::exit(2);
+    });
+    if !outcome.passed() {
+        eprintln!(
+            "FAIL bench gate: {} regression(s)",
+            outcome.regressions.len()
+        );
+        for r in &outcome.regressions {
+            eprintln!("  - {r}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK bench gate: {} cases, {} metrics checked against {baseline_path} [{:.2?}]",
+        cases.len(),
+        outcome.checked,
+        t0.elapsed()
+    );
+}
+
+fn need(args: &mut impl Iterator<Item = String>, msg: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    })
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create `{}`: {e}", dir.display());
+                std::process::exit(2);
+            });
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(2);
+    });
+}

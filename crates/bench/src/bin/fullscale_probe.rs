@@ -4,9 +4,41 @@
 //! The full `repro --scale full` grid takes hours; this answers "does the
 //! stack handle a megagate netlist, and is the speedup positive?" in
 //! seconds. See EXPERIMENTS.md §Running at full scale.
+//!
+//! Progress goes to stderr; the result is a schema-versioned JSON
+//! artifact (the same serializers as `bench_gate`/`repro`) on stdout, or
+//! to a file with `--artifact PATH`.
 
+use dvs_core::json::{ObjBuilder, ToJson, SCHEMA_VERSION};
+use dvs_core::PartitionQuality;
 use std::time::Instant;
+
 fn main() {
+    let mut artifact_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--artifact" => {
+                artifact_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--artifact needs a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!("usage: fullscale_probe [--artifact PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    const K: u32 = 4;
+    const B: f64 = 7.5;
+    const VECTORS: u64 = 100;
+
     let p = dvs_workloads::viterbi::ViterbiParams::full_scale();
     let t0 = Instant::now();
     let src = dvs_workloads::viterbi::generate_viterbi(&p);
@@ -19,36 +51,70 @@ fn main() {
     let nl = dvs_verilog::parse_and_elaborate(&src)
         .unwrap()
         .into_netlist();
+    let elaborate_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
-        "elaborated {} gates, {} instances in {:.1?}",
+        "elaborated {} gates, {} instances in {:.1}s",
         nl.gate_count(),
         nl.instance_count(),
-        t0.elapsed()
+        elaborate_seconds
     );
     let t0 = Instant::now();
-    let r = dvs_core::multiway::partition_multiway(
-        &nl,
-        &dvs_core::multiway::MultiwayConfig::new(4, 7.5),
-    );
+    let r =
+        dvs_core::multiway::partition_multiway(&nl, &dvs_core::multiway::MultiwayConfig::new(K, B));
+    let partition_seconds = t0.elapsed().as_secs_f64();
+    let quality = PartitionQuality::measure(&r.gate_blocks, r.cut, K, B, nl.gate_count() as u64);
     eprintln!(
-        "dd partition: cut {} bal {} in {:.1?}",
-        r.cut,
-        r.balanced,
-        t0.elapsed()
+        "dd partition: cut {} bal {} in {:.1}s",
+        r.cut, r.balanced, partition_seconds
     );
     let t0 = Instant::now();
-    let plan = dvs_sim::cluster::ClusterPlan::new(&nl, &r.gate_blocks, 4);
+    let plan = dvs_sim::cluster::ClusterPlan::new(&nl, &r.gate_blocks, K as usize);
     let model = dvs_sim::cluster_model::ClusterModel::new(
         &nl,
         plan,
         dvs_sim::cluster_model::ClusterModelConfig::athlon_cluster(nl.gate_count()),
     );
     let stim = dvs_sim::stimulus::VectorStimulus::from_netlist(&nl, 10, 1);
-    let run = model.run(&stim, 100);
+    let run = model.run(&stim, VECTORS);
+    let model_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
-        "modeled 100 vectors in {:.1?}: speedup {:.2} msgs {}",
-        t0.elapsed(),
-        run.speedup,
-        run.stats.messages
+        "modeled {VECTORS} vectors in {model_seconds:.1}s: speedup {:.2} msgs {}",
+        run.speedup, run.stats.messages
     );
+
+    let artifact = ObjBuilder::new()
+        .int("schema_version", SCHEMA_VERSION)
+        .str("kind", "fullscale_probe")
+        .field("design", dvs_verilog::stats::stats(&nl).to_json())
+        .field(
+            "partition",
+            ObjBuilder::new()
+                .uint("k", K as u64)
+                .float("b", B)
+                .bool("balanced", r.balanced)
+                .field("quality", quality.to_json())
+                .build(),
+        )
+        .uint("vectors", VECTORS)
+        .field("run", run.to_json())
+        .field(
+            "host",
+            ObjBuilder::new()
+                .float("elaborate_seconds", elaborate_seconds)
+                .float("partition_seconds", partition_seconds)
+                .float("model_seconds", model_seconds)
+                .build(),
+        )
+        .build();
+    let text = artifact.emit_pretty().expect("serialize probe artifact");
+    match &artifact_path {
+        Some(path) => {
+            std::fs::write(path, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
 }

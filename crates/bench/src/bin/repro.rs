@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of Li & Tropper (ICPP 2008).
 //!
 //! ```text
-//! repro [--scale quick|paper|full] [--jobs N] [--csv DIR] [targets...]
+//! repro [--scale quick|paper|full] [--jobs N] [--csv DIR]
+//!       [--artifact PATH] [targets...]
 //!
 //! targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 all
 //!          (default: all)
@@ -10,15 +11,23 @@
 //! `--jobs N` fans the per-`k` grid columns out over N worker threads
 //! (`--jobs 0`, the default, uses the host's available parallelism). The
 //! tables are identical for every value; only wall time changes.
+//!
+//! `--artifact PATH` additionally writes every emitted table plus the
+//! headline numbers as one schema-versioned JSON artifact (the same
+//! format family as `bench_gate`'s `BENCH_*.json`), for machine
+//! consumption instead of scraping the printed tables.
 
 use dvs_bench::experiments::*;
+use dvs_core::json::{Json, ObjBuilder, ToJson, SCHEMA_VERSION};
 use dvs_core::Parallelism;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 fn main() {
     let mut scale = "paper".to_string();
     let mut csv_dir: Option<String> = None;
+    let mut artifact_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut targets: BTreeSet<String> = BTreeSet::new();
 
@@ -37,6 +46,12 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--artifact" => {
+                artifact_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--artifact needs a path");
+                    std::process::exit(2);
+                }))
+            }
             "--jobs" => {
                 let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--jobs needs a thread count (0 = auto)");
@@ -46,7 +61,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale quick|paper|full] [--jobs N] [--csv DIR] [targets...]\n\
+                    "usage: repro [--scale quick|paper|full] [--jobs N] [--csv DIR] \
+                     [--artifact PATH] [targets...]\n\
                      targets: table1 table2 table3 table4 table5 fig5 fig6 fig7 regime all"
                 );
                 return;
@@ -109,6 +125,7 @@ fn main() {
         t0.elapsed()
     );
 
+    let tables: RefCell<Vec<(String, Json)>> = RefCell::new(Vec::new());
     let emit = |name: &str, title: &str, table: dvs_core::report::Table| {
         println!("== {title} ==");
         println!("{}", table.render());
@@ -117,6 +134,11 @@ fn main() {
             let path = format!("{dir}/{name}.csv");
             std::fs::write(&path, table.to_csv()).expect("write csv");
             eprintln!("   wrote {path}");
+        }
+        if artifact_path.is_some() {
+            tables
+                .borrow_mut()
+                .push((name.to_string(), table.to_json()));
         }
     };
 
@@ -203,4 +225,32 @@ fn main() {
         "best full-run speedup                    : {:.2} at k={} b={} (paper: 1.91 at k=4 b=7.5)",
         h.best_full_speedup, h.best_k, h.best_b
     );
+
+    if let Some(path) = &artifact_path {
+        let artifact = ObjBuilder::new()
+            .int("schema_version", SCHEMA_VERSION)
+            .str("kind", "repro_artifact")
+            .str("scale", &scale)
+            .field("design", wl.stats.to_json())
+            .field("tables", Json::Object(tables.into_inner()))
+            .field(
+                "headline",
+                ObjBuilder::new()
+                    .float("cut_ratio_vs_hmetis", h.cut_ratio_vs_hmetis)
+                    .float("time_ratio_vs_hmetis", h.time_ratio_vs_hmetis)
+                    .float("best_full_speedup", h.best_full_speedup)
+                    .uint("best_k", h.best_k as u64)
+                    .float("best_b", h.best_b)
+                    .build(),
+            )
+            .build();
+        let text = artifact.emit_pretty().expect("serialize repro artifact");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create artifact dir");
+            }
+        }
+        std::fs::write(path, text).expect("write artifact");
+        eprintln!("   wrote {path}");
+    }
 }

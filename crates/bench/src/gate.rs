@@ -1,0 +1,461 @@
+//! The deterministic perf-regression gate behind the `bench_gate` binary.
+//!
+//! The gate runs a fixed smoke grid — small workloads, fixed seeds, a
+//! brute-force (k, b) sweep — once with [`Parallelism::Serial`] and once
+//! with [`Parallelism::Threads`]`(4)`, asserts the two canonical artifacts
+//! are **byte-identical** (the determinism contract of the search engine),
+//! and then compares the run against a checked-in baseline
+//! (`results/bench_baseline.json`) with per-metric tolerances:
+//!
+//! * **counters and parameters** (events, messages, rollbacks, cuts,
+//!   loads, chosen k/b, partitions, …) must match the baseline *exactly* —
+//!   they are deterministic, so any drift is a behaviour change that either
+//!   is a bug or deserves a deliberate baseline refresh;
+//! * **times** (modeled seconds, speedups, host wall seconds) get a ±30 %
+//!   relative band plus an absolute slack — generous for the deterministic
+//!   modeled times (which normally match exactly) and loose enough for
+//!   host measurements to absorb CI-runner noise while still catching
+//!   order-of-magnitude regressions.
+//!
+//! A metric present on one side and missing on the other is always a
+//! failure: schema growth requires a baseline refresh
+//! (`bench_gate --write-baseline`), never a silent pass.
+
+use dvs_core::json::{Json, JsonError, ObjBuilder, SCHEMA_VERSION};
+use dvs_core::{FlowBuilder, Parallelism, Search};
+use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
+use dvs_workloads::{generate_viterbi, ViterbiParams};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Stimulus seed every gate run uses. Fixed forever: changing it changes
+/// every counter in the baseline.
+pub const STIM_SEED: u64 = 0x5EED_0001;
+/// Base partitioner seed every gate run uses (each (k, b) point derives
+/// its own from it).
+pub const PART_SEED: u64 = 0x5EED_0002;
+/// Thread count for the parallel leg of the determinism check.
+pub const GATE_THREADS: usize = 4;
+
+/// One workload of the smoke grid.
+pub struct BenchCase {
+    /// Stable name — the key used to match against the baseline.
+    pub name: &'static str,
+    /// Structural Verilog source.
+    pub source: String,
+    /// Brute-force k values.
+    pub ks: Vec<u32>,
+    /// Brute-force balance factors.
+    pub bs: Vec<f64>,
+    /// Vectors per pre-simulation run.
+    pub presim_vectors: u64,
+    /// Vectors for the full simulation of the chosen partition.
+    pub full_vectors: u64,
+}
+
+/// The fixed smoke grid: two small workloads with opposite interconnect
+/// structure (the trellis-coupled Viterbi decoder and the modular pipeline
+/// SoC), each swept over k ∈ {2, 3} × b ∈ {7.5, 15.0}. Small enough that
+/// the whole gate — every case run twice — finishes in well under a minute
+/// even on a debug build.
+pub fn smoke_grid() -> Vec<BenchCase> {
+    let sweep = |name, source| BenchCase {
+        name,
+        source,
+        ks: vec![2, 3],
+        bs: vec![7.5, 15.0],
+        presim_vectors: 60,
+        full_vectors: 150,
+    };
+    vec![
+        sweep("viterbi_tiny", generate_viterbi(&ViterbiParams::tiny())),
+        sweep(
+            "pipeline_soc_tiny",
+            generate_pipeline_soc(&PipelineParams::tiny()),
+        ),
+    ]
+}
+
+/// The product of running one case: its canonical (deterministic) flow
+/// report plus the host-side measurements kept outside it.
+pub struct CaseArtifact {
+    pub name: String,
+    /// Canonical flow report — byte-identical across parallelism modes.
+    pub report: Json,
+    /// Host wall seconds of each leg. Nondeterministic; compared only
+    /// within the loose host tolerance.
+    pub host: Json,
+}
+
+/// Run one case twice — serial and threaded — and check the determinism
+/// contract: both legs must emit byte-identical canonical artifacts.
+pub fn run_case(case: &BenchCase) -> Result<CaseArtifact, String> {
+    let leg = |par: Parallelism| -> Result<(String, f64), String> {
+        let t = Instant::now();
+        let report = FlowBuilder::from_source(&case.source)
+            .search(Search::BruteForce {
+                ks: case.ks.clone(),
+                bs: case.bs.clone(),
+            })
+            .presim_vectors(case.presim_vectors)
+            .full_vectors(case.full_vectors)
+            .stim_seed(STIM_SEED)
+            .part_seed(PART_SEED)
+            .parallelism(par)
+            .build()
+            .map_err(|e| format!("case `{}`: {e}", case.name))?
+            .run()
+            .map_err(|e| format!("case `{}`: {e}", case.name))?;
+        let seconds = t.elapsed().as_secs_f64();
+        let canonical = report
+            .canonical_json()
+            .emit()
+            .map_err(|e| format!("case `{}`: {e}", case.name))?;
+        Ok((canonical, seconds))
+    };
+    let (serial, serial_seconds) = leg(Parallelism::Serial)?;
+    let (threaded, threads_seconds) = leg(Parallelism::Threads(GATE_THREADS))?;
+    if serial != threaded {
+        return Err(format!(
+            "case `{}`: Serial and Threads({GATE_THREADS}) canonical artifacts differ \
+             — the deterministic-search contract is broken",
+            case.name
+        ));
+    }
+    Ok(CaseArtifact {
+        name: case.name.to_string(),
+        report: Json::parse(&serial).map_err(|e| format!("case `{}`: {e}", case.name))?,
+        host: ObjBuilder::new()
+            .float("serial_seconds", serial_seconds)
+            .float("threads_seconds", threads_seconds)
+            .build(),
+    })
+}
+
+/// Assemble the schema-versioned `BENCH_<label>.json` artifact.
+pub fn bench_artifact(label: &str, cases: &[CaseArtifact]) -> Json {
+    ObjBuilder::new()
+        .int("schema_version", SCHEMA_VERSION)
+        .str("kind", "bench_artifact")
+        .str("label", label)
+        .array(
+            "cases",
+            cases
+                .iter()
+                .map(|c| {
+                    ObjBuilder::new()
+                        .str("name", &c.name)
+                        .field("report", c.report.clone())
+                        .field("host", c.host.clone())
+                        .build()
+                })
+                .collect(),
+        )
+        .build()
+}
+
+/// Per-metric comparison tolerances. Counters are always exact; these
+/// bands apply to time-valued metrics only.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Relative band for every time metric (0.30 = ±30 %).
+    pub time_rel: f64,
+    /// Absolute slack (seconds) for modeled times inside the canonical
+    /// report. These are deterministic, so the slack only matters across
+    /// deliberate model changes.
+    pub modeled_abs: f64,
+    /// Absolute slack (seconds) for host wall times — wide, because CI
+    /// runners are shared and the gate's runs are sub-second.
+    pub host_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            time_rel: 0.30,
+            modeled_abs: 0.25,
+            host_abs: 1.0,
+        }
+    }
+}
+
+/// Outcome of a baseline comparison.
+pub struct GateOutcome {
+    /// Metrics checked across all cases.
+    pub checked: usize,
+    /// Human-readable regressions; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl GateOutcome {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare a freshly produced artifact against the checked-in baseline.
+pub fn compare(
+    current: &Json,
+    baseline: &Json,
+    tol: &Tolerances,
+) -> Result<GateOutcome, JsonError> {
+    let mut out = GateOutcome {
+        checked: 0,
+        regressions: Vec::new(),
+    };
+    let version = baseline.field("schema_version")?.as_i64()?;
+    if version != SCHEMA_VERSION {
+        out.regressions.push(format!(
+            "baseline has schema_version {version}, gate expects {SCHEMA_VERSION} \
+             — refresh it with `bench_gate --write-baseline`"
+        ));
+        return Ok(out);
+    }
+    let cur = index_cases(current)?;
+    let base = index_cases(baseline)?;
+    for (name, base_case) in &base {
+        match cur.get(name) {
+            None => out.regressions.push(format!(
+                "case `{name}`: in the baseline but missing from this run"
+            )),
+            Some(cur_case) => compare_case(name, cur_case, base_case, tol, &mut out),
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            out.regressions.push(format!(
+                "case `{name}`: not in the baseline — refresh it with `bench_gate --write-baseline`"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn index_cases(artifact: &Json) -> Result<BTreeMap<&str, &Json>, JsonError> {
+    let mut map = BTreeMap::new();
+    for case in artifact.field("cases")?.as_array()? {
+        map.insert(case.field("name")?.as_str()?, case);
+    }
+    Ok(map)
+}
+
+fn compare_case(
+    name: &str,
+    current: &Json,
+    baseline: &Json,
+    tol: &Tolerances,
+    out: &mut GateOutcome,
+) {
+    let mut cur = BTreeMap::new();
+    let mut base = BTreeMap::new();
+    flatten("", current, &mut cur);
+    flatten("", baseline, &mut base);
+    for (path, base_leaf) in &base {
+        if path == "name" {
+            continue;
+        }
+        match cur.get(path) {
+            None => out.regressions.push(format!(
+                "case `{name}`: metric `{path}` is in the baseline but not this run"
+            )),
+            Some(cur_leaf) => {
+                out.checked += 1;
+                compare_leaf(name, path, cur_leaf, base_leaf, tol, &mut out.regressions);
+            }
+        }
+    }
+    for path in cur.keys() {
+        if path != "name" && !base.contains_key(path) {
+            out.regressions.push(format!(
+                "case `{name}`: new metric `{path}` not in the baseline \
+                 — refresh it with `bench_gate --write-baseline`"
+            ));
+        }
+    }
+}
+
+/// Flatten a JSON tree into `path → leaf` pairs. Arrays index their
+/// elements (`machine_events[2]`); empty containers count as leaves so a
+/// shape change never slips through.
+fn flatten<'a>(prefix: &str, v: &'a Json, out: &mut BTreeMap<String, &'a Json>) {
+    match v {
+        Json::Object(members) if !members.is_empty() => {
+            for (key, value) in members {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten(&path, value, out);
+            }
+        }
+        Json::Array(items) if !items.is_empty() => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), item, out);
+            }
+        }
+        _ => {
+            out.insert(prefix.to_string(), v);
+        }
+    }
+}
+
+/// Is this metric a time (tolerance-banded) rather than a counter (exact)?
+/// Returns the absolute slack to use, or `None` for exact metrics.
+fn time_slack(path: &str, tol: &Tolerances) -> Option<f64> {
+    if path.starts_with("host.") {
+        return Some(tol.host_abs);
+    }
+    let last = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit() || c == '[');
+    if last.ends_with("seconds") || last == "speedup" {
+        Some(tol.modeled_abs)
+    } else {
+        None
+    }
+}
+
+fn compare_leaf(
+    name: &str,
+    path: &str,
+    current: &Json,
+    baseline: &Json,
+    tol: &Tolerances,
+    regressions: &mut Vec<String>,
+) {
+    if let Some(abs) = time_slack(path, tol) {
+        if let (Ok(c), Ok(b)) = (current.as_f64(), baseline.as_f64()) {
+            let band = tol.time_rel * b.abs() + abs;
+            if (c - b).abs() > band {
+                regressions.push(format!(
+                    "case `{name}`: time `{path}` = {c:.6} outside \
+                     baseline {b:.6} ± {band:.6}"
+                ));
+            }
+            return;
+        }
+    }
+    let show = |v: &Json| v.emit().unwrap_or_else(|e| format!("<unprintable: {e}>"));
+    if current != baseline {
+        regressions.push(format!(
+            "case `{name}`: counter `{path}` = {} differs from baseline {}",
+            show(current),
+            show(baseline)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_case(cut: u64, speedup: f64, host: f64) -> CaseArtifact {
+        CaseArtifact {
+            name: "fake".to_string(),
+            report: ObjBuilder::new()
+                .uint("cut", cut)
+                .float("speedup", speedup)
+                .float("wall_seconds", speedup / 10.0)
+                .array("machine_events", vec![Json::Int(5), Json::Int(7)])
+                .build(),
+            host: ObjBuilder::new().float("serial_seconds", host).build(),
+        }
+    }
+
+    fn artifact_of(case: CaseArtifact) -> Json {
+        bench_artifact("test", &[case])
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact_of(fake_case(10, 1.5, 0.2));
+        let outcome = compare(&a, &a, &Tolerances::default()).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        assert!(outcome.checked >= 5);
+    }
+
+    #[test]
+    fn counter_drift_fails_exactly() {
+        let cur = artifact_of(fake_case(11, 1.5, 0.2));
+        let base = artifact_of(fake_case(10, 1.5, 0.2));
+        let outcome = compare(&cur, &base, &Tolerances::default()).unwrap();
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].contains("`report.cut`"));
+    }
+
+    #[test]
+    fn times_get_a_tolerance_band() {
+        // +20% on a modeled time: within the band.
+        let cur = artifact_of(fake_case(10, 1.8, 0.2));
+        let base = artifact_of(fake_case(10, 1.5, 0.2));
+        let outcome = compare(&cur, &base, &Tolerances::default()).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        // 10x on a modeled time: outside it.
+        let cur = artifact_of(fake_case(10, 15.0, 0.2));
+        let outcome = compare(&cur, &base, &Tolerances::default()).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.regressions.iter().any(|r| r.contains("speedup")));
+    }
+
+    #[test]
+    fn host_times_have_wide_slack() {
+        let cur = artifact_of(fake_case(10, 1.5, 0.9));
+        let base = artifact_of(fake_case(10, 1.5, 0.1));
+        let outcome = compare(&cur, &base, &Tolerances::default()).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn missing_and_extra_cases_fail() {
+        let cur = artifact_of(fake_case(10, 1.5, 0.2));
+        let mut other = fake_case(10, 1.5, 0.2);
+        other.name = "other".to_string();
+        let base = artifact_of(other);
+        let outcome = compare(&cur, &base, &Tolerances::default()).unwrap();
+        assert_eq!(outcome.regressions.len(), 2);
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("missing from this run")));
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("not in the baseline")));
+    }
+
+    #[test]
+    fn shape_changes_fail() {
+        let cur = artifact_of(fake_case(10, 1.5, 0.2));
+        let mut case = fake_case(10, 1.5, 0.2);
+        case.report = ObjBuilder::new()
+            .uint("cut", 10)
+            .float("speedup", 1.5)
+            .float("wall_seconds", 0.15)
+            .array(
+                "machine_events",
+                vec![Json::Int(5), Json::Int(7), Json::Int(9)],
+            )
+            .build();
+        let base = artifact_of(case);
+        let outcome = compare(&cur, &base, &Tolerances::default()).unwrap();
+        assert!(outcome
+            .regressions
+            .iter()
+            .any(|r| r.contains("machine_events[2]")));
+    }
+
+    #[test]
+    fn smoke_case_is_deterministic_end_to_end() {
+        let grid = smoke_grid();
+        let case = &grid[1]; // pipeline_soc_tiny, the smaller one
+        let artifact = run_case(case).unwrap();
+        // Self-comparison of a real artifact passes and checks many metrics.
+        let a = bench_artifact("t", &[artifact]);
+        let outcome = compare(&a, &a, &Tolerances::default()).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.regressions);
+        assert!(outcome.checked > 50, "only {} metrics", outcome.checked);
+    }
+}

@@ -12,7 +12,18 @@
 //! cargo run --release -p dvs-bench --bin repro -- --scale quick all
 //! ```
 //!
+//! The `bench_gate` binary is the CI perf-regression gate: it runs a fixed
+//! deterministic smoke grid, writes a schema-versioned `BENCH_<label>.json`
+//! artifact, and compares it against `results/bench_baseline.json` (see
+//! [`gate`]):
+//!
+//! ```text
+//! cargo run --release -p dvs-bench --bin bench_gate -- --label ci
+//! cargo run --release -p dvs-bench --bin bench_gate -- --write-baseline
+//! ```
+//!
 //! See [`experiments`] for the per-table implementations and DESIGN.md /
 //! EXPERIMENTS.md for the experiment index and measured results.
 
 pub mod experiments;
+pub mod gate;

@@ -1,0 +1,550 @@
+//! Machine-readable run artifacts: JSON serialization of every report the
+//! flow produces.
+//!
+//! The paper's argument is carried by measured numbers — cut sizes,
+//! message and rollback counts, pre-simulation vs full-run times. This
+//! module turns those numbers into schema-versioned JSON so that every run
+//! is an artifact: comparable across commits, gateable in CI
+//! (`bench_gate`), and consumable by plotting scripts without scraping
+//! text tables.
+//!
+//! Two serializations exist for a [`FlowReport`]:
+//!
+//! * [`FlowReport::to_json`] — everything, including host wall-clock
+//!   measurements (which vary run to run and machine to machine);
+//! * [`FlowReport::canonical_json`] — only the **deterministic** content:
+//!   counters, modeled times, partitions. Two runs of the same flow — on
+//!   one thread or eight, today or next year — emit byte-identical
+//!   canonical artifacts, which is what makes exact CI comparisons
+//!   possible (following the determinism-first argument of Gottesbüren
+//!   et al., *Deterministic Parallel Hypergraph Partitioning*).
+//!
+//! [`FromJson`] implementations reconstruct the full structures, so
+//! downstream tools can round-trip artifacts losslessly; floats round-trip
+//! bit-exactly (shortest-representation formatting on emit).
+
+use crate::json::{
+    uint_array, uint_vec, FromJson, Json, JsonError, ObjBuilder, ToJson, SCHEMA_VERSION,
+};
+use crate::pipeline::{FlowMetrics, FlowReport, PointCost};
+use crate::presim::{PartitionQuality, PointTiming, PresimPoint};
+use dvs_sim::cluster_model::{ClusterRun, RunTiming};
+use dvs_sim::stats::SimStats;
+use dvs_verilog::netlist::GateKind;
+use dvs_verilog::stats::DesignStats;
+
+impl ToJson for SimStats {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("events", self.events)
+            .uint("gate_evals", self.gate_evals)
+            .uint("net_toggles", self.net_toggles)
+            .uint("cycles", self.cycles)
+            .uint("end_time", self.end_time)
+            .uint("messages", self.messages)
+            .uint("anti_messages", self.anti_messages)
+            .uint("rollbacks", self.rollbacks)
+            .uint("rolled_back_events", self.rolled_back_events)
+            .uint("gvt_rounds", self.gvt_rounds)
+            .uint("fossil_collected", self.fossil_collected)
+            .build()
+    }
+}
+
+impl FromJson for SimStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SimStats {
+            events: v.field("events")?.as_u64()?,
+            gate_evals: v.field("gate_evals")?.as_u64()?,
+            net_toggles: v.field("net_toggles")?.as_u64()?,
+            cycles: v.field("cycles")?.as_u64()?,
+            end_time: v.field("end_time")?.as_u64()?,
+            messages: v.field("messages")?.as_u64()?,
+            anti_messages: v.field("anti_messages")?.as_u64()?,
+            rollbacks: v.field("rollbacks")?.as_u64()?,
+            rolled_back_events: v.field("rolled_back_events")?.as_u64()?,
+            gvt_rounds: v.field("gvt_rounds")?.as_u64()?,
+            fossil_collected: v.field("fossil_collected")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for RunTiming {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .float("profile_seconds", self.profile_seconds)
+            .float("model_seconds", self.model_seconds)
+            .build()
+    }
+}
+
+impl FromJson for RunTiming {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunTiming {
+            profile_seconds: v.field("profile_seconds")?.as_f64()?,
+            model_seconds: v.field("model_seconds")?.as_f64()?,
+        })
+    }
+}
+
+/// The deterministic portion of a [`ClusterRun`] (everything except the
+/// host-side [`RunTiming`]).
+fn cluster_run_core(run: &ClusterRun) -> ObjBuilder {
+    ObjBuilder::new()
+        .field("stats", run.stats.to_json())
+        .float("wall_seconds", run.wall_seconds)
+        .float("seq_seconds", run.seq_seconds)
+        .float("speedup", run.speedup)
+        .field("machine_events", uint_array(&run.machine_events))
+        .field("machine_rollbacks", uint_array(&run.machine_rollbacks))
+        .field("machine_messages", uint_array(&run.machine_messages))
+}
+
+impl ToJson for ClusterRun {
+    fn to_json(&self) -> Json {
+        cluster_run_core(self)
+            .field("timing", self.timing.to_json())
+            .build()
+    }
+}
+
+impl FromJson for ClusterRun {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ClusterRun {
+            stats: SimStats::from_json(v.field("stats")?)?,
+            wall_seconds: v.field("wall_seconds")?.as_f64()?,
+            seq_seconds: v.field("seq_seconds")?.as_f64()?,
+            speedup: v.field("speedup")?.as_f64()?,
+            machine_events: uint_vec(v.field("machine_events")?)?,
+            machine_rollbacks: uint_vec(v.field("machine_rollbacks")?)?,
+            machine_messages: uint_vec(v.field("machine_messages")?)?,
+            // Host timings default to zero when an artifact omits them
+            // (canonical artifacts carry no host measurements).
+            timing: match v.get("timing") {
+                Some(t) => RunTiming::from_json(t)?,
+                None => RunTiming::default(),
+            },
+        })
+    }
+}
+
+impl ToJson for DesignStats {
+    fn to_json(&self) -> Json {
+        let kinds = Json::Object(
+            self.gates_by_kind
+                .iter()
+                .map(|&(name, n)| {
+                    (
+                        name.to_string(),
+                        Json::Int(i64::try_from(n).unwrap_or(i64::MAX)),
+                    )
+                })
+                .collect(),
+        );
+        ObjBuilder::new()
+            .uint("module_defs", self.module_defs as u64)
+            .uint("instances", self.instances as u64)
+            .uint("max_depth", self.max_depth as u64)
+            .uint("gates", self.gates as u64)
+            .uint("nets", self.nets as u64)
+            .uint("primary_inputs", self.primary_inputs as u64)
+            .uint("primary_outputs", self.primary_outputs as u64)
+            .field("gates_by_kind", kinds)
+            .uint("sequential_gates", self.sequential_gates as u64)
+            .uint("max_fanout", self.max_fanout as u64)
+            .float("mean_fanout", self.mean_fanout)
+            .field(
+                "logic_depth",
+                match self.logic_depth {
+                    Some(d) => Json::Int(d as i64),
+                    None => Json::Null,
+                },
+            )
+            .build()
+    }
+}
+
+impl FromJson for DesignStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut gates_by_kind = Vec::new();
+        for (name, n) in v.field("gates_by_kind")?.as_object()? {
+            let kind = GateKind::from_name(name)
+                .ok_or_else(|| JsonError::new(format!("unknown gate kind `{name}`")))?;
+            gates_by_kind.push((kind.name(), n.as_usize()?));
+        }
+        Ok(DesignStats {
+            module_defs: v.field("module_defs")?.as_usize()?,
+            instances: v.field("instances")?.as_usize()?,
+            max_depth: v.field("max_depth")?.as_u64()? as u32,
+            gates: v.field("gates")?.as_usize()?,
+            nets: v.field("nets")?.as_usize()?,
+            primary_inputs: v.field("primary_inputs")?.as_usize()?,
+            primary_outputs: v.field("primary_outputs")?.as_usize()?,
+            gates_by_kind,
+            sequential_gates: v.field("sequential_gates")?.as_usize()?,
+            max_fanout: v.field("max_fanout")?.as_usize()?,
+            mean_fanout: v.field("mean_fanout")?.as_f64()?,
+            logic_depth: match v.field("logic_depth")? {
+                Json::Null => None,
+                d => Some(d.as_u64()? as u32),
+            },
+        })
+    }
+}
+
+impl ToJson for PartitionQuality {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("cut", self.cut)
+            .uint("max_load", self.max_load)
+            .uint("min_load", self.min_load)
+            .uint("balance_violations", self.balance_violations as u64)
+            .build()
+    }
+}
+
+impl FromJson for PartitionQuality {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PartitionQuality {
+            cut: v.field("cut")?.as_u64()?,
+            max_load: v.field("max_load")?.as_u64()?,
+            min_load: v.field("min_load")?.as_u64()?,
+            balance_violations: v.field("balance_violations")?.as_u64()? as u32,
+        })
+    }
+}
+
+impl ToJson for PointTiming {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .float("partition_seconds", self.partition_seconds)
+            .float("cone_seconds", self.cone_seconds)
+            .float("refine_seconds", self.refine_seconds)
+            .float("simulate_seconds", self.simulate_seconds)
+            .uint("flattens", self.flattens as u64)
+            .uint("fm_rounds", self.fm_rounds as u64)
+            .build()
+    }
+}
+
+impl FromJson for PointTiming {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PointTiming {
+            partition_seconds: v.field("partition_seconds")?.as_f64()?,
+            cone_seconds: v.field("cone_seconds")?.as_f64()?,
+            refine_seconds: v.field("refine_seconds")?.as_f64()?,
+            simulate_seconds: v.field("simulate_seconds")?.as_f64()?,
+            flattens: v.field("flattens")?.as_usize()?,
+            fm_rounds: v.field("fm_rounds")?.as_usize()?,
+        })
+    }
+}
+
+/// The deterministic fields of a [`PresimPoint`]. Canonical artifacts add
+/// only the two deterministic work counters of its timing block.
+fn presim_point_core(p: &PresimPoint) -> ObjBuilder {
+    ObjBuilder::new()
+        .uint("k", p.k as u64)
+        .float("b", p.b)
+        .uint("cut", p.cut)
+        .float("sim_seconds", p.sim_seconds)
+        .float("seq_seconds", p.seq_seconds)
+        .float("speedup", p.speedup)
+        .uint("messages", p.messages)
+        .uint("rollbacks", p.rollbacks)
+        .field("machine_messages", uint_array(&p.machine_messages))
+        .field("machine_rollbacks", uint_array(&p.machine_rollbacks))
+        .field(
+            "gate_blocks",
+            Json::Array(p.gate_blocks.iter().map(|&b| Json::Int(b as i64)).collect()),
+        )
+        .bool("balanced", p.balanced)
+        .field("quality", p.quality.to_json())
+}
+
+impl ToJson for PresimPoint {
+    fn to_json(&self) -> Json {
+        presim_point_core(self)
+            .field("timing", self.timing.to_json())
+            .build()
+    }
+}
+
+fn presim_point_canonical(p: &PresimPoint) -> Json {
+    presim_point_core(p)
+        .field(
+            "timing",
+            ObjBuilder::new()
+                .uint("flattens", p.timing.flattens as u64)
+                .uint("fm_rounds", p.timing.fm_rounds as u64)
+                .build(),
+        )
+        .build()
+}
+
+impl FromJson for PresimPoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let gate_blocks = v
+            .field("gate_blocks")?
+            .as_array()?
+            .iter()
+            .map(|x| Ok(x.as_u64()? as u32))
+            .collect::<Result<Vec<u32>, JsonError>>()?;
+        let timing_v = v.field("timing")?;
+        // Canonical artifacts carry only the deterministic counters of the
+        // timing block; fall back to zero seconds there.
+        let timing = match PointTiming::from_json(timing_v) {
+            Ok(t) => t,
+            Err(_) => PointTiming {
+                flattens: timing_v.field("flattens")?.as_usize()?,
+                fm_rounds: timing_v.field("fm_rounds")?.as_usize()?,
+                ..PointTiming::default()
+            },
+        };
+        Ok(PresimPoint {
+            k: v.field("k")?.as_u64()? as u32,
+            b: v.field("b")?.as_f64()?,
+            cut: v.field("cut")?.as_u64()?,
+            sim_seconds: v.field("sim_seconds")?.as_f64()?,
+            seq_seconds: v.field("seq_seconds")?.as_f64()?,
+            speedup: v.field("speedup")?.as_f64()?,
+            messages: v.field("messages")?.as_u64()?,
+            rollbacks: v.field("rollbacks")?.as_u64()?,
+            machine_messages: uint_vec(v.field("machine_messages")?)?,
+            machine_rollbacks: uint_vec(v.field("machine_rollbacks")?)?,
+            gate_blocks,
+            balanced: v.field("balanced")?.as_bool()?,
+            quality: PartitionQuality::from_json(v.field("quality")?)?,
+            timing,
+        })
+    }
+}
+
+impl ToJson for PointCost {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("k", self.k as u64)
+            .float("b", self.b)
+            .float("seconds", self.seconds)
+            .build()
+    }
+}
+
+impl FromJson for PointCost {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PointCost {
+            k: v.field("k")?.as_u64()? as u32,
+            b: v.field("b")?.as_f64()?,
+            seconds: v.field("seconds")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for FlowMetrics {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .float("parse_elaborate_seconds", self.parse_elaborate_seconds)
+            .float("cone_partition_seconds", self.cone_partition_seconds)
+            .float("pairwise_refine_seconds", self.pairwise_refine_seconds)
+            .array(
+                "point_costs",
+                self.point_costs.iter().map(|c| c.to_json()).collect(),
+            )
+            .float("search_seconds", self.search_seconds)
+            .float("full_run_seconds", self.full_run_seconds)
+            .float("total_seconds", self.total_seconds)
+            .uint("flatten_events", self.flatten_events)
+            .uint("fm_passes", self.fm_passes)
+            .uint("presim_runs", self.presim_runs)
+            .uint("search_workers", self.search_workers as u64)
+            .build()
+    }
+}
+
+impl FromJson for FlowMetrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(FlowMetrics {
+            parse_elaborate_seconds: v.field("parse_elaborate_seconds")?.as_f64()?,
+            cone_partition_seconds: v.field("cone_partition_seconds")?.as_f64()?,
+            pairwise_refine_seconds: v.field("pairwise_refine_seconds")?.as_f64()?,
+            point_costs: v
+                .field("point_costs")?
+                .as_array()?
+                .iter()
+                .map(PointCost::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            search_seconds: v.field("search_seconds")?.as_f64()?,
+            full_run_seconds: v.field("full_run_seconds")?.as_f64()?,
+            total_seconds: v.field("total_seconds")?.as_f64()?,
+            flatten_events: v.field("flatten_events")?.as_u64()?,
+            fm_passes: v.field("fm_passes")?.as_u64()?,
+            presim_runs: v.field("presim_runs")?.as_u64()?,
+            search_workers: v.field("search_workers")?.as_usize()?,
+        })
+    }
+}
+
+/// The deterministic work counters of [`FlowMetrics`] — the subset that is
+/// identical for every thread count and host.
+fn metrics_canonical(m: &FlowMetrics) -> Json {
+    ObjBuilder::new()
+        .uint("flatten_events", m.flatten_events)
+        .uint("fm_passes", m.fm_passes)
+        .uint("presim_runs", m.presim_runs)
+        .build()
+}
+
+fn flow_report_header(kind: &str) -> ObjBuilder {
+    ObjBuilder::new()
+        .int("schema_version", SCHEMA_VERSION)
+        .str("kind", kind)
+}
+
+impl ToJson for FlowReport {
+    fn to_json(&self) -> Json {
+        flow_report_header("flow_report")
+            .field("design", self.design.to_json())
+            .array(
+                "presim_points",
+                self.presim_points.iter().map(|p| p.to_json()).collect(),
+            )
+            .field("chosen", self.chosen.to_json())
+            .uint("presim_runs", self.presim_runs as u64)
+            .field("full", self.full.to_json())
+            .float("full_speedup", self.full_speedup)
+            .field("metrics", self.metrics.to_json())
+            .build()
+    }
+}
+
+impl FromJson for FlowReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v.field("schema_version")?.as_i64()?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let kind = v.field("kind")?.as_str()?;
+        if kind != "flow_report" {
+            return Err(JsonError::new(format!(
+                "expected kind `flow_report`, got `{kind}`"
+            )));
+        }
+        Ok(FlowReport {
+            design: DesignStats::from_json(v.field("design")?)?,
+            presim_points: v
+                .field("presim_points")?
+                .as_array()?
+                .iter()
+                .map(PresimPoint::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            chosen: PresimPoint::from_json(v.field("chosen")?)?,
+            presim_runs: v.field("presim_runs")?.as_usize()?,
+            full: ClusterRun::from_json(v.field("full")?)?,
+            full_speedup: v.field("full_speedup")?.as_f64()?,
+            metrics: match v.get("metrics") {
+                Some(m) => FlowMetrics::from_json(m).or_else(|_| {
+                    // Canonical artifacts carry only the counter subset.
+                    Ok::<FlowMetrics, JsonError>(FlowMetrics {
+                        flatten_events: m.field("flatten_events")?.as_u64()?,
+                        fm_passes: m.field("fm_passes")?.as_u64()?,
+                        presim_runs: m.field("presim_runs")?.as_u64()?,
+                        ..FlowMetrics::default()
+                    })
+                })?,
+                None => FlowMetrics::default(),
+            },
+        })
+    }
+}
+
+impl FlowReport {
+    /// The **deterministic** artifact of this run: counters, modeled
+    /// times, partitions and design statistics — no host wall-clock
+    /// measurement and no worker count. Serial and threaded runs of the
+    /// same flow emit byte-identical canonical artifacts; `bench_gate`
+    /// and the `flow_api` tests assert exactly that.
+    pub fn canonical_json(&self) -> Json {
+        flow_report_header("flow_report")
+            .field("design", self.design.to_json())
+            .array(
+                "presim_points",
+                self.presim_points
+                    .iter()
+                    .map(presim_point_canonical)
+                    .collect(),
+            )
+            .field("chosen", presim_point_canonical(&self.chosen))
+            .uint("presim_runs", self.presim_runs as u64)
+            .field("full", cluster_run_core(&self.full).build())
+            .float("full_speedup", self.full_speedup)
+            .field("metrics", metrics_canonical(&self.metrics))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            events: 101,
+            gate_evals: 99,
+            net_toggles: 55,
+            cycles: 40,
+            end_time: 400,
+            messages: 12,
+            anti_messages: 3,
+            rollbacks: 2,
+            rolled_back_events: 7,
+            gvt_rounds: 9,
+            fossil_collected: 88,
+        }
+    }
+
+    #[test]
+    fn sim_stats_round_trip_is_exact() {
+        let s = sample_stats();
+        let text = s.to_json().emit().unwrap();
+        let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sim_stats_missing_field_is_an_error() {
+        let mut v = sample_stats().to_json();
+        if let Json::Object(members) = &mut v {
+            members.retain(|(k, _)| k != "rollbacks");
+        }
+        let err = SimStats::from_json(&v).unwrap_err();
+        assert!(err.msg.contains("rollbacks"), "{err}");
+    }
+
+    #[test]
+    fn partition_quality_round_trips() {
+        let q = PartitionQuality {
+            cut: 263,
+            max_load: 6200,
+            min_load: 6038,
+            balance_violations: 1,
+        };
+        let back = PartitionQuality::from_json(&Json::parse(&q.to_json().emit().unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn unknown_gate_kind_is_rejected() {
+        let v = Json::parse(
+            r#"{"module_defs":1,"instances":0,"max_depth":0,"gates":1,"nets":1,
+                "primary_inputs":1,"primary_outputs":1,
+                "gates_by_kind":{"tribuf":1},"sequential_gates":0,
+                "max_fanout":1,"mean_fanout":1.0,"logic_depth":1}"#,
+        )
+        .unwrap();
+        let err = DesignStats::from_json(&v).unwrap_err();
+        assert!(err.msg.contains("tribuf"), "{err}");
+    }
+}

@@ -39,7 +39,12 @@
 //! * [`pipeline`] — the [`Flow`]/[`FlowBuilder`] front door: Verilog source
 //!   (or netlist) to a chosen, simulated partition, with per-stage metrics;
 //! * [`report`] — fixed-width table rendering used by the reproduction
-//!   harness.
+//!   harness;
+//! * [`json`] — dependency-free JSON value type, emitter and parser;
+//! * [`artifact`] — machine-readable run artifacts: schema-versioned JSON
+//!   serialization of [`FlowReport`] and friends, including the canonical
+//!   (deterministic, thread-count-independent) view used by the CI perf
+//!   gate.
 //!
 //! ## Quickstart
 //!
@@ -69,8 +74,10 @@
 //! ```
 
 pub mod activity;
+pub mod artifact;
 pub mod cone;
 pub mod engine;
+pub mod json;
 pub mod multiway;
 pub mod pairing;
 pub mod pipeline;
@@ -78,7 +85,10 @@ pub mod presim;
 pub mod report;
 
 pub use engine::Parallelism;
+pub use json::{FromJson, Json, JsonError, ToJson, SCHEMA_VERSION};
 pub use multiway::{partition_multiway, MultiwayConfig, MultiwayResult};
 pub use pairing::PairingStrategy;
 pub use pipeline::{Flow, FlowBuilder, FlowConfig, FlowError, FlowMetrics, FlowReport, Search};
-pub use presim::{brute_force_presim, heuristic_presim, PresimConfig, PresimPoint};
+pub use presim::{
+    brute_force_presim, heuristic_presim, PartitionQuality, PresimConfig, PresimPoint,
+};

@@ -79,6 +79,40 @@ pub struct PointTiming {
     pub fm_rounds: usize,
 }
 
+/// Deterministic quality measures of one partition — the numbers the
+/// paper's Tables 1–4 argue from, in machine-readable form for run
+/// artifacts and the CI perf gate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionQuality {
+    /// Flat-netlist hyperedge cut (the Table 1/2 metric).
+    pub cut: u64,
+    /// Heaviest block load in gates.
+    pub max_load: u64,
+    /// Lightest block load in gates.
+    pub min_load: u64,
+    /// Blocks whose load falls outside the balance envelope of the
+    /// paper's formula (1); zero iff the partition is balanced.
+    pub balance_violations: u32,
+}
+
+impl PartitionQuality {
+    /// Measure a per-gate block assignment against formula (1) for
+    /// `(k, b)` over `total` weight units.
+    pub fn measure(gate_blocks: &[u32], cut: u64, k: u32, b: f64, total: u64) -> Self {
+        let mut loads = vec![0u64; k as usize];
+        for &blk in gate_blocks {
+            loads[blk as usize] += 1;
+        }
+        let balance = dvs_hypergraph::partition::BalanceConstraint::new(k, total, b);
+        PartitionQuality {
+            cut,
+            max_load: loads.iter().copied().max().unwrap_or(0),
+            min_load: loads.iter().copied().min().unwrap_or(0),
+            balance_violations: loads.iter().filter(|&&w| !balance.block_ok(w)).count() as u32,
+        }
+    }
+}
+
 /// One evaluated (k, b) data point — a row of the paper's Table 3.
 #[derive(Debug, Clone)]
 pub struct PresimPoint {
@@ -100,6 +134,8 @@ pub struct PresimPoint {
     /// The partition itself, for reuse in the full simulation.
     pub gate_blocks: Vec<u32>,
     pub balanced: bool,
+    /// Deterministic quality measures (cut, load spread, violations).
+    pub quality: PartitionQuality,
     /// Host cost of producing this point.
     pub timing: PointTiming,
 }
@@ -153,6 +189,7 @@ pub fn evaluate_partition(
     let stim = VectorStimulus::from_netlist(nl, cfg.period, cfg.stim_seed);
     let run = model.run(&stim, cfg.vectors);
     let simulate_seconds = t_sim.elapsed().as_secs_f64();
+    let quality = PartitionQuality::measure(&gate_blocks, cut, k, b, nl.gate_count() as u64);
     PresimPoint {
         k,
         b,
@@ -166,6 +203,7 @@ pub fn evaluate_partition(
         machine_rollbacks: run.machine_rollbacks,
         gate_blocks,
         balanced,
+        quality,
         timing: PointTiming {
             simulate_seconds,
             ..PointTiming::default()
@@ -375,6 +413,21 @@ mod tests {
             assert_eq!(s.gate_blocks, p.gate_blocks);
             assert_eq!(s.speedup.to_bits(), p.speedup.to_bits());
         }
+    }
+
+    #[test]
+    fn quality_measures_load_spread_and_violations() {
+        let nl = pipeline_netlist();
+        let cfg = quick_cfg(&nl);
+        let p = presim_point(&nl, 2, 10.0, &cfg);
+        assert_eq!(p.quality.cut, p.cut);
+        assert!(p.quality.max_load >= p.quality.min_load);
+        assert_eq!(
+            p.quality.max_load + p.quality.min_load,
+            nl.gate_count() as u64,
+            "two blocks partition every gate"
+        );
+        assert_eq!(p.quality.balance_violations == 0, p.balanced);
     }
 
     #[test]

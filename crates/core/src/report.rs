@@ -70,6 +70,22 @@ impl Table {
         out
     }
 
+    /// JSON view — `{"headers": [...], "rows": [[...], ...]}`. Cells stay
+    /// strings, exactly as rendered, so the artifact mirrors the printed
+    /// table.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let str_row =
+            |cells: &[String]| Json::Array(cells.iter().map(|c| Json::Str(c.clone())).collect());
+        Json::Object(vec![
+            ("headers".to_string(), str_row(&self.headers)),
+            (
+                "rows".to_string(),
+                Json::Array(self.rows.iter().map(|r| str_row(r)).collect()),
+            ),
+        ])
+    }
+
     /// Render as CSV (no quoting — cells are numeric or simple words).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -165,6 +181,14 @@ mod tests {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["1", "2"]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_output_mirrors_the_table() {
+        let mut t = Table::new(vec!["k", "cut"]);
+        t.row(vec!["2", "905"]);
+        let text = t.to_json().emit().unwrap();
+        assert_eq!(text, r#"{"headers":["k","cut"],"rows":[["2","905"]]}"#);
     }
 
     #[test]

@@ -244,6 +244,7 @@ impl<'a> ClusterModel<'a> {
         let mut local = vec![0.0f64; k];
         let mut rollbacks = vec![0u64; k];
         let mut rolled_back_events = 0u64;
+        let mut anti_messages = 0u64;
         let mut machine_events = vec![0u64; k];
         let mut machine_messages = vec![0u64; k];
 
@@ -293,8 +294,15 @@ impl<'a> ClusterModel<'a> {
                     // penalty and keeps the recurrence stable.
                     let gap = latest_arrival - local[p];
                     let span = (local[p] - start[p]).max(0.0);
-                    let redo = gap.min(span) * self.cfg.rollback_penalty;
-                    rolled_back_events += (gap.min(span) / ev_ns) as u64;
+                    let undone = gap.min(span);
+                    let redo = undone * self.cfg.rollback_penalty;
+                    rolled_back_events += (undone / ev_ns) as u64;
+                    // Sends made during the undone optimistic span are
+                    // cancelled with anti-messages, pro rata over the span.
+                    if span > 0.0 {
+                        anti_messages +=
+                            ((undone / span) * prof.sent[b * k + p] as f64).round() as u64;
+                    }
                     finish[p] = latest_arrival + redo;
                 } else {
                     finish[p] = local[p];
@@ -309,6 +317,15 @@ impl<'a> ClusterModel<'a> {
         stats.messages = machine_messages.iter().sum();
         stats.rollbacks = rollbacks.iter().sum();
         stats.rolled_back_events = rolled_back_events;
+        if k > 1 {
+            // The modeled Time Warp bookkeeping: each cycle bucket ends in
+            // one GVT advance that commits and reclaims the bucket's
+            // history, so every committed event is eventually fossil
+            // collected. A single machine runs no Time Warp machinery.
+            stats.anti_messages = anti_messages;
+            stats.gvt_rounds = buckets as u64;
+            stats.fossil_collected = stats.events;
+        }
 
         ClusterRun {
             wall_seconds: wall_ns / 1e9,

@@ -24,6 +24,9 @@ pub struct SimStats {
     pub rolled_back_events: u64,
     /// GVT computations performed.
     pub gvt_rounds: u64,
+    /// Committed history records reclaimed by fossil collection (processed
+    /// events whose timestamps fell below GVT).
+    pub fossil_collected: u64,
 }
 
 impl SimStats {
@@ -39,6 +42,7 @@ impl SimStats {
         self.rollbacks += other.rollbacks;
         self.rolled_back_events += other.rolled_back_events;
         self.gvt_rounds = self.gvt_rounds.max(other.gvt_rounds);
+        self.fossil_collected += other.fossil_collected;
     }
 }
 
@@ -59,6 +63,7 @@ mod tests {
             rollbacks: 2,
             rolled_back_events: 7,
             gvt_rounds: 4,
+            fossil_collected: 6,
         };
         let b = SimStats {
             events: 1,
@@ -71,6 +76,7 @@ mod tests {
             rollbacks: 0,
             rolled_back_events: 0,
             gvt_rounds: 9,
+            fossil_collected: 2,
         };
         a.merge(&b);
         assert_eq!(a.events, 11);
@@ -78,5 +84,6 @@ mod tests {
         assert_eq!(a.end_time, 2000);
         assert_eq!(a.gvt_rounds, 9);
         assert_eq!(a.messages, 4);
+        assert_eq!(a.fossil_collected, 8);
     }
 }

@@ -407,6 +407,7 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
         let u = self.undo.partition_point(|&(t, _, _)| t < horizon);
         self.undo.drain(..u);
         let p = self.processed.partition_point(|r| r.ev.time < horizon);
+        self.stats.fossil_collected += p as u64;
         self.processed.drain(..p);
         let o = self.outlog.partition_point(|r| r.created_at < gvt);
         self.outlog.drain(..o);

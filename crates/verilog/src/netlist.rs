@@ -87,6 +87,30 @@ pub enum GateKind {
 }
 
 impl GateKind {
+    /// Every primitive kind, in declaration order. Lets consumers map a
+    /// [`GateKind::name`] string back to the kind (e.g. when reading a
+    /// serialized design-statistics artifact).
+    pub const ALL: [GateKind; 13] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::Dff,
+        GateKind::Dffr,
+        GateKind::Latch,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// The kind whose [`GateKind::name`] equals `name`, if any.
+    pub fn from_name(name: &str) -> Option<GateKind> {
+        GateKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// True for state-holding elements (the paper's "invisible nodes with
     /// memory", which must checkpoint state even inside a module cluster).
     pub fn is_sequential(self) -> bool {

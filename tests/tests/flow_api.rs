@@ -83,6 +83,35 @@ fn serial_and_threaded_flows_are_bit_identical() {
     assert_eq!(serial.metrics.presim_runs, threaded.metrics.presim_runs);
 }
 
+/// The artifact-level form of the same contract, the one CI's bench gate
+/// relies on: serializing both runs to the canonical JSON view produces
+/// byte-identical text. (The full `to_json` view differs — it includes
+/// host wall times and the worker count.)
+#[test]
+fn serial_and_threaded_canonical_artifacts_are_byte_identical() {
+    let src = small_viterbi();
+    let serial = run_with(&src, Parallelism::Serial);
+    let threaded = run_with(&src, Parallelism::Threads(4));
+
+    let serial_text = serial.canonical_json().emit().expect("emit serial");
+    let threaded_text = threaded.canonical_json().emit().expect("emit threaded");
+    assert_eq!(serial_text, threaded_text);
+
+    // And the artifact actually carries the load-bearing content.
+    for needle in [
+        "\"kind\":\"flow_report\"",
+        "\"schema_version\":1",
+        "\"quality\":",
+        "\"fossil_collected\":",
+        "\"gate_blocks\":",
+    ] {
+        assert!(serial_text.contains(needle), "missing {needle} in artifact");
+    }
+    // No host measurement leaks into the canonical view.
+    assert!(!serial_text.contains("search_workers"));
+    assert!(!serial_text.contains("partition_seconds"));
+}
+
 #[test]
 fn heuristic_search_is_thread_count_invariant_too() {
     let src = small_viterbi();

@@ -1,0 +1,124 @@
+//! Cross-crate artifact round-trips: a real `FlowReport` (produced by a
+//! real flow run) and Time Warp `SimStats` survive
+//! serialize → parse → deserialize → serialize with byte-identical text,
+//! and the emitter's string escaping holds up on hostile content.
+
+use dvs_core::json::{FromJson, Json, ToJson};
+use dvs_core::{FlowBuilder, FlowReport, Parallelism, Search};
+use dvs_sim::stats::SimStats;
+use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
+
+fn small_report() -> FlowReport {
+    let src = generate_pipeline_soc(&PipelineParams::tiny());
+    FlowBuilder::from_source(&src)
+        .search(Search::BruteForce {
+            ks: vec![2, 3],
+            bs: vec![7.5, 15.0],
+        })
+        .presim_vectors(60)
+        .full_vectors(150)
+        .stim_seed(7)
+        .part_seed(11)
+        .parallelism(Parallelism::Serial)
+        .build()
+        .expect("valid flow")
+        .run()
+        .expect("flow runs")
+}
+
+#[test]
+fn flow_report_round_trips_byte_identically() {
+    let report = small_report();
+    let first = report.to_json().emit().expect("emit");
+    let parsed = Json::parse(&first).expect("parse");
+    let back = FlowReport::from_json(&parsed).expect("deserialize");
+    let second = back.to_json().emit().expect("re-emit");
+    assert_eq!(first, second);
+
+    // Spot-check the reconstruction is semantic, not just textual.
+    assert_eq!(back.chosen.k, report.chosen.k);
+    assert_eq!(back.chosen.gate_blocks, report.chosen.gate_blocks);
+    assert_eq!(back.chosen.quality, report.chosen.quality);
+    assert_eq!(back.full.stats, report.full.stats);
+    assert_eq!(back.design.gates, report.design.gates);
+    assert_eq!(
+        back.metrics.total_seconds.to_bits(),
+        report.metrics.total_seconds.to_bits()
+    );
+}
+
+#[test]
+fn canonical_artifact_round_trips_through_from_json() {
+    // The canonical view drops host times and the worker count but is
+    // still a loadable flow report (missing pieces default to zero).
+    let report = small_report();
+    let text = report.canonical_json().emit().expect("emit");
+    let back = FlowReport::from_json(&Json::parse(&text).expect("parse")).expect("load");
+    assert_eq!(back.chosen.cut, report.chosen.cut);
+    assert_eq!(back.full.stats, report.full.stats);
+    assert_eq!(back.metrics.fm_passes, report.metrics.fm_passes);
+    assert_eq!(back.metrics.search_workers, 0);
+    assert_eq!(back.full.timing.profile_seconds, 0.0);
+    // Re-emitting the canonical view of the reconstruction reproduces the
+    // exact artifact.
+    assert_eq!(back.canonical_json().emit().expect("re-emit"), text);
+}
+
+#[test]
+fn sim_stats_round_trip_is_exact() {
+    let stats = SimStats {
+        events: u64::MAX,
+        gate_evals: 12_345,
+        net_toggles: 9,
+        cycles: 1,
+        end_time: 77,
+        messages: 3,
+        anti_messages: 2,
+        rollbacks: 1,
+        rolled_back_events: 4,
+        gvt_rounds: 6,
+        fossil_collected: 5,
+    };
+    let text = stats.to_json().emit().expect("emit");
+    let back = SimStats::from_json(&Json::parse(&text).expect("parse")).expect("load");
+    // u64::MAX saturates to i64::MAX in JSON (integers are i64); every
+    // representable counter round-trips exactly.
+    assert_eq!(back.events, i64::MAX as u64);
+    assert_eq!(
+        back,
+        SimStats {
+            events: i64::MAX as u64,
+            ..stats
+        }
+    );
+}
+
+#[test]
+fn string_escaping_round_trips_hostile_content() {
+    for hostile in [
+        "plain",
+        "with \"quotes\" and \\backslashes\\",
+        "newline\nand\ttab\rand\x08control\x0c",
+        "módulo_ünïté_ΔΣ_模块_🚀",
+        "\u{0000}\u{001f}",
+        "lone slash / and </script>",
+    ] {
+        let v = Json::Object(vec![(hostile.to_string(), Json::Str(hostile.to_string()))]);
+        let text = v.emit().expect("emit");
+        let parsed = Json::parse(&text).expect("parse");
+        let obj = parsed.as_object().expect("object");
+        assert_eq!(obj[0].0, hostile);
+        assert_eq!(obj[0].1.as_str().expect("str"), hostile);
+        // And emit is stable under the round trip.
+        assert_eq!(parsed.emit().expect("re-emit"), text);
+    }
+}
+
+#[test]
+fn pretty_and_compact_forms_parse_to_the_same_value() {
+    let report = small_report();
+    let v = report.to_json();
+    let compact = Json::parse(&v.emit().expect("emit")).expect("parse compact");
+    let pretty = Json::parse(&v.emit_pretty().expect("pretty")).expect("parse pretty");
+    assert_eq!(compact.emit().expect("emit"), pretty.emit().expect("emit"));
+}

@@ -1,9 +1,10 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the API subset this workspace's property tests use: the
-//! [`proptest!`] macro, [`Strategy`] with `prop_map`, integer-range, tuple,
-//! [`Just`], `any::<bool>()`, regex-string and [`collection::vec`]
-//! strategies, weighted [`prop_oneof!`], and the `prop_assert*` macros.
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! integer-range, tuple, [`strategy::Just`], `any::<bool>()`, regex-string
+//! and [`collection::vec`] strategies, weighted [`prop_oneof!`], and the
+//! `prop_assert*` macros.
 //!
 //! Differences from upstream: cases are generated from a fixed per-test
 //! seed (deterministic across runs and platforms), and failing inputs are
