@@ -22,7 +22,8 @@
 //! (`bench_gate --write-baseline`), never a silent pass.
 
 use dvs_core::json::{Json, JsonError, ObjBuilder, SCHEMA_VERSION};
-use dvs_core::{FlowBuilder, Parallelism, Search};
+use dvs_core::{FlowBuilder, Parallelism, Search, TwPresimConfig};
+use dvs_sim::SchedulePolicy;
 use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
 use dvs_workloads::{generate_viterbi, ViterbiParams};
 use std::collections::BTreeMap;
@@ -36,6 +37,25 @@ pub const STIM_SEED: u64 = 0x5EED_0001;
 pub const PART_SEED: u64 = 0x5EED_0002;
 /// Thread count for the parallel leg of the determinism check.
 pub const GATE_THREADS: usize = 4;
+/// Scheduler seed for the deterministic Time Warp presim leg. Fixed
+/// forever, like [`STIM_SEED`]: it selects the exact interleaving whose
+/// protocol counters (rollbacks, anti-messages, GVT rounds, fossil
+/// collections) the baseline records.
+pub const DST_SEED: u64 = 0x5EED_0003;
+/// Vectors for the deterministic Time Warp presim leg (it simulates every
+/// gate for real, so it is kept shorter than the modeled presim).
+pub const DST_VECTORS: u64 = 40;
+
+/// The deterministic Time Warp leg every gate run enables: a seeded-random
+/// schedule, so the gate covers a nontrivial interleaving rather than the
+/// benign round-robin one.
+pub fn dst_presim() -> TwPresimConfig {
+    TwPresimConfig {
+        schedule: SchedulePolicy::SeededRandom,
+        vectors: DST_VECTORS,
+        ..TwPresimConfig::new(DST_SEED)
+    }
+}
 
 /// One workload of the smoke grid.
 pub struct BenchCase {
@@ -101,6 +121,7 @@ pub fn run_case(case: &BenchCase) -> Result<CaseArtifact, String> {
             .full_vectors(case.full_vectors)
             .stim_seed(STIM_SEED)
             .part_seed(PART_SEED)
+            .timewarp_presim(dst_presim())
             .parallelism(par)
             .build()
             .map_err(|e| format!("case `{}`: {e}", case.name))?

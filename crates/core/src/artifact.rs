@@ -30,6 +30,7 @@ use crate::pipeline::{FlowMetrics, FlowReport, PointCost};
 use crate::presim::{PartitionQuality, PointTiming, PresimPoint};
 use dvs_sim::cluster_model::{ClusterRun, RunTiming};
 use dvs_sim::stats::SimStats;
+use dvs_sim::timewarp::TwRunResult;
 use dvs_verilog::netlist::GateKind;
 use dvs_verilog::stats::DesignStats;
 
@@ -192,6 +193,32 @@ impl FromJson for DesignStats {
     }
 }
 
+impl ToJson for TwRunResult {
+    /// Every field of a Time Warp run is deterministic content under
+    /// [`dvs_sim::timewarp::TimeWarpMode::Deterministic`] (no host times
+    /// are recorded), so this serialization doubles as the canonical form:
+    /// two runs with the same seed and schedule emit byte-identical JSON,
+    /// protocol counters included.
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("stats", self.stats.to_json())
+            .array(
+                "cluster_stats",
+                self.cluster_stats.iter().map(|s| s.to_json()).collect(),
+            )
+            .uint("gvt_rounds", self.gvt_rounds)
+            .str(
+                "values",
+                &self
+                    .values
+                    .iter()
+                    .map(|v| v.display_char())
+                    .collect::<String>(),
+            )
+            .build()
+    }
+}
+
 impl ToJson for PartitionQuality {
     fn to_json(&self) -> Json {
         ObjBuilder::new()
@@ -260,6 +287,13 @@ fn presim_point_core(p: &PresimPoint) -> ObjBuilder {
         )
         .bool("balanced", p.balanced)
         .field("quality", p.quality.to_json())
+        .field(
+            "tw",
+            match &p.tw {
+                Some(s) => s.to_json(),
+                None => Json::Null,
+            },
+        )
 }
 
 impl ToJson for PresimPoint {
@@ -315,6 +349,12 @@ impl FromJson for PresimPoint {
             gate_blocks,
             balanced: v.field("balanced")?.as_bool()?,
             quality: PartitionQuality::from_json(v.field("quality")?)?,
+            // Absent in artifacts written before the deterministic Time
+            // Warp leg existed; null when the leg was disabled.
+            tw: match v.get("tw") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(SimStats::from_json(s)?),
+            },
             timing,
         })
     }
@@ -533,6 +573,46 @@ mod tests {
         let back = PartitionQuality::from_json(&Json::parse(&q.to_json().emit().unwrap()).unwrap())
             .unwrap();
         assert_eq!(back, q);
+    }
+
+    #[test]
+    fn presim_point_tw_field_round_trips_and_tolerates_absence() {
+        let point = PresimPoint {
+            k: 2,
+            b: 10.0,
+            cut: 5,
+            sim_seconds: 0.5,
+            seq_seconds: 1.0,
+            speedup: 2.0,
+            messages: 40,
+            rollbacks: 4,
+            machine_messages: vec![20, 20],
+            machine_rollbacks: vec![2, 2],
+            gate_blocks: vec![0, 1, 0, 1],
+            balanced: true,
+            quality: PartitionQuality::default(),
+            tw: Some(sample_stats()),
+            timing: PointTiming::default(),
+        };
+        let text = point.to_json().emit().unwrap();
+        let back = PresimPoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.tw.as_ref(), Some(&sample_stats()));
+
+        // Artifacts from before the deterministic leg existed have no
+        // `tw` key at all; a disabled leg serializes as null. Both read
+        // back as None.
+        let mut v = point.to_json();
+        if let Json::Object(members) = &mut v {
+            members.retain(|(k, _)| k != "tw");
+        }
+        assert!(PresimPoint::from_json(&v).unwrap().tw.is_none());
+        let disabled = PresimPoint { tw: None, ..point };
+        let text = disabled.to_json().emit().unwrap();
+        assert!(text.contains("\"tw\":null"));
+        assert!(PresimPoint::from_json(&Json::parse(&text).unwrap())
+            .unwrap()
+            .tw
+            .is_none());
     }
 
     #[test]

@@ -91,4 +91,5 @@ pub use pairing::PairingStrategy;
 pub use pipeline::{Flow, FlowBuilder, FlowConfig, FlowError, FlowMetrics, FlowReport, Search};
 pub use presim::{
     brute_force_presim, heuristic_presim, PartitionQuality, PresimConfig, PresimPoint,
+    TwPresimConfig,
 };

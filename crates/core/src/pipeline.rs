@@ -30,6 +30,7 @@
 use crate::engine::Parallelism;
 use crate::presim::{
     best_point, brute_force_presim_par, heuristic_presim_points, PresimConfig, PresimPoint,
+    TwPresimConfig,
 };
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterRun};
@@ -200,6 +201,7 @@ pub struct FlowBuilder<'a> {
     parallelism: Parallelism,
     stim_seed: Option<u64>,
     part_seed: Option<u64>,
+    timewarp_presim: Option<TwPresimConfig>,
 }
 
 impl<'a> FlowBuilder<'a> {
@@ -216,6 +218,7 @@ impl<'a> FlowBuilder<'a> {
             parallelism: Parallelism::Auto,
             stim_seed: None,
             part_seed: None,
+            timewarp_presim: None,
         }
     }
 
@@ -277,6 +280,16 @@ impl<'a> FlowBuilder<'a> {
         self
     }
 
+    /// Additionally run each candidate partition under the deterministic
+    /// Time Warp executor, recording exact protocol counters (rollbacks,
+    /// anti-messages, GVT rounds, fossil collections) in every
+    /// [`PresimPoint::tw`]. Deterministic for any thread count, so the
+    /// counters appear in canonical artifacts.
+    pub fn timewarp_presim(mut self, tw: TwPresimConfig) -> Self {
+        self.timewarp_presim = Some(tw);
+        self
+    }
+
     /// Validate the search space, parse the source if needed, and produce
     /// a runnable [`Flow`].
     pub fn build(self) -> Result<Flow<'a>, FlowError> {
@@ -307,6 +320,9 @@ impl<'a> FlowBuilder<'a> {
         }
         if let Some(s) = self.part_seed {
             presim.part_seed = s;
+        }
+        if let Some(tw) = self.timewarp_presim {
+            presim.timewarp = Some(tw);
         }
         Ok(Flow {
             nl,

@@ -22,10 +22,45 @@ use crate::multiway::{partition_multiway, MultiwayConfig};
 use crate::pairing::PairingStrategy;
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
+use dvs_sim::stats::SimStats;
 use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::{run_timewarp, SchedulePolicy, TimeWarpConfig, TimeWarpMode};
 use dvs_verilog::netlist::Netlist;
 use std::cmp::Ordering;
 use std::time::Instant;
+
+/// Optional exact-counter leg of pre-simulation: run each candidate
+/// partition under the deterministic Time Warp executor
+/// ([`dvs_sim::timewarp::dst`]) in addition to the modeled cluster run.
+/// The resulting [`SimStats`] — rollbacks, anti-messages, GVT rounds,
+/// fossil collections — are exact, seed-reproducible protocol counters
+/// (where the cluster model only *estimates* messages and rollbacks), so
+/// they land in canonical artifacts and are byte-compared by the perf gate.
+#[derive(Debug, Clone)]
+pub struct TwPresimConfig {
+    /// Seed for the virtual scheduler.
+    pub seed: u64,
+    /// Schedule policy driving the deterministic executor.
+    pub schedule: SchedulePolicy,
+    /// Vectors simulated under the executor. Kept smaller than the modeled
+    /// run's `vectors` — the executor simulates every gate for real.
+    pub vectors: u64,
+    /// Kernel tuning (window, batch, GVT cadence, state saving). The
+    /// `mode` field is ignored: the run is always deterministic.
+    pub kernel: TimeWarpConfig,
+}
+
+impl TwPresimConfig {
+    /// Defaults: round-robin schedule, 100 vectors, stock kernel tuning.
+    pub fn new(seed: u64) -> Self {
+        TwPresimConfig {
+            seed,
+            schedule: SchedulePolicy::RoundRobin,
+            vectors: 100,
+            kernel: TimeWarpConfig::default(),
+        }
+    }
+}
 
 /// Pre-simulation parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +77,10 @@ pub struct PresimConfig {
     pub pairing: PairingStrategy,
     /// Partitioner seed.
     pub part_seed: u64,
+    /// When set, each point additionally runs the deterministic Time Warp
+    /// executor and records exact protocol counters in
+    /// [`PresimPoint::tw`].
+    pub timewarp: Option<TwPresimConfig>,
 }
 
 impl PresimConfig {
@@ -55,6 +94,7 @@ impl PresimConfig {
             model: ClusterModelConfig::athlon_cluster(gates),
             pairing: PairingStrategy::CutBased,
             part_seed: 0xD5,
+            timewarp: None,
         }
     }
 }
@@ -136,6 +176,9 @@ pub struct PresimPoint {
     pub balanced: bool,
     /// Deterministic quality measures (cut, load spread, violations).
     pub quality: PartitionQuality,
+    /// Exact Time Warp protocol counters from the deterministic executor
+    /// (present iff [`PresimConfig::timewarp`] was set).
+    pub tw: Option<SimStats>,
     /// Host cost of producing this point.
     pub timing: PointTiming,
 }
@@ -185,8 +228,21 @@ pub fn evaluate_partition(
 ) -> PresimPoint {
     let t_sim = Instant::now();
     let plan = ClusterPlan::new(nl, &gate_blocks, k as usize);
-    let model = ClusterModel::new(nl, plan, cfg.model.clone());
     let stim = VectorStimulus::from_netlist(nl, cfg.period, cfg.stim_seed);
+    // The exact-counter leg runs before the plan is handed to the model.
+    // Deterministic mode makes it a pure function of its inputs, so points
+    // stay bit-identical for any evaluation order or thread count.
+    let tw = cfg.timewarp.as_ref().map(|t| {
+        let twcfg = TimeWarpConfig {
+            mode: TimeWarpMode::Deterministic {
+                seed: t.seed,
+                schedule: t.schedule,
+            },
+            ..t.kernel.clone()
+        };
+        run_timewarp(nl, &plan, &stim, t.vectors, &twcfg).stats
+    });
+    let model = ClusterModel::new(nl, plan, cfg.model.clone());
     let run = model.run(&stim, cfg.vectors);
     let simulate_seconds = t_sim.elapsed().as_secs_f64();
     let quality = PartitionQuality::measure(&gate_blocks, cut, k, b, nl.gate_count() as u64);
@@ -204,6 +260,7 @@ pub fn evaluate_partition(
         gate_blocks,
         balanced,
         quality,
+        tw,
         timing: PointTiming {
             simulate_seconds,
             ..PointTiming::default()
@@ -428,6 +485,25 @@ mod tests {
             "two blocks partition every gate"
         );
         assert_eq!(p.quality.balance_violations == 0, p.balanced);
+    }
+
+    #[test]
+    fn timewarp_leg_yields_exact_reproducible_counters() {
+        let nl = pipeline_netlist();
+        let mut cfg = quick_cfg(&nl);
+        cfg.timewarp = Some(TwPresimConfig {
+            vectors: 40,
+            ..TwPresimConfig::new(7)
+        });
+        let p1 = presim_point(&nl, 2, 10.0, &cfg);
+        let p2 = presim_point(&nl, 2, 10.0, &cfg);
+        let tw = p1.tw.as_ref().expect("tw leg enabled");
+        assert_eq!(p1.tw, p2.tw, "same seed/schedule ⇒ identical counters");
+        assert!(tw.events > 0);
+        assert!(tw.gvt_rounds > 0);
+        // Disabled leg stays disabled.
+        cfg.timewarp = None;
+        assert!(presim_point(&nl, 2, 10.0, &cfg).tw.is_none());
     }
 
     #[test]

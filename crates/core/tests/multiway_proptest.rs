@@ -1,0 +1,206 @@
+//! Property tests for the paper's partitioning machinery.
+//!
+//! Two contracts, fuzzed over random circuits / hypergraphs:
+//!
+//! 1. **Formula (1) honesty** — whatever `partition_multiway` returns, the
+//!    `balanced` flag, the per-block `loads`, and
+//!    `PartitionQuality::balance_violations` must all agree with the
+//!    balance constraint recomputed from scratch on the gate assignment.
+//!    The partitioner may fail to balance a hostile instance; it may never
+//!    *misreport* one.
+//! 2. **FM monotonicity** — a `pairwise_fm` invocation never leaves the
+//!    pair worse off: the balance violation never increases, and when the
+//!    violation is unchanged the (weighted) cut never increases; the
+//!    reported gain equals the actual cut delta.
+
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_core::presim::PartitionQuality;
+use dvs_hypergraph::fm::{pairwise_fm, FmConfig};
+use dvs_hypergraph::hgraph::{Hypergraph, HypergraphBuilder, VertexId};
+use dvs_hypergraph::partition::{BalanceConstraint, Partition};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn elaborate(src: &str) -> dvs_verilog::Netlist {
+    dvs_verilog::parse_and_elaborate(src)
+        .unwrap_or_else(|e| panic!("elaboration failed: {e}"))
+        .into_netlist()
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: the partitioner's balance verdict matches formula (1).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PartCase {
+    circuit_sel: u8,
+    bits: u32,
+    k: u32,
+    b: f64,
+    seed: u64,
+}
+
+fn part_case() -> impl Strategy<Value = PartCase> {
+    (
+        (0u8..3, 2u32..7),
+        (
+            2u32..5,
+            prop_oneof![Just(5.0), Just(12.5), Just(25.0), Just(40.0)],
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|((circuit_sel, bits), (k, b), seed)| PartCase {
+            circuit_sel,
+            bits,
+            k,
+            b,
+            seed,
+        })
+}
+
+fn case_source(c: &PartCase) -> String {
+    match c.circuit_sel {
+        0 => dvs_workloads::seqcirc::generate_counter(c.bits),
+        1 => dvs_workloads::seqcirc::generate_lfsr(c.bits.max(3), &[c.bits.max(3), 1]),
+        _ => dvs_workloads::random_hier::generate_random_hier(
+            &dvs_workloads::random_hier::RandomHierParams {
+                seed: c.seed,
+                gates_per_module: 4 + c.bits,
+                ..Default::default()
+            },
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multiway_reports_balance_honestly(c in part_case()) {
+        let nl = elaborate(&case_source(&c));
+        let mut cfg = MultiwayConfig::new(c.k, c.b);
+        cfg.seed = c.seed;
+        cfg.restarts = 1; // keep the fuzz case cheap; honesty must hold per run
+        let res = partition_multiway(&nl, &cfg);
+
+        // The assignment covers every gate with a legal block id.
+        prop_assert_eq!(res.gate_blocks.len(), nl.gate_count());
+        prop_assert!(res.gate_blocks.iter().all(|&blk| blk < c.k));
+
+        // Reported loads are the recomputed loads.
+        let mut loads = vec![0u64; c.k as usize];
+        for &blk in &res.gate_blocks {
+            loads[blk as usize] += 1;
+        }
+        prop_assert_eq!(&res.loads, &loads);
+        prop_assert_eq!(res.design_cut, res.cut);
+
+        // `balanced`, formula (1) recomputed, and PartitionQuality agree.
+        let total = nl.gate_count() as u64;
+        let constraint = BalanceConstraint::new(c.k, total, c.b);
+        prop_assert_eq!(res.balanced, constraint.satisfied(&loads));
+        let q = PartitionQuality::measure(&res.gate_blocks, res.cut, c.k, c.b, total);
+        prop_assert_eq!(q.balance_violations == 0, res.balanced);
+        prop_assert_eq!(q.max_load, loads.iter().copied().max().unwrap());
+        prop_assert_eq!(q.min_load, loads.iter().copied().min().unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: pairwise FM never makes the pair worse.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct FmCase {
+    nv: usize,
+    ne: usize,
+    k: u32,
+    b: f64,
+    seed: u64,
+}
+
+fn fm_case() -> impl Strategy<Value = FmCase> {
+    (
+        (4usize..24, 3usize..30),
+        (2u32..5, prop_oneof![Just(10.0), Just(25.0), Just(60.0)]),
+        any::<u64>(),
+    )
+        .prop_map(|((nv, ne), (k, b), seed)| FmCase { nv, ne, k, b, seed })
+}
+
+fn random_hypergraph(c: &FmCase, rng: &mut StdRng) -> Hypergraph {
+    let mut hb = HypergraphBuilder::with_capacity(c.nv, c.ne);
+    for _ in 0..c.nv {
+        hb.add_vertex(rng.gen_range(1..4));
+    }
+    for _ in 0..c.ne {
+        let deg = rng.gen_range(2..=4.min(c.nv));
+        let mut pins: Vec<VertexId> = Vec::with_capacity(deg);
+        while pins.len() < deg {
+            let v = VertexId(rng.gen_range(0..c.nv as u32));
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        hb.add_edge(pins, rng.gen_range(1..4));
+    }
+    hb.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pairwise_fm_never_worsens_the_pair(c in fm_case()) {
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let hg = random_hypergraph(&c, &mut rng);
+        let assign: Vec<u32> = (0..c.nv).map(|_| rng.gen_range(0..c.k)).collect();
+        let mut part = Partition::from_assignment(&hg, c.k, assign);
+        let a = rng.gen_range(0..c.k);
+        let b = (a + rng.gen_range(1..c.k)) % c.k;
+
+        let cfg = FmConfig::new(BalanceConstraint::new(c.k, hg.total_vweight(), c.b));
+        let pair_viol = |p: &Partition| {
+            cfg.bounds.block_violation(a, p.block_weight(a))
+                + cfg.bounds.block_violation(b, p.block_weight(b))
+        };
+
+        let before_assign = part.assignment().to_vec();
+        let cut_before = part.weighted_cut(&hg);
+        let viol_before = pair_viol(&part);
+        let res = pairwise_fm(&hg, &mut part, a, b, &cfg);
+        let cut_after = part.weighted_cut(&hg);
+        let viol_after = pair_viol(&part);
+
+        // Balance of the pair never degrades.
+        prop_assert!(
+            viol_after <= viol_before,
+            "violation grew: {} -> {}", viol_before, viol_after
+        );
+        // Feasibility repair may trade cut for balance, but a pass that
+        // did not improve balance must not increase the cut.
+        if viol_after == viol_before {
+            prop_assert!(
+                cut_after <= cut_before,
+                "cut grew without balance gain: {} -> {}", cut_before, cut_after
+            );
+        }
+        // The reported gain is the true weighted-cut delta.
+        prop_assert_eq!(
+            res.gain,
+            cut_before as i64 - cut_after as i64,
+            "reported gain disagrees with measured cut delta"
+        );
+        // Only vertices of the pair may have moved, and only within it.
+        for v in hg.vertices() {
+            let was = before_assign[v.idx()];
+            let now = part.block_of(v);
+            if was != a && was != b {
+                prop_assert_eq!(now, was, "vertex outside the pair moved");
+            } else {
+                prop_assert!(now == a || now == b, "vertex left the pair");
+            }
+        }
+    }
+}

@@ -13,9 +13,11 @@
 //!   an observer interface for per-partition event accounting;
 //! * [`cluster`] — mapping of a per-gate partition onto simulation clusters:
 //!   local gate sets, cut-net channels, per-cluster stimulus;
-//! * [`timewarp`] — a threaded Clustered Time Warp kernel: optimistic
-//!   execution with incremental state saving, rollback, anti-messages, GVT
-//!   and fossil collection (OOCTW's role in the paper);
+//! * [`timewarp`] — a Clustered Time Warp kernel: optimistic execution
+//!   with incremental state saving, rollback, anti-messages, GVT and fossil
+//!   collection (OOCTW's role in the paper), runnable threaded or under the
+//!   deterministic-schedule executor ([`timewarp::dst`]) with seedable and
+//!   adversarial schedules;
 //! * [`cluster_model`] — a deterministic meta-simulation of the k-machine
 //!   cluster (2001-era Athlon + 1 Gb Ethernet constants) that reports wall
 //!   time, message and rollback counts reproducibly — used by the
@@ -39,3 +41,4 @@ pub use logic::Logic;
 pub use seq::{SeqSim, SimConfig};
 pub use stats::SimStats;
 pub use stimulus::VectorStimulus;
+pub use timewarp::{SchedulePolicy, TimeWarpConfig, TimeWarpMode};

@@ -1,0 +1,532 @@
+//! Deterministic simulation testing (DST) for the Time Warp kernel.
+//!
+//! [`run_deterministic`] drives the same [`ClusterProcess`] state machines
+//! as the threaded kernel, but under a single-threaded virtual scheduler:
+//! the executor owns one FIFO queue per directed cluster pair (so a positive
+//! message always precedes its anti-message, exactly as on a real channel)
+//! and consults a pluggable [`Schedule`] to decide, at every step, whether a
+//! cluster processes its next epoch or an in-transit message is delivered.
+//!
+//! The only sources of nondeterminism in the threaded kernel are thread
+//! interleaving and message latency; fixing the schedule therefore fixes the
+//! entire execution. Every rollback, anti-message, GVT round and fossil
+//! collection is reproduced exactly for a given `(seed, schedule)` pair,
+//! which is what lets [`crate::stats::SimStats`] counters be compared
+//! byte-for-byte across runs and machines.
+//!
+//! Fault injection is *protocol-legal by construction*: a schedule may delay
+//! or reorder deliveries across channels arbitrarily and within a bounded
+//! horizon (that is precisely what the adversarial
+//! [`SchedulePolicy::StragglerHeavy`] and [`SchedulePolicy::DelayChannel`]
+//! policies do), but FIFO order within one channel is enforced by the
+//! executor's queues and cannot be violated, so annihilation stays sound.
+//!
+//! # Legality and progress
+//!
+//! The executor offers the schedule only *legal* actions:
+//!
+//! * `Step(c)` — cluster `c` has a next epoch within the optimism window
+//!   (`lvt(c) <= GVT + window`) and is not idle;
+//! * `Deliver { src, dst }` — the `src → dst` queue is non-empty (the head,
+//!   and only the head, of that queue is delivered).
+//!
+//! When no action is legal, either messages are in transit (impossible:
+//! queued messages are always deliverable) or every cluster is idle or
+//! throttled with empty channels — in which case the GVT sample must
+//! advance, un-throttling clusters or terminating the run. A schedule can
+//! therefore delay a message for an arbitrary but *bounded* number of
+//! decisions: eventually its delivery is the only legal action left.
+
+use super::gvt::GvtState;
+use super::proc::ClusterProcess;
+use super::{merge_results, TimeWarpConfig, TwMessage, TwRunResult};
+use crate::cluster::ClusterPlan;
+use crate::stimulus::VectorStimulus;
+use crate::wheel::VTime;
+use dvs_verilog::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+
+/// One scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DstAction {
+    /// Cluster `c` processes its next pending epoch.
+    Step(u32),
+    /// The head of the `src → dst` channel is delivered to `dst`.
+    Deliver { src: u32, dst: u32 },
+}
+
+/// Read-only view of the executor state offered to a [`Schedule`].
+#[derive(Debug)]
+pub struct DstView<'a> {
+    /// Current GVT lower bound.
+    pub gvt: VTime,
+    /// Current local virtual time per cluster (`VTime::MAX` = idle).
+    pub lvts: &'a [VTime],
+    /// Clusters with a legal `Step` action, ascending.
+    pub steppable: &'a [u32],
+    /// Channels with a legal `Deliver` action, ascending `(src, dst)`.
+    pub deliverable: &'a [(u32, u32)],
+    /// Monotone decision counter (0-based), for rotation-style schedules.
+    pub decision: u64,
+}
+
+impl DstView<'_> {
+    /// Total number of legal actions.
+    pub fn action_count(&self) -> usize {
+        self.steppable.len() + self.deliverable.len()
+    }
+
+    /// The `i`-th legal action: deliveries first, then steps.
+    pub fn action_at(&self, i: usize) -> DstAction {
+        if i < self.deliverable.len() {
+            let (src, dst) = self.deliverable[i];
+            DstAction::Deliver { src, dst }
+        } else {
+            DstAction::Step(self.steppable[i - self.deliverable.len()])
+        }
+    }
+
+    /// Is `a` among the legal actions?
+    pub fn is_legal(&self, a: DstAction) -> bool {
+        match a {
+            DstAction::Step(c) => self.steppable.contains(&c),
+            DstAction::Deliver { src, dst } => self.deliverable.contains(&(src, dst)),
+        }
+    }
+}
+
+/// A deterministic scheduling policy: given the current legal actions,
+/// choose exactly one. Implementations must be deterministic functions of
+/// their own state and the view — no wall-clock, no OS entropy — or the
+/// reproducibility guarantee of [`run_deterministic`] is lost.
+pub trait Schedule {
+    /// Choose one of the legal actions in `view`. Returning an illegal
+    /// action is a bug in the schedule and panics the executor.
+    fn next(&mut self, view: &DstView<'_>) -> DstAction;
+}
+
+/// Built-in schedule families, nameable in configs and artifacts. A policy
+/// plus a seed fully determines the execution; custom policies can be used
+/// by implementing [`Schedule`] and calling [`run_with_schedule`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Deliver eagerly (rotating over non-empty channels), step clusters in
+    /// rotation otherwise. Low-latency and fair — the benign baseline that
+    /// mimics an idealised network. Ignores the seed.
+    RoundRobin,
+    /// Pick uniformly at random among all legal actions using a seeded
+    /// xoshiro256++ generator. Different seeds explore different
+    /// interleavings; the same seed replays the same execution exactly.
+    SeededRandom,
+    /// Adversarial: starve the slowest cluster (the one with the minimum
+    /// LVT) and run everyone else as far ahead as the optimism window
+    /// allows, delivering the victim's outgoing messages as late as legally
+    /// possible — so they arrive as stragglers and force rollbacks.
+    StragglerHeavy,
+    /// Adversarial: hold every message on the `src → dst` channel until its
+    /// delivery is the only legal action left (the maximum protocol-legal
+    /// delay), behaving round-robin otherwise. Forces rollback storms on
+    /// the receiving cluster while preserving FIFO within the channel.
+    DelayChannel { src: u32, dst: u32 },
+}
+
+impl SchedulePolicy {
+    /// Instantiate the schedule for `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn Schedule + Send> {
+        match *self {
+            SchedulePolicy::RoundRobin => Box::new(RoundRobin::default()),
+            SchedulePolicy::SeededRandom => Box::new(SeededRandom::new(seed)),
+            SchedulePolicy::StragglerHeavy => Box::new(StragglerHeavy),
+            SchedulePolicy::DelayChannel { src, dst } => Box::new(DelayChannel::new(src, dst)),
+        }
+    }
+
+    /// Stable name for logs and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::RoundRobin => "round_robin",
+            SchedulePolicy::SeededRandom => "seeded_random",
+            SchedulePolicy::StragglerHeavy => "straggler_heavy",
+            SchedulePolicy::DelayChannel { .. } => "delay_channel",
+        }
+    }
+}
+
+/// The lowest-numbered directed cluster pair `(src, dst)` that actually
+/// carries messages under `plan` — a convenient target for
+/// [`SchedulePolicy::DelayChannel`]. `None` when the partition has no cut.
+pub fn first_cut_channel(plan: &ClusterPlan) -> Option<(u32, u32)> {
+    let mut best: Option<(u32, u32)> = None;
+    for (src, cluster) in plan.clusters.iter().enumerate() {
+        for (_, dests) in &cluster.exports {
+            for &d in dests {
+                let c = (src as u32, d);
+                if best.is_none_or(|b| c < b) {
+                    best = Some(c);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// See [`SchedulePolicy::RoundRobin`].
+#[derive(Debug, Default)]
+struct RoundRobin {
+    cursor: u64,
+}
+
+impl Schedule for RoundRobin {
+    fn next(&mut self, view: &DstView<'_>) -> DstAction {
+        let a = if !view.deliverable.is_empty() {
+            let (src, dst) =
+                view.deliverable[(self.cursor % view.deliverable.len() as u64) as usize];
+            DstAction::Deliver { src, dst }
+        } else {
+            DstAction::Step(view.steppable[(self.cursor % view.steppable.len() as u64) as usize])
+        };
+        self.cursor += 1;
+        a
+    }
+}
+
+/// See [`SchedulePolicy::SeededRandom`].
+#[derive(Debug)]
+struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Schedule for SeededRandom {
+    fn next(&mut self, view: &DstView<'_>) -> DstAction {
+        view.action_at(self.rng.gen_range(0..view.action_count()))
+    }
+}
+
+/// See [`SchedulePolicy::StragglerHeavy`].
+#[derive(Debug, Default)]
+struct StragglerHeavy;
+
+impl Schedule for StragglerHeavy {
+    fn next(&mut self, view: &DstView<'_>) -> DstAction {
+        // The victim: minimum LVT, lowest id on ties.
+        let victim = (0..view.lvts.len())
+            .min_by_key(|&i| (view.lvts[i], i))
+            .expect("at least one cluster") as u32;
+        // 1. Run the most-advanced non-victim cluster further ahead.
+        if let Some(&c) = view
+            .steppable
+            .iter()
+            .filter(|&&c| c != victim)
+            .max_by_key(|&&c| (view.lvts[c as usize], c))
+        {
+            return DstAction::Step(c);
+        }
+        // 2. Deliver messages not originating from the victim.
+        if let Some(&(src, dst)) = view.deliverable.iter().find(|&&(s, _)| s != victim) {
+            return DstAction::Deliver { src, dst };
+        }
+        // 3. Only now let the victim run (its sends pile up in the queues).
+        if view.steppable.contains(&victim) {
+            return DstAction::Step(victim);
+        }
+        // 4. Forced: deliver the victim's stale messages — the stragglers.
+        let (src, dst) = view.deliverable[0];
+        DstAction::Deliver { src, dst }
+    }
+}
+
+/// See [`SchedulePolicy::DelayChannel`].
+#[derive(Debug)]
+struct DelayChannel {
+    src: u32,
+    dst: u32,
+    cursor: u64,
+}
+
+impl DelayChannel {
+    fn new(src: u32, dst: u32) -> Self {
+        DelayChannel {
+            src,
+            dst,
+            cursor: 0,
+        }
+    }
+}
+
+impl Schedule for DelayChannel {
+    fn next(&mut self, view: &DstView<'_>) -> DstAction {
+        let held = (self.src, self.dst);
+        let others = view.deliverable.iter().filter(|&&c| c != held).count();
+        let n = others + view.steppable.len();
+        if n == 0 {
+            // The held channel is the only action left: forced delivery.
+            let (src, dst) = view.deliverable[0];
+            return DstAction::Deliver { src, dst };
+        }
+        let i = (self.cursor % n as u64) as usize;
+        self.cursor += 1;
+        if i < others {
+            let (src, dst) = *view
+                .deliverable
+                .iter()
+                .filter(|&&c| c != held)
+                .nth(i)
+                .expect("index within filtered deliverables");
+            DstAction::Deliver { src, dst }
+        } else {
+            DstAction::Step(view.steppable[i - others])
+        }
+    }
+}
+
+/// Run the Time Warp kernel to completion under a named schedule policy.
+/// Identical `(plan, stim, cycles, cfg, seed, policy)` inputs produce
+/// identical results — including every [`crate::stats::SimStats`] counter.
+///
+/// With `check` set, protocol invariants are asserted at every decision
+/// (see [`run_with_schedule`]); violations panic with the offending seed
+/// and policy for reproduction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_deterministic(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+    seed: u64,
+    policy: &SchedulePolicy,
+    check: bool,
+) -> TwRunResult {
+    let mut schedule = policy.build(seed);
+    let label = format!("seed {seed}, schedule {policy:?}");
+    run_with_schedule(
+        nl,
+        plan,
+        stim,
+        cycles,
+        cfg,
+        schedule.as_mut(),
+        check,
+        &label,
+    )
+}
+
+/// Run the Time Warp kernel under an arbitrary [`Schedule`] implementation.
+///
+/// Invariants asserted when `check` is set (`label` is included in the
+/// panic message so failures are reproducible):
+///
+/// * no sent or delivered message — positive or anti — carries a timestamp
+///   below GVT, and no cluster steps an epoch below GVT;
+/// * fossil collection never reclaims processed or undo history at or
+///   above the GVT it was invoked with;
+/// * at termination, annihilation left no orphan tombstones and no pending
+///   events in any cluster.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_schedule(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+    schedule: &mut dyn Schedule,
+    check: bool,
+    label: &str,
+) -> TwRunResult {
+    let k = plan.k;
+    let shared = GvtState::new(k);
+    let mut procs: Vec<ClusterProcess<'_, '_>> = (0..k)
+        .map(|me| ClusterProcess::new(nl, plan, me as u32, stim.clone(), cycles, cfg.state_saving))
+        .collect();
+    // One FIFO queue per directed cluster pair, indexed `src * k + dst`.
+    // FIFO within a queue is the per-channel ordering the annihilation
+    // protocol relies on; the schedule only controls *which* queue head is
+    // delivered next.
+    let mut queues: Vec<VecDeque<TwMessage>> = vec![VecDeque::new(); k * k];
+
+    let gvt_cadence = (cfg.batch.max(1) * cfg.gvt_interval.max(1)) as u64;
+    let mut decision: u64 = 0;
+    let mut lvts = vec![0 as VTime; k];
+    let mut steppable: Vec<u32> = Vec::with_capacity(k);
+    let mut deliverable: Vec<(u32, u32)> = Vec::with_capacity(k * k);
+
+    loop {
+        let gvt = shared.gvt.load(Ordering::SeqCst);
+        if gvt == VTime::MAX {
+            break; // global quiescence
+        }
+        let limit = gvt.saturating_add(cfg.window);
+
+        // Refresh the view: publish every LVT, list legal actions.
+        steppable.clear();
+        deliverable.clear();
+        for (i, l) in lvts.iter_mut().enumerate() {
+            *l = procs[i].lvt();
+            shared.publish_lvt(i, *l);
+            if *l != VTime::MAX && *l <= limit {
+                steppable.push(i as u32);
+            }
+        }
+        for src in 0..k {
+            for dst in 0..k {
+                if !queues[src * k + dst].is_empty() {
+                    deliverable.push((src as u32, dst as u32));
+                }
+            }
+        }
+
+        if steppable.is_empty() && deliverable.is_empty() {
+            // Everyone is idle or throttled and nothing is in transit: the
+            // GVT sample is valid by construction and must advance (the
+            // minimum LVT exceeds the current GVT, or is MAX = done).
+            let new_gvt = shared
+                .try_compute_gvt()
+                .unwrap_or_else(|| panic!("quiescent sample must advance GVT ({label})"));
+            fossil_all(&mut procs, new_gvt, check, label);
+            if new_gvt == VTime::MAX && check {
+                check_quiescence(&mut procs, label);
+            }
+            continue;
+        }
+
+        let view = DstView {
+            gvt,
+            lvts: &lvts,
+            steppable: &steppable,
+            deliverable: &deliverable,
+            decision,
+        };
+        let action = schedule.next(&view);
+        assert!(
+            view.is_legal(action),
+            "schedule returned illegal action {action:?} at decision {decision} ({label})"
+        );
+        decision += 1;
+
+        match action {
+            DstAction::Step(c) => {
+                let c = c as usize;
+                if check {
+                    assert!(
+                        lvts[c] >= gvt,
+                        "cluster {c} would step an epoch at t={} below GVT {gvt} ({label})",
+                        lvts[c]
+                    );
+                }
+                procs[c].process_next_epoch(limit, &mut |m: TwMessage| {
+                    enqueue(&shared, &mut queues, k, m, check, label);
+                });
+                shared.publish_lvt(c, procs[c].lvt());
+            }
+            DstAction::Deliver { src, dst } => {
+                let msg = queues[src as usize * k + dst as usize]
+                    .pop_front()
+                    .expect("deliverable channel is non-empty");
+                if check {
+                    assert!(
+                        msg.ev.time >= gvt,
+                        "message {src}->{dst} at t={} delivered below GVT {gvt} ({label})",
+                        msg.ev.time
+                    );
+                }
+                let d = dst as usize;
+                procs[d].handle_message(msg, &mut |m: TwMessage| {
+                    enqueue(&shared, &mut queues, k, m, check, label);
+                });
+                // Same ordering discipline as the threaded kernel: the
+                // in-transit counter drops only after the receiver's LVT
+                // reflects the insertion, keeping GVT samples sound.
+                shared.publish_lvt(d, procs[d].lvt());
+                shared.in_transit.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        // Periodic GVT, mirroring the threaded workers' cadence of one
+        // attempt per `gvt_interval` quanta of `batch` epochs.
+        if decision.is_multiple_of(gvt_cadence) {
+            if let Some(new_gvt) = shared.try_compute_gvt() {
+                fossil_all(&mut procs, new_gvt, check, label);
+            }
+        }
+    }
+
+    let per_cluster = procs
+        .into_iter()
+        .map(|mut p| (p.take_stats(), p.into_values()))
+        .collect();
+    merge_results(
+        nl,
+        plan,
+        per_cluster,
+        shared.gvt_rounds.load(Ordering::SeqCst),
+    )
+}
+
+#[inline]
+fn enqueue(
+    shared: &GvtState,
+    queues: &mut [VecDeque<TwMessage>],
+    k: usize,
+    m: TwMessage,
+    check: bool,
+    label: &str,
+) {
+    if check {
+        let g = shared.gvt.load(Ordering::SeqCst);
+        assert!(
+            m.ev.time >= g,
+            "message {}->{} at t={} sent below GVT {g} ({label})",
+            m.src,
+            m.dst,
+            m.ev.time
+        );
+    }
+    shared.in_transit.fetch_add(1, Ordering::SeqCst);
+    shared.send_epoch.fetch_add(1, Ordering::SeqCst);
+    queues[m.src as usize * k + m.dst as usize].push_back(m);
+}
+
+fn fossil_all(procs: &mut [ClusterProcess<'_, '_>], gvt: VTime, check: bool, label: &str) {
+    for (i, p) in procs.iter_mut().enumerate() {
+        let before = check.then(|| p.history_at_or_after(gvt));
+        p.fossil_collect(gvt);
+        if let Some(before) = before {
+            let after = p.history_at_or_after(gvt);
+            assert_eq!(
+                before, after,
+                "fossil collection on cluster {i} reclaimed history at or above GVT {gvt} ({label})"
+            );
+        }
+    }
+}
+
+fn check_quiescence(procs: &mut [ClusterProcess<'_, '_>], label: &str) {
+    for (i, p) in procs.iter_mut().enumerate() {
+        assert_eq!(
+            p.lvt(),
+            VTime::MAX,
+            "cluster {i} still has pending work at quiescence ({label})"
+        );
+        assert_eq!(
+            p.orphan_tombstones(),
+            0,
+            "annihilation left orphan tombstones on cluster {i} at quiescence ({label})"
+        );
+        assert_eq!(
+            p.pending_len(),
+            0,
+            "cluster {i} still has queued events at quiescence ({label})"
+        );
+    }
+}

@@ -15,6 +15,12 @@
 //! reflected in some published LVT, and no new message appeared while
 //! sampling. GVT only advances monotonically; `u64::MAX` signals global
 //! quiescence (termination).
+//!
+//! The same state serves both executors: the free-running threaded workers
+//! ([`super::run_timewarp`] in `Threads` mode) sample it concurrently,
+//! while the deterministic single-threaded scheduler ([`super::dst`])
+//! drives it from one thread — the atomics then cost nothing but keep the
+//! code identical, so DST exercises the very bookkeeping the threads use.
 
 use crate::wheel::VTime;
 use parking_lot::Mutex;

@@ -33,11 +33,18 @@
 //!   entries strictly below GVT are reclaimed.
 //!
 //! Determinism: the final circuit state equals the sequential simulator's
-//! (asserted in tests); message/rollback *counts* depend on thread timing —
-//! use [`crate::cluster_model`] for reproducible counts.
+//! (asserted in tests) in every mode. Under [`TimeWarpMode::Threads`] the
+//! message/rollback *counts* depend on thread timing; under
+//! [`TimeWarpMode::Deterministic`] the same cluster state machines are
+//! driven by the single-threaded [`dst`] executor and every counter is an
+//! exact, seed-reproducible value. ([`crate::cluster_model`] remains as the
+//! fast *modeled* estimate of those counts for pre-simulation sweeps.)
 
+pub mod dst;
 pub mod gvt;
 pub mod proc;
+
+pub use dst::{DstAction, DstView, Schedule, SchedulePolicy};
 
 use crate::cluster::ClusterPlan;
 use crate::logic::Logic;
@@ -61,9 +68,24 @@ pub struct TwMessage {
     pub anti: bool,
 }
 
+/// How the kernel is executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeWarpMode {
+    /// One free-running OS thread per cluster, exchanging messages over
+    /// channels. Fastest wall-clock; counters depend on thread timing.
+    Threads,
+    /// Single-threaded virtual scheduler stepping the same cluster state
+    /// machines deterministically (see [`dst`]). `(seed, schedule)` fully
+    /// determines the execution, making every counter exact and
+    /// reproducible — including under adversarial schedules.
+    Deterministic { seed: u64, schedule: SchedulePolicy },
+}
+
 /// Kernel tuning parameters.
 #[derive(Debug, Clone)]
 pub struct TimeWarpConfig {
+    /// Execution mode (threaded or deterministic; see [`TimeWarpMode`]).
+    pub mode: TimeWarpMode,
     /// Epochs processed per scheduling quantum before re-checking channels.
     pub batch: usize,
     /// Attempt a GVT computation every this many quanta.
@@ -96,6 +118,7 @@ pub enum StateSaving {
 impl Default for TimeWarpConfig {
     fn default() -> Self {
         TimeWarpConfig {
+            mode: TimeWarpMode::Threads,
             batch: 16,
             gvt_interval: 1,
             window: 16,
@@ -117,9 +140,34 @@ pub struct TwRunResult {
     pub gvt_rounds: u64,
 }
 
-/// Run the threaded Time Warp kernel: one worker per cluster of `plan`,
-/// simulating `cycles` vectors of `stim`.
+/// Run the Time Warp kernel over the clusters of `plan`, simulating
+/// `cycles` vectors of `stim`. `cfg.mode` selects threaded execution (one
+/// worker per cluster) or the deterministic single-scheduler executor;
+/// final net values are identical either way.
 pub fn run_timewarp(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+) -> TwRunResult {
+    match &cfg.mode {
+        TimeWarpMode::Threads => run_threads(nl, plan, stim, cycles, cfg),
+        TimeWarpMode::Deterministic { seed, schedule } => dst::run_deterministic(
+            nl,
+            plan,
+            stim,
+            cycles,
+            cfg,
+            *seed,
+            schedule,
+            cfg!(debug_assertions),
+        ),
+    }
+}
+
+/// The threaded execution path: one free-running worker per cluster.
+fn run_threads(
     nl: &Netlist,
     plan: &ClusterPlan,
     stim: &VectorStimulus,
@@ -160,16 +208,34 @@ pub fn run_timewarp(
         }
     });
 
-    // Merge stats and final values.
+    let per_cluster = results
+        .into_iter()
+        .map(|r| r.expect("worker result missing"))
+        .collect();
+    merge_results(
+        nl,
+        plan,
+        per_cluster,
+        shared.gvt_rounds.load(Ordering::SeqCst),
+    )
+}
+
+/// Merge per-cluster stats and final net values into a [`TwRunResult`].
+/// Each cluster owns the values of nets its gates drive and of its stimulus
+/// inputs; constants are forced. Shared by the threaded and deterministic
+/// execution paths.
+fn merge_results(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    per_cluster: Vec<(SimStats, Vec<Logic>)>,
+    gvt_rounds: u64,
+) -> TwRunResult {
     let mut stats = SimStats::default();
-    let mut cluster_stats = Vec::with_capacity(k);
+    let mut cluster_stats = Vec::with_capacity(per_cluster.len());
     let mut values = vec![Logic::X; nl.net_count()];
-    for (me, r) in results.into_iter().enumerate() {
-        let (s, vals) = r.expect("worker result missing");
+    for (me, (s, vals)) in per_cluster.into_iter().enumerate() {
         stats.merge(&s);
         cluster_stats.push(s);
-        // This cluster owns the values of nets its gates drive and of its
-        // stimulus inputs.
         for &g in &plan.clusters[me].gates {
             let out = nl.gates[g.idx()].output;
             values[out.idx()] = vals[out.idx()];
@@ -184,7 +250,6 @@ pub fn run_timewarp(
     if let Some(c1) = nl.const1_net {
         values[c1.idx()] = Logic::One;
     }
-    let gvt_rounds = shared.gvt_rounds.load(Ordering::SeqCst);
     stats.gvt_rounds = gvt_rounds;
 
     TwRunResult {

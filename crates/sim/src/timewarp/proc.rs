@@ -195,6 +195,27 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
         self.values
     }
 
+    /// Tombstones whose matching event has not (yet) been annihilated.
+    /// After global quiescence every tombstone must have been consumed —
+    /// a non-zero value then means annihilation was unsound.
+    pub fn orphan_tombstones(&self) -> usize {
+        self.tomb_remote.len() + self.tomb_local.len()
+    }
+
+    /// Events still queued (live or tombstoned). Zero at quiescence.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `(processed, undo)` history entries with time ≥ `t` — used by the
+    /// deterministic executor to assert that fossil collection only
+    /// reclaims history strictly below GVT.
+    pub fn history_at_or_after(&self, t: VTime) -> (usize, usize) {
+        let p = self.processed.len() - self.processed.partition_point(|r| r.ev.time < t);
+        let u = self.undo.len() - self.undo.partition_point(|&(ut, _, _)| ut < t);
+        (p, u)
+    }
+
     #[inline]
     fn push_pending(&mut self, ev: NetEvent, source: Source) {
         self.pending.push(Pend {
@@ -223,12 +244,19 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
     }
 
     /// Local virtual time: a lower bound on anything this cluster may still
-    /// process or send. `VTime::MAX` when fully idle.
+    /// process or send. `VTime::MAX` when fully idle. The not-yet-generated
+    /// next stimulus cycle counts: it may precede every queued event, and
+    /// ignoring it would let GVT overtake epochs this cluster will still
+    /// process.
     pub fn lvt(&mut self) -> VTime {
+        let next_stim = if self.stim_cycle < self.cycles {
+            self.stim_cycle * self.stim.period
+        } else {
+            VTime::MAX
+        };
         match self.clean_peek() {
-            Some(t) => t,
-            None if self.stim_cycle < self.cycles => self.stim_cycle * self.stim.period,
-            None => VTime::MAX,
+            Some(t) => t.min(next_stim),
+            None => next_stim,
         }
     }
 
@@ -357,10 +385,15 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
         let split = self.processed.partition_point(|p| p.ev.time < t);
         let undone = self.processed.split_off(split);
         self.stats.rolled_back_events += undone.len() as u64;
+        let mut discarded_local: HashSet<u64> = HashSet::new();
         for rec in undone {
             match rec.source {
-                Source::Local { created_at, .. } if created_at >= t => {
-                    // Created by an undone epoch; reprocessing regenerates it.
+                Source::Local { created_at, lseq } if created_at >= t => {
+                    // Created by an undone epoch; reprocessing regenerates
+                    // it. Remembered so step 3 does not tombstone it — the
+                    // event no longer exists, and an orphan tombstone would
+                    // never be consumed.
+                    discarded_local.insert(lseq);
                 }
                 _ => self.pending.push(rec),
             }
@@ -371,7 +404,9 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
             if ca < t {
                 break;
             }
-            self.tomb_local.insert(lseq);
+            if !discarded_local.remove(&lseq) {
+                self.tomb_local.insert(lseq);
+            }
             self.sched_log.pop();
         }
 

@@ -161,6 +161,7 @@ fn tight_window_still_correct() {
         batch: 2,
         gvt_interval: 1,
         state_saving: StateSaving::IncrementalUndo,
+        ..TimeWarpConfig::default()
     };
     let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
     for (ni, net) in nl.nets.iter().enumerate() {

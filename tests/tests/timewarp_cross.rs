@@ -8,7 +8,7 @@ use dvs_integration_tests::elaborate;
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, TimeWarpConfig};
+use dvs_sim::timewarp::{run_timewarp, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode};
 use dvs_workloads::random_hier::{generate_random_hier, RandomHierParams};
 use dvs_workloads::seqcirc::generate_counter;
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
@@ -79,6 +79,61 @@ fn random_hierarchies_bit_exact() {
             ..Default::default()
         });
         assert_bit_exact(&src, 2, 25.0, 35, seed);
+    }
+}
+
+#[test]
+fn deterministic_mode_matches_golden_counters() {
+    // Under `TimeWarpMode::Deterministic` the rollback machinery is exactly
+    // reproducible, so we can pin the counters to golden values: any kernel
+    // change that alters scheduling, annihilation, GVT sampling or fossil
+    // collection shows up here as an exact diff, not a flaky tolerance.
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = elaborate(&src);
+    let part = partition_multiway(&nl, &MultiwayConfig::new(3, 20.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, 3);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 3);
+
+    // (policy, events, rollbacks, anti_messages, messages, fossil, gvt_rounds)
+    let golden = [
+        (SchedulePolicy::RoundRobin, 15823, 114, 103, 835, 13413, 386),
+        (
+            SchedulePolicy::StragglerHeavy,
+            89366,
+            3042,
+            2709,
+            3441,
+            13413,
+            159,
+        ),
+    ];
+    for (policy, events, rollbacks, anti, messages, fossil, gvt_rounds) in golden {
+        let cfg = TimeWarpConfig {
+            mode: TimeWarpMode::Deterministic {
+                seed: 2008,
+                schedule: policy,
+            },
+            window: 8,
+            batch: 2,
+            gvt_interval: 1,
+            state_saving: StateSaving::IncrementalUndo,
+        };
+        let tw = run_timewarp(&nl, &plan, &stim, 40, &cfg);
+        let got = (
+            policy,
+            tw.stats.events,
+            tw.stats.rollbacks,
+            tw.stats.anti_messages,
+            tw.stats.messages,
+            tw.stats.fossil_collected,
+            tw.gvt_rounds,
+        );
+        assert_eq!(
+            got,
+            (policy, events, rollbacks, anti, messages, fossil, gvt_rounds),
+            "golden counters drifted for {}",
+            policy.name()
+        );
     }
 }
 

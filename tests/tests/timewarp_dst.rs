@@ -1,0 +1,169 @@
+//! Deterministic-schedule Time Warp (the [`dvs_sim::timewarp::dst`]
+//! executor) on a *fixed* workload + partition: every schedule policy must
+//! reproduce the sequential simulator's final state, repeated seeds must
+//! reproduce every counter exactly, and the adversarial schedules must
+//! actually exercise the rollback machinery they were designed to provoke.
+
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_core::ToJson;
+use dvs_integration_tests::elaborate;
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::dst::first_cut_channel;
+use dvs_sim::timewarp::{
+    run_timewarp, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode, TwRunResult,
+};
+use dvs_verilog::Netlist;
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+
+const CYCLES: u64 = 30;
+const STIM_SEED: u64 = 7;
+const K: u32 = 3;
+
+/// The fixed workload: tiny Viterbi decoder, design-driven 3-way partition.
+fn fixture() -> (Netlist, ClusterPlan, VectorStimulus) {
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = elaborate(&src);
+    let part = partition_multiway(&nl, &MultiwayConfig::new(K, 20.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, K as usize);
+    let stim = VectorStimulus::from_netlist(&nl, 10, STIM_SEED);
+    (nl, plan, stim)
+}
+
+fn dst_config(seed: u64, schedule: SchedulePolicy) -> TimeWarpConfig {
+    TimeWarpConfig {
+        mode: TimeWarpMode::Deterministic { seed, schedule },
+        window: 8,
+        batch: 2,
+        gvt_interval: 1,
+        state_saving: StateSaving::IncrementalUndo,
+    }
+}
+
+fn run(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cfg: &TimeWarpConfig,
+) -> TwRunResult {
+    run_timewarp(nl, plan, stim, CYCLES, cfg)
+}
+
+/// Final driven-net state must equal the sequential simulator's.
+fn assert_matches_sequential(nl: &Netlist, stim: &VectorStimulus, tw: &TwRunResult, label: &str) {
+    let mut seq = SeqSim::new(
+        nl,
+        &SimConfig {
+            cycles: CYCLES,
+            init_zero: true,
+        },
+    );
+    seq.run(stim, CYCLES, &mut NullObserver);
+    for (ni, net) in nl.nets.iter().enumerate() {
+        if net.driver.is_some() {
+            assert_eq!(
+                tw.values[ni],
+                seq.value(dvs_verilog::NetId(ni as u32)),
+                "net `{}` differs under {label}",
+                net.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_schedule_policy_matches_sequential() {
+    let (nl, plan, stim) = fixture();
+    let delay = first_cut_channel(&plan).expect("k=3 partition must have a cut channel");
+    let policies = [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::SeededRandom,
+        SchedulePolicy::StragglerHeavy,
+        SchedulePolicy::DelayChannel {
+            src: delay.0,
+            dst: delay.1,
+        },
+    ];
+    for policy in policies {
+        let tw = run(&nl, &plan, &stim, &dst_config(1, policy));
+        assert_matches_sequential(&nl, &stim, &tw, policy.name());
+    }
+}
+
+#[test]
+fn sixteen_random_seeds_match_sequential() {
+    let (nl, plan, stim) = fixture();
+    for seed in 0..16u64 {
+        let tw = run(
+            &nl,
+            &plan,
+            &stim,
+            &dst_config(seed, SchedulePolicy::SeededRandom),
+        );
+        assert_matches_sequential(&nl, &stim, &tw, &format!("seeded_random seed {seed}"));
+    }
+}
+
+#[test]
+fn repeated_seed_reproduces_stats_exactly() {
+    let (nl, plan, stim) = fixture();
+    for policy in [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::SeededRandom,
+        SchedulePolicy::StragglerHeavy,
+    ] {
+        let cfg = dst_config(42, policy);
+        let a = run(&nl, &plan, &stim, &cfg);
+        let b = run(&nl, &plan, &stim, &cfg);
+        assert_eq!(a.stats, b.stats, "merged stats differ ({})", policy.name());
+        assert_eq!(
+            a.cluster_stats,
+            b.cluster_stats,
+            "per-cluster stats differ ({})",
+            policy.name()
+        );
+        assert_eq!(
+            a.gvt_rounds,
+            b.gvt_rounds,
+            "gvt_rounds differ ({})",
+            policy.name()
+        );
+    }
+}
+
+/// Acceptance criterion: two same-seed runs emit *byte-identical* canonical
+/// artifacts, counters included (serialization lives in `dvs_core::artifact`).
+#[test]
+fn same_seed_runs_emit_byte_identical_artifacts() {
+    let (nl, plan, stim) = fixture();
+    let cfg = dst_config(0x5EED, SchedulePolicy::SeededRandom);
+    let a = run(&nl, &plan, &stim, &cfg).to_json().emit().expect("emit");
+    let b = run(&nl, &plan, &stim, &cfg).to_json().emit().expect("emit");
+    assert_eq!(a, b, "same (seed, schedule) must serialize identically");
+    assert!(a.contains("\"rollbacks\""), "artifact must carry counters");
+}
+
+/// Acceptance criterion: at least one adversarial schedule provably triggers
+/// rollbacks while still converging to the sequential final state.
+#[test]
+fn adversarial_schedule_triggers_rollbacks_and_still_converges() {
+    let (nl, plan, stim) = fixture();
+    let delay = first_cut_channel(&plan).expect("cut channel");
+    let mut best = 0u64;
+    for policy in [
+        SchedulePolicy::StragglerHeavy,
+        SchedulePolicy::DelayChannel {
+            src: delay.0,
+            dst: delay.1,
+        },
+    ] {
+        let tw = run(&nl, &plan, &stim, &dst_config(9, policy));
+        assert_matches_sequential(&nl, &stim, &tw, policy.name());
+        best = best.max(tw.stats.rollbacks);
+    }
+    assert!(
+        best > 0,
+        "adversarial schedules produced no rollbacks at all"
+    );
+}
