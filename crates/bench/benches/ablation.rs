@@ -156,7 +156,14 @@ fn bench_state_saving(c: &mut Criterion) {
                 state_saving: mode,
                 ..TimeWarpConfig::default()
             };
-            b.iter(|| black_box(run_timewarp(&nl, &plan, &stim, 40, &cfg).stats.events));
+            b.iter(|| {
+                black_box(
+                    run_timewarp(&nl, &plan, &stim, 40, &cfg)
+                        .expect("bench run stalled")
+                        .stats
+                        .events,
+                )
+            });
         });
     }
     group.finish();

@@ -115,6 +115,7 @@ fn bench_timewarp(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 run_timewarp(&nl, &plan, &stim, 50, &TimeWarpConfig::default())
+                    .expect("bench run stalled")
                     .stats
                     .events,
             )

@@ -23,7 +23,7 @@
 
 use dvs_core::json::{Json, JsonError, ObjBuilder, SCHEMA_VERSION};
 use dvs_core::{FlowBuilder, Parallelism, Search, TwPresimConfig};
-use dvs_sim::SchedulePolicy;
+use dvs_sim::{FaultPlan, SchedulePolicy};
 use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
 use dvs_workloads::{generate_viterbi, ViterbiParams};
 use std::collections::BTreeMap;
@@ -45,14 +45,22 @@ pub const DST_SEED: u64 = 0x5EED_0003;
 /// Vectors for the deterministic Time Warp presim leg (it simulates every
 /// gate for real, so it is kept shorter than the modeled presim).
 pub const DST_VECTORS: u64 = 40;
+/// Crash point of the gate's crash-injected Time Warp leg: cluster 0 dies
+/// at decision 25 (early enough to fire on every grid point) and is
+/// recovered from its last GVT checkpoint. Fixed forever, like the seeds.
+pub const CRASH_AT: (u32, u64) = (0, 25);
 
 /// The deterministic Time Warp leg every gate run enables: a seeded-random
 /// schedule, so the gate covers a nontrivial interleaving rather than the
-/// benign round-robin one.
+/// benign round-robin one. The fault plan adds a second, crash-injected
+/// leg whose counters the baseline also pins exactly — recovery must
+/// reproduce the undisturbed execution counter for counter, so any drift
+/// in the checkpoint/replay machinery fails the gate.
 pub fn dst_presim() -> TwPresimConfig {
     TwPresimConfig {
         schedule: SchedulePolicy::SeededRandom,
         vectors: DST_VECTORS,
+        fault: Some(FaultPlan::crash(CRASH_AT.0, CRASH_AT.1)),
         ..TwPresimConfig::new(DST_SEED)
     }
 }

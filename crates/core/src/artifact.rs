@@ -30,9 +30,40 @@ use crate::pipeline::{FlowMetrics, FlowReport, PointCost};
 use crate::presim::{PartitionQuality, PointTiming, PresimPoint};
 use dvs_sim::cluster_model::{ClusterRun, RunTiming};
 use dvs_sim::stats::SimStats;
-use dvs_sim::timewarp::TwRunResult;
-use dvs_verilog::netlist::GateKind;
+use dvs_sim::timewarp::{
+    Checkpoint, CkptEvent, CkptSource, RecoveryOutcome, TwMessage, TwRunResult, CHECKPOINT_SCHEMA,
+};
+use dvs_sim::wheel::NetEvent;
+use dvs_sim::Logic;
+use dvs_verilog::netlist::{GateKind, NetId};
 use dvs_verilog::stats::DesignStats;
+
+/// A logic-value vector as a compact display-char string (`"01xz…"`).
+fn logic_str(values: &[Logic]) -> String {
+    values.iter().map(|v| v.display_char()).collect()
+}
+
+fn logic_vec(v: &Json) -> Result<Vec<Logic>, JsonError> {
+    v.as_str()?
+        .chars()
+        .map(|c| {
+            Logic::from_display_char(c)
+                .ok_or_else(|| JsonError::new(format!("invalid logic value character `{c}`")))
+        })
+        .collect()
+}
+
+fn logic_from_json(v: &Json) -> Result<Logic, JsonError> {
+    let s = v.as_str()?;
+    let mut chars = s.chars();
+    match (
+        chars.next().and_then(Logic::from_display_char),
+        chars.next(),
+    ) {
+        (Some(l), None) => Ok(l),
+        _ => Err(JsonError::new(format!("invalid logic value `{s}`"))),
+    }
+}
 
 impl ToJson for SimStats {
     fn to_json(&self) -> Json {
@@ -193,29 +224,332 @@ impl FromJson for DesignStats {
     }
 }
 
-impl ToJson for TwRunResult {
-    /// Every field of a Time Warp run is deterministic content under
-    /// [`dvs_sim::timewarp::TimeWarpMode::Deterministic`] (no host times
-    /// are recorded), so this serialization doubles as the canonical form:
-    /// two runs with the same seed and schedule emit byte-identical JSON,
-    /// protocol counters included.
+impl ToJson for RecoveryOutcome {
     fn to_json(&self) -> Json {
         ObjBuilder::new()
-            .field("stats", self.stats.to_json())
-            .array(
-                "cluster_stats",
-                self.cluster_stats.iter().map(|s| s.to_json()).collect(),
-            )
-            .uint("gvt_rounds", self.gvt_rounds)
-            .str(
-                "values",
-                &self
-                    .values
-                    .iter()
-                    .map(|v| v.display_char())
-                    .collect::<String>(),
-            )
+            .uint("crashes", self.crashes as u64)
+            .uint("restarts", self.restarts as u64)
+            .uint("replayed_ops", self.replayed_ops)
+            .bool("degraded", self.degraded)
             .build()
+    }
+}
+
+impl FromJson for RecoveryOutcome {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RecoveryOutcome {
+            crashes: v.field("crashes")?.as_u64()? as u32,
+            restarts: v.field("restarts")?.as_u64()? as u32,
+            replayed_ops: v.field("replayed_ops")?.as_u64()?,
+            degraded: v.field("degraded")?.as_bool()?,
+        })
+    }
+}
+
+/// The simulation content of a Time Warp run — everything except the
+/// recovery provenance.
+fn tw_run_core(r: &TwRunResult) -> ObjBuilder {
+    ObjBuilder::new()
+        .field("stats", r.stats.to_json())
+        .array(
+            "cluster_stats",
+            r.cluster_stats.iter().map(|s| s.to_json()).collect(),
+        )
+        .uint("gvt_rounds", r.gvt_rounds)
+        .str("values", &logic_str(&r.values))
+}
+
+/// The **canonical** serialization of a Time Warp run: simulation content
+/// only, recovery provenance excluded. Under
+/// [`dvs_sim::timewarp::TimeWarpMode::Deterministic`] every included field
+/// is an exact counter, and recovery restores the pre-crash state
+/// bit-for-bit — so a run that crashed and recovered emits a canonical
+/// artifact byte-identical to the undisturbed run's. The crash-recovery
+/// DST tests assert exactly that.
+pub fn tw_run_canonical_json(r: &TwRunResult) -> Json {
+    tw_run_core(r).build()
+}
+
+impl ToJson for TwRunResult {
+    /// The full serialization: the canonical simulation content plus the
+    /// `recovery` provenance block (crashes injected, restarts performed,
+    /// operations replayed, degradation flag). Use
+    /// [`tw_run_canonical_json`] for crash-invariant comparisons.
+    fn to_json(&self) -> Json {
+        tw_run_core(self)
+            .field("recovery", self.recovery.to_json())
+            .build()
+    }
+}
+
+fn ckpt_source_json(s: &CkptSource) -> Json {
+    match *s {
+        CkptSource::Stimulus => ObjBuilder::new().str("kind", "stimulus").build(),
+        CkptSource::Local { created_at, lseq } => ObjBuilder::new()
+            .str("kind", "local")
+            .uint("created_at", created_at)
+            .uint("lseq", lseq)
+            .build(),
+        CkptSource::Remote { src, seq } => ObjBuilder::new()
+            .str("kind", "remote")
+            .uint("src", src as u64)
+            .uint("seq", seq)
+            .build(),
+    }
+}
+
+fn ckpt_source_from_json(v: &Json) -> Result<CkptSource, JsonError> {
+    match v.field("kind")?.as_str()? {
+        "stimulus" => Ok(CkptSource::Stimulus),
+        "local" => Ok(CkptSource::Local {
+            created_at: v.field("created_at")?.as_u64()?,
+            lseq: v.field("lseq")?.as_u64()?,
+        }),
+        "remote" => Ok(CkptSource::Remote {
+            src: v.field("src")?.as_u64()? as u32,
+            seq: v.field("seq")?.as_u64()?,
+        }),
+        k => Err(JsonError::new(format!("unknown event source kind `{k}`"))),
+    }
+}
+
+impl ToJson for CkptEvent {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("time", self.time)
+            .uint("net", self.net as u64)
+            .str("value", &self.value.display_char().to_string())
+            .field("source", ckpt_source_json(&self.source))
+            .uint("order", self.order)
+            .build()
+    }
+}
+
+impl FromJson for CkptEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CkptEvent {
+            time: v.field("time")?.as_u64()?,
+            net: v.field("net")?.as_u64()? as u32,
+            value: logic_from_json(v.field("value")?)?,
+            source: ckpt_source_from_json(v.field("source")?)?,
+            order: v.field("order")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for TwMessage {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("src", self.src as u64)
+            .uint("dst", self.dst as u64)
+            .uint("seq", self.seq)
+            .uint("time", self.ev.time)
+            .uint("net", self.ev.net.0 as u64)
+            .str("value", &self.ev.value.display_char().to_string())
+            .bool("anti", self.anti)
+            .build()
+    }
+}
+
+impl FromJson for TwMessage {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TwMessage {
+            src: v.field("src")?.as_u64()? as u32,
+            dst: v.field("dst")?.as_u64()? as u32,
+            seq: v.field("seq")?.as_u64()?,
+            ev: NetEvent {
+                time: v.field("time")?.as_u64()?,
+                net: NetId(v.field("net")?.as_u64()? as u32),
+                value: logic_from_json(v.field("value")?)?,
+            },
+            anti: v.field("anti")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for Checkpoint {
+    /// Schema-versioned checkpoint artifact (`kind: "tw_checkpoint"`). The
+    /// capture is deterministic (nondeterministic collections are sorted
+    /// when the image is taken), so equal cluster states serialize to
+    /// byte-identical artifacts and the round-trip through [`FromJson`] is
+    /// lossless — the `checkpoint_roundtrip` suite asserts both.
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .int("schema_version", SCHEMA_VERSION)
+            .str("kind", "tw_checkpoint")
+            .uint("checkpoint_schema", self.schema as u64)
+            .uint("cluster", self.cluster as u64)
+            .uint("gvt", self.gvt)
+            .str("values", &logic_str(&self.values))
+            .array(
+                "pending",
+                self.pending.iter().map(|e| e.to_json()).collect(),
+            )
+            .array(
+                "tomb_remote",
+                self.tomb_remote
+                    .iter()
+                    .map(|&(src, seq)| uint_array(&[src as u64, seq]))
+                    .collect(),
+            )
+            .field("tomb_local", uint_array(&self.tomb_local))
+            .array(
+                "processed",
+                self.processed.iter().map(|e| e.to_json()).collect(),
+            )
+            .array(
+                "undo",
+                self.undo
+                    .iter()
+                    .map(|&(t, net, val)| {
+                        Json::Array(vec![
+                            Json::Int(t as i64),
+                            Json::Int(net as i64),
+                            Json::Str(val.display_char().to_string()),
+                        ])
+                    })
+                    .collect(),
+            )
+            .array(
+                "snapshots",
+                self.snapshots
+                    .iter()
+                    .map(|(t, vals)| {
+                        Json::Array(vec![Json::Int(*t as i64), Json::Str(logic_str(vals))])
+                    })
+                    .collect(),
+            )
+            .uint("epochs_since_snapshot", self.epochs_since_snapshot as u64)
+            .array(
+                "outlog",
+                self.outlog
+                    .iter()
+                    .map(|(t, m)| Json::Array(vec![Json::Int(*t as i64), m.to_json()]))
+                    .collect(),
+            )
+            .array(
+                "sched_log",
+                self.sched_log
+                    .iter()
+                    .map(|&(t, lseq)| uint_array(&[t, lseq]))
+                    .collect(),
+            )
+            .uint("stim_cycle", self.stim_cycle)
+            .uint("last_time", self.last_time)
+            .bool("settled", self.settled)
+            .uint("order", self.order)
+            .uint("lseq", self.lseq)
+            .uint("mseq", self.mseq)
+            .field("stats", self.stats.to_json())
+            .build()
+    }
+}
+
+fn uint_pair(v: &Json) -> Result<(u64, u64), JsonError> {
+    let pair = uint_vec(v)?;
+    match pair.as_slice() {
+        &[a, b] => Ok((a, b)),
+        other => Err(JsonError::new(format!(
+            "expected a 2-element array, got {} elements",
+            other.len()
+        ))),
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v.field("schema_version")?.as_i64()?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let kind = v.field("kind")?.as_str()?;
+        if kind != "tw_checkpoint" {
+            return Err(JsonError::new(format!(
+                "expected kind `tw_checkpoint`, got `{kind}`"
+            )));
+        }
+        let schema = v.field("checkpoint_schema")?.as_u64()? as u32;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint_schema {schema} (expected {CHECKPOINT_SCHEMA})"
+            )));
+        }
+        let events = |key: &str| -> Result<Vec<CkptEvent>, JsonError> {
+            v.field(key)?
+                .as_array()?
+                .iter()
+                .map(CkptEvent::from_json)
+                .collect()
+        };
+        Ok(Checkpoint {
+            schema,
+            cluster: v.field("cluster")?.as_u64()? as u32,
+            gvt: v.field("gvt")?.as_u64()?,
+            values: logic_vec(v.field("values")?)?,
+            pending: events("pending")?,
+            tomb_remote: v
+                .field("tomb_remote")?
+                .as_array()?
+                .iter()
+                .map(|p| uint_pair(p).map(|(src, seq)| (src as u32, seq)))
+                .collect::<Result<_, _>>()?,
+            tomb_local: uint_vec(v.field("tomb_local")?)?,
+            processed: events("processed")?,
+            undo: v
+                .field("undo")?
+                .as_array()?
+                .iter()
+                .map(|u| {
+                    let parts = u.as_array()?;
+                    match parts {
+                        [t, net, val] => {
+                            Ok((t.as_u64()?, net.as_u64()? as u32, logic_from_json(val)?))
+                        }
+                        _ => Err(JsonError::new("undo entry must be [time, net, value]")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            snapshots: v
+                .field("snapshots")?
+                .as_array()?
+                .iter()
+                .map(|s| {
+                    let parts = s.as_array()?;
+                    match parts {
+                        [t, vals] => Ok((t.as_u64()?, logic_vec(vals)?)),
+                        _ => Err(JsonError::new("snapshot entry must be [time, values]")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            epochs_since_snapshot: v.field("epochs_since_snapshot")?.as_u64()? as u32,
+            outlog: v
+                .field("outlog")?
+                .as_array()?
+                .iter()
+                .map(|o| {
+                    let parts = o.as_array()?;
+                    match parts {
+                        [t, m] => Ok((t.as_u64()?, TwMessage::from_json(m)?)),
+                        _ => Err(JsonError::new("outlog entry must be [time, message]")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            sched_log: v
+                .field("sched_log")?
+                .as_array()?
+                .iter()
+                .map(uint_pair)
+                .collect::<Result<_, _>>()?,
+            stim_cycle: v.field("stim_cycle")?.as_u64()?,
+            last_time: v.field("last_time")?.as_u64()?,
+            settled: v.field("settled")?.as_bool()?,
+            order: v.field("order")?.as_u64()?,
+            lseq: v.field("lseq")?.as_u64()?,
+            mseq: v.field("mseq")?.as_u64()?,
+            stats: SimStats::from_json(v.field("stats")?)?,
+        })
     }
 }
 
@@ -294,6 +628,13 @@ fn presim_point_core(p: &PresimPoint) -> ObjBuilder {
                 None => Json::Null,
             },
         )
+        .field(
+            "tw_crash",
+            match &p.tw_crash {
+                Some(s) => s.to_json(),
+                None => Json::Null,
+            },
+        )
 }
 
 impl ToJson for PresimPoint {
@@ -352,6 +693,12 @@ impl FromJson for PresimPoint {
             // Absent in artifacts written before the deterministic Time
             // Warp leg existed; null when the leg was disabled.
             tw: match v.get("tw") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(SimStats::from_json(s)?),
+            },
+            // Same treatment for the crash-injected leg, which artifacts
+            // written before crash-fault tolerance existed do not carry.
+            tw_crash: match v.get("tw_crash") {
                 None | Some(Json::Null) => None,
                 Some(s) => Some(SimStats::from_json(s)?),
             },
@@ -592,11 +939,13 @@ mod tests {
             balanced: true,
             quality: PartitionQuality::default(),
             tw: Some(sample_stats()),
+            tw_crash: Some(sample_stats()),
             timing: PointTiming::default(),
         };
         let text = point.to_json().emit().unwrap();
         let back = PresimPoint::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.tw.as_ref(), Some(&sample_stats()));
+        assert_eq!(back.tw_crash.as_ref(), Some(&sample_stats()));
 
         // Artifacts from before the deterministic leg existed have no
         // `tw` key at all; a disabled leg serializes as null. Both read

@@ -84,6 +84,7 @@ pub mod pipeline;
 pub mod presim;
 pub mod report;
 
+pub use artifact::tw_run_canonical_json;
 pub use engine::Parallelism;
 pub use json::{FromJson, Json, JsonError, ToJson, SCHEMA_VERSION};
 pub use multiway::{partition_multiway, MultiwayConfig, MultiwayResult};

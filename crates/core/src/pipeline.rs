@@ -35,6 +35,7 @@ use crate::presim::{
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterRun};
 use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::FaultPlan;
 use dvs_verilog::stats::{stats, DesignStats};
 use dvs_verilog::{Error, Netlist};
 use std::fmt;
@@ -202,6 +203,7 @@ pub struct FlowBuilder<'a> {
     stim_seed: Option<u64>,
     part_seed: Option<u64>,
     timewarp_presim: Option<TwPresimConfig>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> FlowBuilder<'a> {
@@ -219,6 +221,7 @@ impl<'a> FlowBuilder<'a> {
             stim_seed: None,
             part_seed: None,
             timewarp_presim: None,
+            fault_plan: None,
         }
     }
 
@@ -290,6 +293,17 @@ impl<'a> FlowBuilder<'a> {
         self
     }
 
+    /// Inject a crash fault into a second deterministic Time Warp leg per
+    /// candidate partition, recording its counters in
+    /// [`PresimPoint::tw_crash`]. Recovery is exact, so the crash leg's
+    /// counters equal the clean leg's — a fact the perf gate checks. When
+    /// no [`FlowBuilder::timewarp_presim`] configuration was supplied, a
+    /// default deterministic leg is enabled to carry the fault.
+    pub fn fault_plan(mut self, fp: FaultPlan) -> Self {
+        self.fault_plan = Some(fp);
+        self
+    }
+
     /// Validate the search space, parse the source if needed, and produce
     /// a runnable [`Flow`].
     pub fn build(self) -> Result<Flow<'a>, FlowError> {
@@ -323,6 +337,12 @@ impl<'a> FlowBuilder<'a> {
         }
         if let Some(tw) = self.timewarp_presim {
             presim.timewarp = Some(tw);
+        }
+        if let Some(fp) = self.fault_plan {
+            presim
+                .timewarp
+                .get_or_insert_with(|| TwPresimConfig::new(0xFA17))
+                .fault = Some(fp);
         }
         Ok(Flow {
             nl,

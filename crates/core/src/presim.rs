@@ -24,7 +24,7 @@ use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
 use dvs_sim::stats::SimStats;
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, SchedulePolicy, TimeWarpConfig, TimeWarpMode};
+use dvs_sim::timewarp::{run_timewarp, FaultPlan, SchedulePolicy, TimeWarpConfig, TimeWarpMode};
 use dvs_verilog::netlist::Netlist;
 use std::cmp::Ordering;
 use std::time::Instant;
@@ -48,16 +48,24 @@ pub struct TwPresimConfig {
     /// Kernel tuning (window, batch, GVT cadence, state saving). The
     /// `mode` field is ignored: the run is always deterministic.
     pub kernel: TimeWarpConfig,
+    /// When set, run a second deterministic leg with this crash fault
+    /// injected and record its counters in [`PresimPoint::tw_crash`].
+    /// Recovery is exact, so the crash leg's counters must equal the clean
+    /// leg's — the perf gate byte-compares both, turning crash recovery
+    /// into a CI-checked invariant.
+    pub fault: Option<FaultPlan>,
 }
 
 impl TwPresimConfig {
-    /// Defaults: round-robin schedule, 100 vectors, stock kernel tuning.
+    /// Defaults: round-robin schedule, 100 vectors, stock kernel tuning,
+    /// no crash leg.
     pub fn new(seed: u64) -> Self {
         TwPresimConfig {
             seed,
             schedule: SchedulePolicy::RoundRobin,
             vectors: 100,
             kernel: TimeWarpConfig::default(),
+            fault: None,
         }
     }
 }
@@ -179,6 +187,10 @@ pub struct PresimPoint {
     /// Exact Time Warp protocol counters from the deterministic executor
     /// (present iff [`PresimConfig::timewarp`] was set).
     pub tw: Option<SimStats>,
+    /// Counters from the crash-injected deterministic leg (present iff
+    /// [`TwPresimConfig::fault`] was also set). Exact recovery makes these
+    /// equal to [`PresimPoint::tw`] — an invariant the perf gate checks.
+    pub tw_crash: Option<SimStats>,
     /// Host cost of producing this point.
     pub timing: PointTiming,
 }
@@ -232,16 +244,30 @@ pub fn evaluate_partition(
     // The exact-counter leg runs before the plan is handed to the model.
     // Deterministic mode makes it a pure function of its inputs, so points
     // stay bit-identical for any evaluation order or thread count.
-    let tw = cfg.timewarp.as_ref().map(|t| {
+    let run_leg = |t: &TwPresimConfig, fault: FaultPlan| {
         let twcfg = TimeWarpConfig {
             mode: TimeWarpMode::Deterministic {
                 seed: t.seed,
                 schedule: t.schedule,
             },
+            fault,
             ..t.kernel.clone()
         };
-        run_timewarp(nl, &plan, &stim, t.vectors, &twcfg).stats
-    });
+        match run_timewarp(nl, &plan, &stim, t.vectors, &twcfg) {
+            Ok(r) => r.stats,
+            // A wedged kernel during pre-simulation is a configuration/
+            // protocol bug, not a recoverable condition of the sweep.
+            Err(e) => panic!("deterministic presim leg failed (k={k}, b={b}): {e}"),
+        }
+    };
+    let tw = cfg
+        .timewarp
+        .as_ref()
+        .map(|t| run_leg(t, FaultPlan::default()));
+    let tw_crash = cfg
+        .timewarp
+        .as_ref()
+        .and_then(|t| t.fault.map(|f| run_leg(t, f)));
     let model = ClusterModel::new(nl, plan, cfg.model.clone());
     let run = model.run(&stim, cfg.vectors);
     let simulate_seconds = t_sim.elapsed().as_secs_f64();
@@ -261,6 +287,7 @@ pub fn evaluate_partition(
         balanced,
         quality,
         tw,
+        tw_crash,
         timing: PointTiming {
             simulate_seconds,
             ..PointTiming::default()

@@ -25,6 +25,10 @@
 //! * [`vcd`] — IEEE 1364 Value Change Dump waveform output;
 //! * [`stats`] — simulation statistics shared by all kernels.
 
+// Hot paths must not abort the process on recoverable conditions; the few
+// justified `unwrap`s are allow-listed at the call site with a proof sketch.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cluster;
 pub mod cluster_model;
 pub mod logic;
@@ -41,4 +45,7 @@ pub use logic::Logic;
 pub use seq::{SeqSim, SimConfig};
 pub use stats::SimStats;
 pub use stimulus::VectorStimulus;
-pub use timewarp::{SchedulePolicy, TimeWarpConfig, TimeWarpMode};
+pub use timewarp::{
+    Checkpoint, FaultPlan, RecoveryOutcome, SchedulePolicy, TimeWarpConfig, TimeWarpError,
+    TimeWarpMode,
+};

@@ -94,6 +94,18 @@ impl Logic {
             Logic::Z => 'z',
         }
     }
+
+    /// Inverse of [`Logic::display_char`] — used when deserializing value
+    /// vectors from artifacts. Case-insensitive for `x`/`z`.
+    pub fn from_display_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Logic {

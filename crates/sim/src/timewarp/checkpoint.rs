@@ -1,0 +1,102 @@
+//! GVT-consistent cluster checkpoints.
+//!
+//! A [`Checkpoint`] is the complete fossil-stable image of one
+//! [`super::proc::ClusterProcess`] taken at a successful GVT round. GVT
+//! rounds are *consistent global cuts* for the kernel: a sample is only
+//! valid while no message is in transit, so at the moment GVT advances
+//! every channel is empty and the global state is exactly the union of the
+//! per-cluster states — nothing is "on the wire". Capturing every cluster
+//! right after the fossil collection for that round therefore yields a
+//! coordinated checkpoint at minimal size (history strictly below GVT has
+//! just been reclaimed).
+//!
+//! The image is *behaviorally exact*: restoring it produces a process whose
+//! subsequent execution is bit-identical to the original's — including heap
+//! tie-break order (`order` stamps are preserved), rollback history
+//! (processed/undo/snapshots), annihilation state (tombstones), send/receive
+//! cursors (`mseq`/`lseq`) and statistics. That is what lets the recovery
+//! supervisor ([`super::recovery`]) replay a crashed cluster's input log on
+//! top of its last checkpoint and land in exactly the pre-crash state.
+//!
+//! Serialization to the schema-versioned canonical JSON artifact format
+//! lives in `dvs_core::artifact` (this crate stays dependency-free);
+//! [`Checkpoint`] itself is plain data with public fields. Collections with
+//! nondeterministic iteration order (the tombstone hash sets, the pending
+//! binary heap) are captured *sorted*, so capturing the same state twice
+//! yields equal — and identically serialized — checkpoints.
+
+use super::TwMessage;
+use crate::logic::Logic;
+use crate::stats::SimStats;
+use crate::wheel::VTime;
+
+/// Schema version of the checkpoint image. Bumped when the layout changes
+/// incompatibly; serializers embed it next to the artifact schema version.
+pub const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// Provenance of a queued or processed event — mirrors the kernel's
+/// internal source tag so rollback treatment survives a restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptSource {
+    /// Environment input (vector stimulus or initial settling).
+    Stimulus,
+    /// Scheduled by local gate evaluation at `created_at`.
+    Local { created_at: VTime, lseq: u64 },
+    /// Received from cluster `src` with send sequence `seq`.
+    Remote { src: u32, seq: u64 },
+}
+
+/// One pending or processed event with its heap tie-break stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptEvent {
+    pub time: VTime,
+    pub net: u32,
+    pub value: Logic,
+    pub source: CkptSource,
+    pub order: u64,
+}
+
+/// The complete state image of one cluster at a GVT round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Layout version ([`CHECKPOINT_SCHEMA`]).
+    pub schema: u32,
+    /// The cluster this image belongs to.
+    pub cluster: u32,
+    /// GVT at capture time — the consistent cut this image is part of.
+    pub gvt: VTime,
+    /// Net values (full vector, indexed by net id).
+    pub values: Vec<Logic>,
+    /// Pending events, sorted by `(time, order)` for deterministic capture.
+    pub pending: Vec<CkptEvent>,
+    /// Unconsumed remote tombstones `(src, seq)`, sorted.
+    pub tomb_remote: Vec<(u32, u64)>,
+    /// Unconsumed local tombstones (`lseq`), sorted.
+    pub tomb_local: Vec<u64>,
+    /// Processed events retained for rollback, in processing order.
+    pub processed: Vec<CkptEvent>,
+    /// Incremental undo log: `(time, net, previous value)`.
+    pub undo: Vec<(VTime, u32, Logic)>,
+    /// Periodic snapshots: `(time of last included epoch, values)`.
+    pub snapshots: Vec<(VTime, Vec<Logic>)>,
+    /// Epochs processed since the last snapshot (checkpoint state saving).
+    pub epochs_since_snapshot: u32,
+    /// Sent messages awaiting fossil collection: `(created_at, message)`.
+    pub outlog: Vec<(VTime, TwMessage)>,
+    /// Locally scheduled events: `(created_at, lseq)`.
+    pub sched_log: Vec<(VTime, u64)>,
+    /// Next stimulus cycle to generate (receive cursor of the environment).
+    pub stim_cycle: u64,
+    /// Local clock: time of the last processed epoch.
+    pub last_time: VTime,
+    /// Has initial settling run?
+    pub settled: bool,
+    /// Next heap tie-break stamp.
+    pub order: u64,
+    /// Next local-event sequence number.
+    pub lseq: u64,
+    /// Next message sequence number (per-cluster send cursor).
+    pub mseq: u64,
+    /// Statistics accumulated so far.
+    pub stats: SimStats,
+}

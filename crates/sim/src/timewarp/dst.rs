@@ -37,8 +37,10 @@
 //! therefore delay a message for an arbitrary but *bounded* number of
 //! decisions: eventually its delivery is the only legal action left.
 
+use super::error::TimeWarpError;
 use super::gvt::GvtState;
 use super::proc::ClusterProcess;
+use super::recovery::{degrade_sequential, DstSupervisor, RecoveryOutcome};
 use super::{merge_results, TimeWarpConfig, TwMessage, TwRunResult};
 use crate::cluster::ClusterPlan;
 use crate::stimulus::VectorStimulus;
@@ -292,7 +294,8 @@ impl Schedule for DelayChannel {
 
 /// Run the Time Warp kernel to completion under a named schedule policy.
 /// Identical `(plan, stim, cycles, cfg, seed, policy)` inputs produce
-/// identical results — including every [`crate::stats::SimStats`] counter.
+/// identical results — including every [`crate::stats::SimStats`] counter
+/// and, when `cfg.fault` injects crashes, every recovery counter.
 ///
 /// With `check` set, protocol invariants are asserted at every decision
 /// (see [`run_with_schedule`]); violations panic with the offending seed
@@ -307,7 +310,7 @@ pub fn run_deterministic(
     seed: u64,
     policy: &SchedulePolicy,
     check: bool,
-) -> TwRunResult {
+) -> Result<TwRunResult, TimeWarpError> {
     let mut schedule = policy.build(seed);
     let label = format!("seed {seed}, schedule {policy:?}");
     run_with_schedule(
@@ -332,7 +335,14 @@ pub fn run_deterministic(
 /// * fossil collection never reclaims processed or undo history at or
 ///   above the GVT it was invoked with;
 /// * at termination, annihilation left no orphan tombstones and no pending
-///   events in any cluster.
+///   events in any cluster;
+/// * a recovered cluster's rebuilt incoming channels equal the in-flight
+///   messages lost in the crash.
+///
+/// Crash faults from `cfg.fault` are injected when the executor reaches the
+/// armed decision index and handled by restore-and-replay recovery (see
+/// [`super::recovery`]); only unrecoverable conditions — a wedged GVT —
+/// surface as [`TimeWarpError`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_schedule(
     nl: &Netlist,
@@ -343,7 +353,7 @@ pub fn run_with_schedule(
     schedule: &mut dyn Schedule,
     check: bool,
     label: &str,
-) -> TwRunResult {
+) -> Result<TwRunResult, TimeWarpError> {
     let k = plan.k;
     let shared = GvtState::new(k);
     let mut procs: Vec<ClusterProcess<'_, '_>> = (0..k)
@@ -355,8 +365,16 @@ pub fn run_with_schedule(
     // delivered next.
     let mut queues: Vec<VecDeque<TwMessage>> = vec![VecDeque::new(); k * k];
 
+    // Recovery bookkeeping is only paid for when a crash fault is armed.
+    let fault = cfg.fault;
+    let mut supervisor = fault.crash_at.map(|_| DstSupervisor::new(&procs));
+    let mut crashes_left = fault.crash_budget();
+    let mut outcome = RecoveryOutcome::default();
+
     let gvt_cadence = (cfg.batch.max(1) * cfg.gvt_interval.max(1)) as u64;
     let mut decision: u64 = 0;
+    let mut last_gvt: VTime = 0;
+    let mut idle: u64 = 0;
     let mut lvts = vec![0 as VTime; k];
     let mut steppable: Vec<u32> = Vec::with_capacity(k);
     let mut deliverable: Vec<(u32, u32)> = Vec::with_capacity(k * k);
@@ -365,6 +383,10 @@ pub fn run_with_schedule(
         let gvt = shared.gvt.load(Ordering::SeqCst);
         if gvt == VTime::MAX {
             break; // global quiescence
+        }
+        if gvt > last_gvt {
+            last_gvt = gvt;
+            idle = 0;
         }
         let limit = gvt.saturating_add(cfg.window);
 
@@ -389,15 +411,87 @@ pub fn run_with_schedule(
         if steppable.is_empty() && deliverable.is_empty() {
             // Everyone is idle or throttled and nothing is in transit: the
             // GVT sample is valid by construction and must advance (the
-            // minimum LVT exceeds the current GVT, or is MAX = done).
-            let new_gvt = shared
-                .try_compute_gvt()
-                .unwrap_or_else(|| panic!("quiescent sample must advance GVT ({label})"));
+            // minimum LVT exceeds the current GVT, or is MAX = done). If it
+            // does not, the protocol is wedged — no retry can fix that.
+            let Some(new_gvt) = shared.try_compute_gvt() else {
+                return Err(TimeWarpError::Stalled { gvt, idle });
+            };
             fossil_all(&mut procs, new_gvt, check, label);
-            if new_gvt == VTime::MAX && check {
+            if new_gvt != VTime::MAX {
+                if let Some(sup) = supervisor.as_mut() {
+                    sup.on_gvt_round(&procs, new_gvt);
+                }
+            } else if check {
                 check_quiescence(&mut procs, label);
             }
             continue;
+        }
+
+        // Crash injection: the armed fault fires when the executor reaches
+        // decision index `crash_at.1`, before the schedule is consulted —
+        // so the decision sequence after recovery is identical to the
+        // no-crash run's, which is what makes artifacts byte-identical.
+        if crashes_left > 0 {
+            if let Some((victim, at)) = fault.crash_at {
+                let v = victim as usize;
+                if decision == at && v < k {
+                    crashes_left -= 1;
+                    outcome.crashes += 1;
+                    if outcome.restarts >= fault.max_restarts {
+                        // Restart budget exhausted: graceful degradation.
+                        let mut r = degrade_sequential(nl, stim, cycles);
+                        r.recovery.crashes = outcome.crashes;
+                        r.recovery.restarts = outcome.restarts;
+                        r.recovery.replayed_ops = outcome.replayed_ops;
+                        return Ok(r);
+                    }
+                    outcome.restarts += 1;
+                    let sup = supervisor.as_ref().expect("supervisor armed with fault");
+
+                    // Crash-stop: the victim loses its in-memory state and
+                    // its incoming channels (in-flight messages toward it
+                    // die with it).
+                    let mut dropped: Vec<Vec<TwMessage>> = Vec::with_capacity(k);
+                    let mut dropped_total = 0i64;
+                    for src in 0..k {
+                        let q = &mut queues[src * k + v];
+                        dropped_total += q.len() as i64;
+                        dropped.push(q.drain(..).collect());
+                    }
+                    if dropped_total > 0 {
+                        shared.in_transit.fetch_sub(dropped_total, Ordering::SeqCst);
+                    }
+
+                    // Recovery: last coordinated checkpoint + input-log
+                    // replay rebuilds the exact pre-crash process …
+                    let (p, ops) = sup.restore(v, nl, plan, stim, cycles, cfg.state_saving);
+                    outcome.replayed_ops += ops;
+                    procs[v] = p;
+                    shared.publish_lvt(v, procs[v].lvt());
+
+                    // … and the lost channels are re-filled from each
+                    // neighbour's retained output history (the undelivered
+                    // suffix since the last GVT round).
+                    let mut refilled = 0i64;
+                    for (src, lost) in dropped.iter().enumerate() {
+                        let und = sup.undelivered(src, v);
+                        if check {
+                            assert_eq!(
+                                und,
+                                lost.as_slice(),
+                                "recovered channel {src}->{v} differs from the lost \
+                                 in-flight messages ({label})"
+                            );
+                        }
+                        refilled += und.len() as i64;
+                        queues[src * k + v].extend(und.iter().copied());
+                    }
+                    if refilled > 0 {
+                        shared.in_transit.fetch_add(refilled, Ordering::SeqCst);
+                    }
+                    continue;
+                }
+            }
         }
 
         let view = DstView {
@@ -413,6 +507,12 @@ pub fn run_with_schedule(
             "schedule returned illegal action {action:?} at decision {decision} ({label})"
         );
         decision += 1;
+        idle += 1;
+        if cfg.stall_limit > 0 && idle >= cfg.stall_limit {
+            // Livelock watchdog: work keeps happening but GVT never
+            // advances, so nothing will ever commit or terminate.
+            return Err(TimeWarpError::Stalled { gvt, idle });
+        }
 
         match action {
             DstAction::Step(c) => {
@@ -424,8 +524,14 @@ pub fn run_with_schedule(
                         lvts[c]
                     );
                 }
+                if let Some(sup) = supervisor.as_mut() {
+                    sup.record_step(c, limit);
+                }
                 procs[c].process_next_epoch(limit, &mut |m: TwMessage| {
                     enqueue(&shared, &mut queues, k, m, check, label);
+                    if let Some(sup) = supervisor.as_mut() {
+                        sup.record_send(m);
+                    }
                 });
                 shared.publish_lvt(c, procs[c].lvt());
             }
@@ -440,9 +546,15 @@ pub fn run_with_schedule(
                         msg.ev.time
                     );
                 }
+                if let Some(sup) = supervisor.as_mut() {
+                    sup.record_deliver(msg);
+                }
                 let d = dst as usize;
                 procs[d].handle_message(msg, &mut |m: TwMessage| {
                     enqueue(&shared, &mut queues, k, m, check, label);
+                    if let Some(sup) = supervisor.as_mut() {
+                        sup.record_send(m);
+                    }
                 });
                 // Same ordering discipline as the threaded kernel: the
                 // in-transit counter drops only after the receiver's LVT
@@ -457,6 +569,11 @@ pub fn run_with_schedule(
         if decision.is_multiple_of(gvt_cadence) {
             if let Some(new_gvt) = shared.try_compute_gvt() {
                 fossil_all(&mut procs, new_gvt, check, label);
+                if new_gvt != VTime::MAX {
+                    if let Some(sup) = supervisor.as_mut() {
+                        sup.on_gvt_round(&procs, new_gvt);
+                    }
+                }
             }
         }
     }
@@ -465,12 +582,14 @@ pub fn run_with_schedule(
         .into_iter()
         .map(|mut p| (p.take_stats(), p.into_values()))
         .collect();
-    merge_results(
+    let mut result = merge_results(
         nl,
         plan,
         per_cluster,
         shared.gvt_rounds.load(Ordering::SeqCst),
-    )
+    );
+    result.recovery = outcome;
+    Ok(result)
 }
 
 #[inline]

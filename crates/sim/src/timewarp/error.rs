@@ -1,0 +1,38 @@
+//! Typed errors for the Time Warp kernel.
+
+use crate::wheel::VTime;
+
+/// A Time Warp run failed in a way the kernel can diagnose. Crash faults do
+/// **not** surface here — the recovery supervisor either restores the dead
+/// cluster or degrades to the sequential simulator (see
+/// [`super::recovery::FaultPlan`]); errors are reserved for conditions no
+/// retry can fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeWarpError {
+    /// The livelock watchdog tripped: GVT made no progress for `idle`
+    /// scheduling decisions (deterministic executor) or idle scheduling
+    /// quanta (threaded executor). A healthy run always advances GVT —
+    /// the optimism window throttles every cluster to `GVT + window`, so
+    /// unbounded work without GVT progress means the protocol is wedged
+    /// (or [`super::TimeWarpConfig::stall_limit`] is set far too low).
+    Stalled {
+        /// GVT value the run was stuck at.
+        gvt: VTime,
+        /// Decisions/quanta executed since GVT last advanced.
+        idle: u64,
+    },
+}
+
+impl std::fmt::Display for TimeWarpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimeWarpError::Stalled { gvt, idle } => write!(
+                f,
+                "time warp stalled: GVT stuck at {gvt} for {idle} scheduling decisions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimeWarpError {}

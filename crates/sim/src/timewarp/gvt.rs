@@ -24,7 +24,7 @@
 
 use crate::wheel::VTime;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// Shared GVT bookkeeping.
 #[derive(Debug)]
@@ -39,6 +39,10 @@ pub struct GvtState {
     pub gvt: AtomicU64,
     /// Successful GVT computations.
     pub gvt_rounds: AtomicU64,
+    /// Run-control: a worker died or stalled; everyone abandons the attempt.
+    pub abort: AtomicBool,
+    /// Run-control: the livelock watchdog tripped (implies `abort`).
+    pub stalled: AtomicBool,
     /// At most one sampler at a time.
     sample_lock: Mutex<()>,
 }
@@ -51,6 +55,8 @@ impl GvtState {
             send_epoch: AtomicU64::new(0),
             gvt: AtomicU64::new(0),
             gvt_rounds: AtomicU64::new(0),
+            abort: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
             sample_lock: Mutex::new(()),
         }
     }

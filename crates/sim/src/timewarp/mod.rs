@@ -40,11 +40,17 @@
 //! exact, seed-reproducible value. ([`crate::cluster_model`] remains as the
 //! fast *modeled* estimate of those counts for pre-simulation sweeps.)
 
+pub mod checkpoint;
 pub mod dst;
+pub mod error;
 pub mod gvt;
 pub mod proc;
+pub mod recovery;
 
+pub use checkpoint::{Checkpoint, CkptEvent, CkptSource, CHECKPOINT_SCHEMA};
 pub use dst::{DstAction, DstView, Schedule, SchedulePolicy};
+pub use error::TimeWarpError;
+pub use recovery::{FaultPlan, RecoveryOutcome};
 
 use crate::cluster::ClusterPlan;
 use crate::logic::Logic;
@@ -54,12 +60,13 @@ use crate::wheel::{NetEvent, VTime};
 use dvs_verilog::netlist::Netlist;
 use gvt::GvtState;
 use proc::ClusterProcess;
+use recovery::PanicInjector;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// A timestamped inter-cluster message. `(src, seq)` identifies the
 /// positive message its anti-message annihilates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwMessage {
     pub src: u32,
     pub dst: u32,
@@ -98,6 +105,16 @@ pub struct TimeWarpConfig {
     pub window: VTime,
     /// State-saving strategy for rollback (see [`StateSaving`]).
     pub state_saving: StateSaving,
+    /// Crash-fault injection and recovery plan (see [`FaultPlan`]). The
+    /// default injects nothing; recovery machinery is only engaged when a
+    /// crash is armed.
+    pub fault: FaultPlan,
+    /// Livelock watchdog: if GVT makes no progress for this many scheduling
+    /// decisions (deterministic executor) or idle scheduling quanta
+    /// (threaded executor), the run fails with
+    /// [`TimeWarpError::Stalled`] instead of hanging. `0` disables the
+    /// watchdog.
+    pub stall_limit: u64,
 }
 
 /// How a cluster preserves enough history to roll back — the classic Time
@@ -123,6 +140,8 @@ impl Default for TimeWarpConfig {
             gvt_interval: 1,
             window: 16,
             state_saving: StateSaving::IncrementalUndo,
+            fault: FaultPlan::default(),
+            stall_limit: 5_000_000,
         }
     }
 }
@@ -138,19 +157,24 @@ pub struct TwRunResult {
     pub values: Vec<Logic>,
     /// GVT computations that produced progress.
     pub gvt_rounds: u64,
+    /// Crash-fault recovery provenance (all-zero for an undisturbed run).
+    pub recovery: RecoveryOutcome,
 }
 
 /// Run the Time Warp kernel over the clusters of `plan`, simulating
 /// `cycles` vectors of `stim`. `cfg.mode` selects threaded execution (one
 /// worker per cluster) or the deterministic single-scheduler executor;
-/// final net values are identical either way.
+/// final net values are identical either way. Injected crash faults
+/// (`cfg.fault`) are recovered transparently — or, once the restart budget
+/// is exhausted, the run degrades to the sequential simulator (flagged in
+/// [`TwRunResult::recovery`]); only a wedged GVT surfaces as an error.
 pub fn run_timewarp(
     nl: &Netlist,
     plan: &ClusterPlan,
     stim: &VectorStimulus,
     cycles: u64,
     cfg: &TimeWarpConfig,
-) -> TwRunResult {
+) -> Result<TwRunResult, TimeWarpError> {
     match &cfg.mode {
         TimeWarpMode::Threads => run_threads(nl, plan, stim, cycles, cfg),
         TimeWarpMode::Deterministic { seed, schedule } => dst::run_deterministic(
@@ -166,14 +190,65 @@ pub fn run_timewarp(
     }
 }
 
-/// The threaded execution path: one free-running worker per cluster.
+/// One attempt of the threaded execution path.
+enum ThreadsAttempt {
+    /// All workers finished; the run is complete.
+    Done(TwRunResult),
+    /// At least one worker died (injected fault or genuine panic); the
+    /// run's partial state is discarded.
+    Crashed,
+    /// The livelock watchdog tripped on some worker.
+    Stalled { gvt: VTime, idle: u64 },
+}
+
+/// The threaded execution path: a supervisor retrying crash-stopped runs
+/// with bounded exponential backoff. Worker-level replay is impossible
+/// here — message delivery order is not logged under free-running threads —
+/// so recovery is a global restart; determinism of the *final state* (which
+/// equals the sequential simulator's) is what makes the retry transparent.
 fn run_threads(
     nl: &Netlist,
     plan: &ClusterPlan,
     stim: &VectorStimulus,
     cycles: u64,
     cfg: &TimeWarpConfig,
-) -> TwRunResult {
+) -> Result<TwRunResult, TimeWarpError> {
+    // The injection budget is shared across restarts, so the fault fires
+    // exactly `crashes` times in total and later attempts run clean.
+    let injector = PanicInjector::new(&cfg.fault);
+    let mut restarts = 0u32;
+    loop {
+        match run_threads_once(nl, plan, stim, cycles, cfg, injector.as_ref()) {
+            ThreadsAttempt::Done(mut r) => {
+                r.recovery.crashes = injector.as_ref().map_or(0, |i| i.fired());
+                r.recovery.restarts = restarts;
+                return Ok(r);
+            }
+            ThreadsAttempt::Crashed => {
+                if restarts >= cfg.fault.max_restarts {
+                    let mut r = recovery::degrade_sequential(nl, stim, cycles);
+                    r.recovery.crashes = injector.as_ref().map_or(0, |i| i.fired());
+                    r.recovery.restarts = restarts;
+                    return Ok(r);
+                }
+                std::thread::sleep(recovery::backoff(restarts));
+                restarts += 1;
+            }
+            ThreadsAttempt::Stalled { gvt, idle } => {
+                return Err(TimeWarpError::Stalled { gvt, idle })
+            }
+        }
+    }
+}
+
+fn run_threads_once(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+    injector: Option<&PanicInjector>,
+) -> ThreadsAttempt {
     let k = plan.k;
     let shared = Arc::new(GvtState::new(k));
 
@@ -199,25 +274,43 @@ fn run_threads(
             handles.push(scope.spawn(move || {
                 let mut proc =
                     ClusterProcess::new(nl, plan_ref, me as u32, stim, cycles, cfg.state_saving);
-                worker_loop(&mut proc, rx, &senders, &shared, &cfg, me);
-                (proc.take_stats(), proc.into_values())
+                // A worker death — injected or genuine — is contained here
+                // and turned into a missing result; the supervisor decides
+                // whether to restart or degrade. The unwind boundary makes
+                // `proc` unusable afterwards, which is fine: its state dies
+                // with the crash.
+                let alive = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_loop(&mut proc, rx, &senders, &shared, &cfg, me, injector);
+                }))
+                .is_ok();
+                if !alive {
+                    // Wake the survivors so they stop waiting for us.
+                    shared.abort.store(true, Ordering::SeqCst);
+                }
+                alive.then(|| (proc.take_stats(), proc.into_values()))
             }));
         }
         for (me, h) in handles.into_iter().enumerate() {
-            results[me] = Some(h.join().expect("worker panicked"));
+            results[me] = h.join().unwrap_or(None);
         }
     });
 
-    let per_cluster = results
-        .into_iter()
-        .map(|r| r.expect("worker result missing"))
-        .collect();
-    merge_results(
+    if shared.stalled.load(Ordering::SeqCst) {
+        return ThreadsAttempt::Stalled {
+            gvt: shared.gvt.load(Ordering::SeqCst),
+            idle: cfg.stall_limit,
+        };
+    }
+    if results.iter().any(Option::is_none) || shared.abort.load(Ordering::SeqCst) {
+        return ThreadsAttempt::Crashed;
+    }
+    let per_cluster = results.into_iter().flatten().collect();
+    ThreadsAttempt::Done(merge_results(
         nl,
         plan,
         per_cluster,
         shared.gvt_rounds.load(Ordering::SeqCst),
-    )
+    ))
 }
 
 /// Merge per-cluster stats and final net values into a [`TwRunResult`].
@@ -257,6 +350,7 @@ fn merge_results(
         cluster_stats,
         values,
         gvt_rounds,
+        recovery: RecoveryOutcome::default(),
     }
 }
 
@@ -267,9 +361,19 @@ fn worker_loop(
     shared: &GvtState,
     cfg: &TimeWarpConfig,
     me: usize,
+    injector: Option<&PanicInjector>,
 ) {
-    let mut quantum = 0usize;
+    let mut quantum = 0u64;
+    // Livelock watchdog: consecutive quanta without local work and without
+    // a GVT advance. Any progress — own epochs or a moving GVT — resets it.
+    let mut idle_spins = 0u64;
+    let mut seen_gvt: VTime = 0;
     loop {
+        // A peer crashed or stalled; this attempt is abandoned.
+        if shared.abort.load(Ordering::SeqCst) {
+            break;
+        }
+
         // Drain incoming messages. The in-transit counter is decremented
         // only after the local virtual time reflects each insertion, keeping
         // GVT samples sound.
@@ -289,6 +393,10 @@ fn worker_loop(
         if gvt == VTime::MAX {
             break; // global quiescence
         }
+        if gvt > seen_gvt {
+            seen_gvt = gvt;
+            idle_spins = 0;
+        }
 
         // Process a batch of epochs within the optimism window.
         let limit = gvt.saturating_add(cfg.window);
@@ -304,7 +412,16 @@ fn worker_loop(
         shared.publish_lvt(me, proc.lvt());
 
         quantum += 1;
-        if quantum.is_multiple_of(cfg.gvt_interval) || !worked {
+        if let Some(inj) = injector {
+            if inj.should_fire(me, quantum) {
+                // Crash-stop this worker. The abort flag is raised first so
+                // the survivors stop promptly instead of spinning on a GVT
+                // that can no longer advance.
+                shared.abort.store(true, Ordering::SeqCst);
+                panic!("injected crash fault: cluster {me} at quantum {quantum}");
+            }
+        }
+        if quantum.is_multiple_of(cfg.gvt_interval as u64) || !worked {
             if let Some(new_gvt) = shared.try_compute_gvt() {
                 proc.fossil_collect(new_gvt);
             } else {
@@ -314,8 +431,17 @@ fn worker_loop(
                 }
             }
             if !worked {
+                idle_spins += 1;
+                if cfg.stall_limit > 0 && idle_spins >= cfg.stall_limit {
+                    shared.stalled.store(true, Ordering::SeqCst);
+                    shared.abort.store(true, Ordering::SeqCst);
+                    break;
+                }
                 std::thread::yield_now();
             }
+        }
+        if worked {
+            idle_spins = 0;
         }
     }
 }
@@ -324,7 +450,8 @@ fn worker_loop(
 fn send(shared: &GvtState, senders: &[crossbeam::channel::Sender<TwMessage>], m: TwMessage) {
     shared.in_transit.fetch_add(1, Ordering::SeqCst);
     shared.send_epoch.fetch_add(1, Ordering::SeqCst);
-    senders[m.dst as usize]
-        .send(m)
-        .expect("receiver lives for the scope of the run");
+    // A failed send means the receiver died in a crash fault; the message
+    // is lost with it — exactly the crash-stop model — and the supervisor
+    // restarts the attempt.
+    let _ = senders[m.dst as usize].send(m);
 }

@@ -7,13 +7,14 @@
 //! straggler or anti-message arrives. See the module docs of
 //! [`crate::timewarp`] for the protocol overview.
 
+use super::checkpoint::{Checkpoint, CkptEvent, CkptSource, CHECKPOINT_SCHEMA};
 use super::{StateSaving, TwMessage};
 use crate::cluster::ClusterPlan;
 use crate::logic::{is_posedge, Logic};
 use crate::stats::SimStats;
 use crate::stimulus::VectorStimulus;
 use crate::wheel::{NetEvent, VTime};
-use dvs_verilog::netlist::{Fanout, GateKind, Netlist};
+use dvs_verilog::netlist::{Fanout, GateKind, NetId, Netlist};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -64,6 +65,36 @@ impl PartialOrd for Pend {
 struct OutRec {
     created_at: VTime,
     msg: TwMessage,
+}
+
+fn pend_to_ckpt(p: &Pend) -> CkptEvent {
+    CkptEvent {
+        time: p.ev.time,
+        net: p.ev.net.0,
+        value: p.ev.value,
+        source: match p.source {
+            Source::Stimulus => CkptSource::Stimulus,
+            Source::Local { created_at, lseq } => CkptSource::Local { created_at, lseq },
+            Source::Remote { src, seq } => CkptSource::Remote { src, seq },
+        },
+        order: p.order,
+    }
+}
+
+fn ckpt_to_pend(e: &CkptEvent) -> Pend {
+    Pend {
+        ev: NetEvent {
+            time: e.time,
+            net: NetId(e.net),
+            value: e.value,
+        },
+        source: match e.source {
+            CkptSource::Stimulus => Source::Stimulus,
+            CkptSource::Local { created_at, lseq } => Source::Local { created_at, lseq },
+            CkptSource::Remote { src, seq } => Source::Remote { src, seq },
+        },
+        order: e.order,
+    }
 }
 
 /// One cluster's optimistic simulation state.
@@ -184,6 +215,82 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
             changed: Vec::with_capacity(64),
             affected: Vec::with_capacity(64),
         }
+    }
+
+    /// Capture the complete behavioral state image of this cluster at GVT
+    /// `gvt`. Called right after the fossil collection of a successful GVT
+    /// round, so the image is both minimal and part of a consistent global
+    /// cut (see [`super::checkpoint`]). Unordered collections are captured
+    /// sorted, making equal states yield equal checkpoints.
+    pub fn checkpoint(&self, gvt: VTime) -> Checkpoint {
+        let mut pending: Vec<CkptEvent> = self.pending.iter().map(pend_to_ckpt).collect();
+        pending.sort_unstable_by_key(|e| (e.time, e.order));
+        let mut tomb_remote: Vec<(u32, u64)> = self.tomb_remote.iter().copied().collect();
+        tomb_remote.sort_unstable();
+        let mut tomb_local: Vec<u64> = self.tomb_local.iter().copied().collect();
+        tomb_local.sort_unstable();
+        Checkpoint {
+            schema: CHECKPOINT_SCHEMA,
+            cluster: self.me,
+            gvt,
+            values: self.values.clone(),
+            pending,
+            tomb_remote,
+            tomb_local,
+            processed: self.processed.iter().map(pend_to_ckpt).collect(),
+            undo: self.undo.clone(),
+            snapshots: self.snapshots.clone(),
+            epochs_since_snapshot: self.epochs_since_snapshot,
+            outlog: self.outlog.iter().map(|r| (r.created_at, r.msg)).collect(),
+            sched_log: self.sched_log.clone(),
+            stim_cycle: self.stim_cycle,
+            last_time: self.last_time,
+            settled: self.settled,
+            order: self.order,
+            lseq: self.lseq,
+            mseq: self.mseq,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuild a process from a checkpoint image. The result is behaviorally
+    /// identical to the captured process: heap tie-break order is preserved
+    /// via the `order` stamps (the `Pend` ordering is total on distinct
+    /// `(time, order)` pairs, so heap-internal layout cannot matter), and
+    /// the per-epoch scratch fields (`seen`/`fire`/`stamp`) start zeroed —
+    /// they only carry state *within* one epoch, and capture happens between
+    /// epochs.
+    pub fn from_checkpoint(
+        nl: &'nl Netlist,
+        plan: &'p ClusterPlan,
+        stim: VectorStimulus,
+        cycles: u64,
+        state_saving: StateSaving,
+        ck: &Checkpoint,
+    ) -> Self {
+        let mut p = ClusterProcess::new(nl, plan, ck.cluster, stim, cycles, state_saving);
+        p.values.clone_from(&ck.values);
+        p.pending = ck.pending.iter().map(ckpt_to_pend).collect();
+        p.tomb_remote = ck.tomb_remote.iter().copied().collect();
+        p.tomb_local = ck.tomb_local.iter().copied().collect();
+        p.processed = ck.processed.iter().map(ckpt_to_pend).collect();
+        p.undo.clone_from(&ck.undo);
+        p.snapshots.clone_from(&ck.snapshots);
+        p.epochs_since_snapshot = ck.epochs_since_snapshot;
+        p.outlog = ck
+            .outlog
+            .iter()
+            .map(|&(created_at, msg)| OutRec { created_at, msg })
+            .collect();
+        p.sched_log.clone_from(&ck.sched_log);
+        p.stim_cycle = ck.stim_cycle;
+        p.last_time = ck.last_time;
+        p.settled = ck.settled;
+        p.order = ck.order;
+        p.lseq = ck.lseq;
+        p.mseq = ck.mseq;
+        p.stats = ck.stats.clone();
+        p
     }
 
     pub fn take_stats(&mut self) -> SimStats {
@@ -484,18 +591,18 @@ impl<'nl, 'p> ClusterProcess<'nl, 'p> {
         // Drain the epoch (clean_peek already consumed head tombstones; more
         // may surface as we pop).
         self.epoch_buf.clear();
-        while let Some(head) = self.pending.peek() {
+        while let Some(&head) = self.pending.peek() {
             if head.ev.time != t {
                 break;
             }
-            let p = self.pending.pop().unwrap();
-            let dead = match p.source {
+            self.pending.pop();
+            let dead = match head.source {
                 Source::Remote { src, seq } => self.tomb_remote.remove(&(src, seq)),
                 Source::Local { lseq, .. } => self.tomb_local.remove(&lseq),
                 Source::Stimulus => false,
             };
             if !dead {
-                self.epoch_buf.push(p);
+                self.epoch_buf.push(head);
             }
         }
         if self.epoch_buf.is_empty() {

@@ -1,0 +1,296 @@
+//! Crash-fault injection and recovery for the Time Warp kernel.
+//!
+//! The fault model is a *crash-stop* worker: a cluster dies, losing its
+//! entire in-memory state **and** every message currently in flight toward
+//! it (its incoming channels die with it). Messages it already sent live on
+//! — they left the node. Recovery follows classic log-based rollback
+//! recovery, built on two retention rules that piggyback on the existing
+//! GVT machinery:
+//!
+//! * **coordinated checkpoints at GVT rounds** — a valid GVT sample requires
+//!   `in_transit == 0`, i.e. empty channels, so the set of per-cluster
+//!   [`Checkpoint`]s taken right after a GVT advance is a consistent global
+//!   cut with no channel state (see [`super::checkpoint`]);
+//! * **sender-side retention until acked** — every message sent since the
+//!   last GVT round is retained by its sender (the supervisor's `sent_log`);
+//!   a GVT advance doubles as the acknowledgement that all of them were
+//!   incorporated (the sample is only valid once every channel drained), so
+//!   the retention window is exactly one GVT round.
+//!
+//! On a crash the supervisor rebuilds the victim from its last checkpoint,
+//! **replays its input log** (the exact sequence of step/deliver operations
+//! applied since that checkpoint — the cluster state machine is
+//! deterministic, so replay reproduces the pre-crash state bit-for-bit,
+//! counters included, with re-sends suppressed because the originals are
+//! already on the wire or delivered), and re-fills its incoming channels
+//! with the undelivered suffix of each neighbour's retained output history.
+//! The global state after recovery is therefore *exactly* the pre-crash
+//! state, which is what makes crash runs byte-identical to no-crash runs
+//! under the deterministic executor — determinism is the correctness oracle
+//! for recovery, the same way it is for the schedule fuzzer.
+//!
+//! When the restart budget is exhausted the supervisor degrades gracefully:
+//! the whole workload is re-run on the sequential simulator, yielding a
+//! correct final state with `degraded = true` in the result instead of an
+//! error.
+
+use super::checkpoint::Checkpoint;
+use super::proc::ClusterProcess;
+use super::{StateSaving, TwMessage, TwRunResult};
+use crate::cluster::ClusterPlan;
+use crate::seq::{NullObserver, SeqSim, SimConfig};
+use crate::stimulus::VectorStimulus;
+use crate::wheel::VTime;
+use dvs_verilog::netlist::{NetId, Netlist};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Crash-fault injection plan — a first-class deterministic fault alongside
+/// the [`super::dst::SchedulePolicy`] message faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash cluster `.0` when the deterministic executor reaches decision
+    /// index `.1`, or (in [`super::TimeWarpMode::Threads`]) when that
+    /// cluster's worker finishes its `.1`-th scheduling quantum, by
+    /// panicking it. `None` disables crash injection.
+    pub crash_at: Option<(u32, u64)>,
+    /// How many times the fault fires in total: after each recovery the
+    /// fault re-arms until the budget is spent. Treated as at least 1 when
+    /// `crash_at` is set.
+    pub crashes: u32,
+    /// Restarts the supervisor attempts before giving up and degrading to
+    /// the sequential simulator.
+    pub max_restarts: u32,
+}
+
+impl FaultPlan {
+    /// A single crash of `cluster` at decision/quantum `at`, with the
+    /// default restart budget.
+    pub fn crash(cluster: u32, at: u64) -> Self {
+        FaultPlan {
+            crash_at: Some((cluster, at)),
+            crashes: 1,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Effective number of times the fault fires.
+    pub(crate) fn crash_budget(&self) -> u32 {
+        if self.crash_at.is_some() {
+            self.crashes.max(1)
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            crash_at: None,
+            crashes: 0,
+            max_restarts: 3,
+        }
+    }
+}
+
+/// What the supervisor did about crash faults during a run. All fields are
+/// deterministic under the deterministic executor, but they are *recovery
+/// provenance*, not simulation content — canonical artifacts exclude them
+/// so a recovered run serializes byte-identically to an undisturbed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryOutcome {
+    /// Crash faults that fired.
+    pub crashes: u32,
+    /// Successful restore-and-replay recoveries.
+    pub restarts: u32,
+    /// Input-log operations replayed across all recoveries.
+    pub replayed_ops: u64,
+    /// The restart budget ran out and the run fell back to the sequential
+    /// simulator; `values`/`stats` are the sequential run's.
+    pub degraded: bool,
+}
+
+/// One logged operation applied to a cluster since its last checkpoint.
+/// The cluster state machine is a deterministic function of this sequence,
+/// which is exactly why replaying it reconstructs the pre-crash state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReplayOp {
+    /// `process_next_epoch(limit, ..)` was invoked (the optimism limit is
+    /// constant between GVT rounds, but stored per-op for robustness).
+    Step { limit: VTime },
+    /// This exact message was delivered.
+    Deliver(TwMessage),
+}
+
+/// Recovery bookkeeping for the deterministic executor: per-cluster
+/// checkpoints and input logs, per-channel sender-side retention. All state
+/// is scoped to "since the last GVT round" — a successful GVT sample
+/// implies every channel drained, so logs truncate at each round.
+pub(crate) struct DstSupervisor {
+    k: usize,
+    checkpoints: Vec<Checkpoint>,
+    input_log: Vec<Vec<ReplayOp>>,
+    /// Messages sent on channel `src * k + dst` since the last GVT round
+    /// (positives *and* anti-messages, in send order — FIFO per channel).
+    sent_log: Vec<Vec<TwMessage>>,
+    /// Deliveries consumed from each channel since the last GVT round.
+    delivered: Vec<usize>,
+}
+
+impl DstSupervisor {
+    /// Capture the initial coordinated checkpoint (GVT 0, fresh state).
+    pub fn new(procs: &[ClusterProcess<'_, '_>]) -> Self {
+        let k = procs.len();
+        DstSupervisor {
+            k,
+            checkpoints: procs.iter().map(|p| p.checkpoint(0)).collect(),
+            input_log: vec![Vec::new(); k],
+            sent_log: vec![Vec::new(); k * k],
+            delivered: vec![0; k * k],
+        }
+    }
+
+    pub fn record_step(&mut self, c: usize, limit: VTime) {
+        self.input_log[c].push(ReplayOp::Step { limit });
+    }
+
+    pub fn record_deliver(&mut self, m: TwMessage) {
+        self.delivered[m.src as usize * self.k + m.dst as usize] += 1;
+        self.input_log[m.dst as usize].push(ReplayOp::Deliver(m));
+    }
+
+    pub fn record_send(&mut self, m: TwMessage) {
+        self.sent_log[m.src as usize * self.k + m.dst as usize].push(m);
+    }
+
+    /// A GVT advance is the group acknowledgement: every channel drained,
+    /// so retention windows reset and a fresh coordinated checkpoint is
+    /// taken (after fossil collection, so the images are minimal).
+    pub fn on_gvt_round(&mut self, procs: &[ClusterProcess<'_, '_>], gvt: VTime) {
+        for (i, p) in procs.iter().enumerate() {
+            self.checkpoints[i] = p.checkpoint(gvt);
+            self.input_log[i].clear();
+        }
+        for l in &mut self.sent_log {
+            l.clear();
+        }
+        self.delivered.fill(0);
+    }
+
+    /// Rebuild `victim` from its last checkpoint and replay its input log.
+    /// Replayed sends are suppressed: the original messages are already on
+    /// the wire or delivered, and re-emitting them would duplicate
+    /// `(src, seq)` identities. Returns the process (in its exact pre-crash
+    /// state) and the number of operations replayed.
+    pub fn restore<'nl, 'p>(
+        &self,
+        victim: usize,
+        nl: &'nl Netlist,
+        plan: &'p ClusterPlan,
+        stim: &VectorStimulus,
+        cycles: u64,
+        state_saving: StateSaving,
+    ) -> (ClusterProcess<'nl, 'p>, u64) {
+        let mut p = ClusterProcess::from_checkpoint(
+            nl,
+            plan,
+            stim.clone(),
+            cycles,
+            state_saving,
+            &self.checkpoints[victim],
+        );
+        let mut suppress = |_m: TwMessage| {};
+        for op in &self.input_log[victim] {
+            match *op {
+                ReplayOp::Step { limit } => {
+                    p.process_next_epoch(limit, &mut suppress);
+                }
+                ReplayOp::Deliver(m) => p.handle_message(m, &mut suppress),
+            }
+        }
+        (p, self.input_log[victim].len() as u64)
+    }
+
+    /// The undelivered suffix of the `src → dst` channel: what was in
+    /// flight when `dst` crashed, reconstructed from the sender's retained
+    /// output history minus the prefix `dst` had already consumed.
+    pub fn undelivered(&self, src: usize, dst: usize) -> &[TwMessage] {
+        let ch = src * self.k + dst;
+        &self.sent_log[ch][self.delivered[ch]..]
+    }
+}
+
+/// Shared panic-injection trigger for the threaded executor. The budget is
+/// shared across supervisor restarts so the fault fires exactly
+/// [`FaultPlan::crashes`] times in total.
+pub(crate) struct PanicInjector {
+    pub victim: u32,
+    pub quantum: u64,
+    budget: AtomicU32,
+    initial: u32,
+}
+
+impl PanicInjector {
+    pub fn new(plan: &FaultPlan) -> Option<Self> {
+        let (victim, quantum) = plan.crash_at?;
+        let budget = plan.crash_budget();
+        Some(PanicInjector {
+            victim,
+            quantum,
+            budget: AtomicU32::new(budget),
+            initial: budget,
+        })
+    }
+
+    /// Should worker `me` die at `quantum`? Consumes one unit of budget on
+    /// a hit (atomically — only one incarnation of the victim can fire per
+    /// budget unit).
+    pub fn should_fire(&self, me: usize, quantum: u64) -> bool {
+        me as u32 == self.victim
+            && quantum == self.quantum
+            && self
+                .budget
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+                .is_ok()
+    }
+
+    /// Crashes fired so far.
+    pub fn fired(&self) -> u32 {
+        self.initial - self.budget.load(Ordering::SeqCst)
+    }
+}
+
+/// Graceful degradation: run the whole workload on the sequential simulator
+/// and report its (correct) final state with `degraded = true`. The caller
+/// fills in the crash/restart provenance.
+pub(crate) fn degrade_sequential(nl: &Netlist, stim: &VectorStimulus, cycles: u64) -> TwRunResult {
+    let mut seq = SeqSim::new(
+        nl,
+        &SimConfig {
+            cycles,
+            init_zero: true,
+        },
+    );
+    seq.run(stim, cycles, &mut NullObserver);
+    let values = (0..nl.net_count())
+        .map(|i| seq.value(NetId(i as u32)))
+        .collect();
+    TwRunResult {
+        stats: seq.stats().clone(),
+        cluster_stats: Vec::new(),
+        values,
+        gvt_rounds: 0,
+        recovery: RecoveryOutcome {
+            degraded: true,
+            ..RecoveryOutcome::default()
+        },
+    }
+}
+
+/// Exponential retry backoff for the threaded supervisor, capped so tests
+/// stay fast. The deterministic executor has no wall clock — its "backoff"
+/// is the bounded restart budget itself.
+pub(crate) fn backoff(restart: u32) -> std::time::Duration {
+    let ms = 1u64 << restart.min(6);
+    std::time::Duration::from_millis(ms.min(50))
+}

@@ -113,6 +113,9 @@ impl VcdRecorder {
 
     /// Serialize to VCD text. `timescale_ns` is the real-time length of one
     /// gate delay for the `$timescale` header.
+    // `core::fmt::Write` into a `String` is infallible (OOM aborts); the
+    // `unwrap`s below can never fire.
+    #[allow(clippy::unwrap_used)]
     pub fn to_vcd(&self, design_name: &str, timescale_ns: u32) -> String {
         let mut out = String::new();
         writeln!(out, "$date\n  (dvs-sim)\n$end").unwrap();

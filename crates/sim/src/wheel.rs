@@ -87,8 +87,12 @@ impl HeapQueue {
     /// that time.
     pub fn pop_epoch(&mut self, out: &mut Vec<NetEvent>) -> Option<VTime> {
         let t = self.peek_time()?;
-        while self.peek_time() == Some(t) {
-            out.push(self.pop().unwrap());
+        while let Some(&head) = self.heap.peek() {
+            if head.ev.time != t {
+                break;
+            }
+            self.heap.pop();
+            out.push(head.ev);
         }
         Some(t)
     }
@@ -152,13 +156,14 @@ impl TimingWheel {
         }
         loop {
             // Reload overflow events that now fit in the window.
-            while let Some(t) = self.overflow.peek_time() {
-                if t < self.now + self.horizon as u64 {
-                    let ev = self.overflow.pop().unwrap();
+            while self
+                .overflow
+                .peek_time()
+                .is_some_and(|t| t < self.now + self.horizon as u64)
+            {
+                if let Some(ev) = self.overflow.pop() {
                     self.buckets[(ev.time % self.horizon as u64) as usize].push(ev);
                     self.len += 1;
-                } else {
-                    break;
                 }
             }
             let idx = (self.now % self.horizon as u64) as usize;

@@ -11,8 +11,10 @@
 //! * fossil collection never reclaims history at or above GVT.
 //!
 //! On failure the offending case (circuit, partition, schedule, seeds) is
-//! written to `target/tmp/dst_fuzz_failure.txt` so CI can upload it and
-//! anyone can replay the exact execution locally.
+//! written to `target/tmp/dst_fuzz_failure_<test>_<case-hash>.txt` — one
+//! file per test and case, so concurrently failing tests (or several
+//! shrunk cases from one proptest run) never clobber each other's repro —
+//! and CI uploads the whole set.
 
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
@@ -134,7 +136,8 @@ fn run_case(case: &FuzzCase) {
         case.sched_seed,
         &policy,
         true,
-    );
+    )
+    .expect("deterministic run stalled");
 
     // (a) Sequential equivalence on every driven net and primary input.
     let scfg = SimConfig {
@@ -165,15 +168,19 @@ fn run_case(case: &FuzzCase) {
         case.sched_seed,
         &policy,
         true,
-    );
+    )
+    .expect("deterministic replay stalled");
     assert_eq!(tw.stats, replay.stats, "replay diverged under {policy:?}");
     assert_eq!(tw.cluster_stats, replay.cluster_stats);
     assert_eq!(tw.values, replay.values);
 }
 
-/// Run a case, dumping it to `target/tmp/dst_fuzz_failure.txt` on panic so
-/// the CI job can upload the repro.
-fn run_case_with_dump(case: &FuzzCase) {
+/// Run a case, dumping it on panic to a file whose name encodes the test
+/// and a hash of the case, so parallel test binaries and repeated proptest
+/// shrink iterations each keep their own repro instead of overwriting a
+/// single shared `dst_fuzz_failure.txt`.
+fn run_case_with_dump(case: &FuzzCase, test: &str) {
+    use std::hash::{Hash, Hasher};
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_case(case)));
     if let Err(payload) = result {
         let msg = payload
@@ -181,10 +188,13 @@ fn run_case_with_dump(case: &FuzzCase) {
             .map(String::as_str)
             .or_else(|| payload.downcast_ref::<&str>().copied())
             .unwrap_or("<non-string panic>");
-        let dump = format!("failing DST fuzz case:\n{case:#?}\n\npanic: {msg}\n");
+        let dump = format!("failing DST fuzz case ({test}):\n{case:#?}\n\npanic: {msg}\n");
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{case:?}").hash(&mut h);
         let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
         let _ = std::fs::create_dir_all(dir);
-        let _ = std::fs::write(dir.join("dst_fuzz_failure.txt"), &dump);
+        let name = format!("dst_fuzz_failure_{test}_{:016x}.txt", h.finish());
+        let _ = std::fs::write(dir.join(name), &dump);
         eprintln!("{dump}");
         std::panic::resume_unwind(payload);
     }
@@ -195,7 +205,7 @@ proptest! {
 
     #[test]
     fn random_schedules_match_sequential_and_replay(case in case_strategy()) {
-        run_case_with_dump(&case);
+        run_case_with_dump(&case, "random_schedules");
     }
 }
 
@@ -218,6 +228,6 @@ fn named_policies_on_fixed_case() {
             checkpoint: false,
             cycles: 30,
         };
-        run_case_with_dump(&case);
+        run_case_with_dump(&case, "named_policies");
     }
 }

@@ -5,7 +5,7 @@
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, StateSaving, TimeWarpConfig};
+use dvs_sim::timewarp::{run_timewarp, FaultPlan, StateSaving, TimeWarpConfig};
 use dvs_verilog::netlist::Netlist;
 use dvs_verilog::parse_and_elaborate;
 
@@ -21,7 +21,8 @@ fn assert_tw_matches_seq(nl: &Netlist, gate_blocks: &[u32], k: usize, cycles: u6
     seq.run(&stim, cycles, &mut NullObserver);
 
     let plan = ClusterPlan::new(nl, gate_blocks, k);
-    let tw = run_timewarp(nl, &plan, &stim, cycles, &TimeWarpConfig::default());
+    let tw =
+        run_timewarp(nl, &plan, &stim, cycles, &TimeWarpConfig::default()).expect("run stalled");
 
     for (ni, net) in nl.nets.iter().enumerate() {
         if net.driver.is_some() || nl.primary_inputs.contains(&dvs_verilog::NetId(ni as u32)) {
@@ -163,7 +164,7 @@ fn tight_window_still_correct() {
         state_saving: StateSaving::IncrementalUndo,
         ..TimeWarpConfig::default()
     };
-    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
+    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
     for (ni, net) in nl.nets.iter().enumerate() {
         if net.driver.is_some() {
             assert_eq!(
@@ -231,7 +232,7 @@ fn checkpoint_state_saving_matches_incremental() {
             state_saving: StateSaving::Checkpoint { interval },
             ..TimeWarpConfig::default()
         };
-        let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
+        let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
         for (ni, net) in nl.nets.iter().enumerate() {
             if net.driver.is_some() {
                 assert_eq!(
@@ -264,7 +265,7 @@ fn checkpoint_mode_with_reset_circuit() {
         state_saving: StateSaving::Checkpoint { interval: 8 },
         ..TimeWarpConfig::default()
     };
-    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg);
+    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
     for (ni, net) in nl.nets.iter().enumerate() {
         if net.driver.is_some() {
             assert_eq!(
@@ -277,13 +278,101 @@ fn checkpoint_mode_with_reset_circuit() {
     }
 }
 
+/// Acceptance criterion for crash-fault tolerance in Threads mode: a worker
+/// panicked by the injector is restarted by the supervisor and the run
+/// still converges to the sequential final state, with the recovery
+/// provenance reporting the crash.
+#[test]
+fn threads_mode_recovers_from_injected_panic() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 2);
+    let plan = ClusterPlan::new(&nl, &gb, 2);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 41);
+    let cycles = 50;
+
+    let mut seq = SeqSim::new(
+        &nl,
+        &SimConfig {
+            cycles,
+            init_zero: true,
+        },
+    );
+    seq.run(&stim, cycles, &mut NullObserver);
+
+    for (victim, quantum) in [(0u32, 1u64), (1, 3), (0, 20)] {
+        let cfg = TimeWarpConfig {
+            fault: FaultPlan::crash(victim, quantum),
+            ..TimeWarpConfig::default()
+        };
+        let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
+        assert_eq!(tw.recovery.crashes, 1, "injected panic did not fire");
+        assert_eq!(tw.recovery.restarts, 1, "supervisor did not restart");
+        assert!(!tw.recovery.degraded);
+        for (ni, net) in nl.nets.iter().enumerate() {
+            if net.driver.is_some() {
+                assert_eq!(
+                    tw.values[ni],
+                    seq.value(dvs_verilog::NetId(ni as u32)),
+                    "net `{}` differs after panic recovery ({victim}@{quantum})",
+                    net.name
+                );
+            }
+        }
+    }
+}
+
+/// Exhausting the threaded supervisor's restart budget falls back to the
+/// sequential simulator: correct result, `degraded = true`, no error.
+#[test]
+fn threads_mode_degrades_after_budget_exhaustion() {
+    let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
+    let gb = round_robin(&nl, 2);
+    let plan = ClusterPlan::new(&nl, &gb, 2);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 43);
+    let cycles = 40;
+
+    let mut seq = SeqSim::new(
+        &nl,
+        &SimConfig {
+            cycles,
+            init_zero: true,
+        },
+    );
+    seq.run(&stim, cycles, &mut NullObserver);
+
+    // The worker dies at quantum 1 on every incarnation: with a budget of
+    // `max_restarts` crashes already spent, one more exhausts it.
+    let cfg = TimeWarpConfig {
+        fault: FaultPlan {
+            crash_at: Some((1, 1)),
+            crashes: 3,
+            max_restarts: 2,
+        },
+        ..TimeWarpConfig::default()
+    };
+    let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
+    assert!(tw.recovery.degraded, "budget exhaustion must degrade");
+    assert_eq!(tw.recovery.crashes, 3);
+    assert_eq!(tw.recovery.restarts, 2);
+    for (ni, net) in nl.nets.iter().enumerate() {
+        if net.driver.is_some() {
+            assert_eq!(
+                tw.values[ni],
+                seq.value(dvs_verilog::NetId(ni as u32)),
+                "net `{}` differs in degraded run",
+                net.name
+            );
+        }
+    }
+}
+
 #[test]
 fn stats_are_plausible() {
     let nl = parse_and_elaborate(COUNTER).unwrap().into_netlist();
     let gb = round_robin(&nl, 2);
     let stim = VectorStimulus::from_netlist(&nl, 10, 7);
     let plan = ClusterPlan::new(&nl, &gb, 2);
-    let tw = run_timewarp(&nl, &plan, &stim, 50, &TimeWarpConfig::default());
+    let tw = run_timewarp(&nl, &plan, &stim, 50, &TimeWarpConfig::default()).expect("run stalled");
     assert!(tw.stats.messages > 0, "cut circuit must communicate");
     assert_eq!(tw.cluster_stats.len(), 2);
     // Anti-messages only exist if rollbacks happened.

@@ -63,7 +63,8 @@ fn main() {
 
     // Optimistic parallel run.
     let t0 = Instant::now();
-    let tw = run_timewarp(&nl, &plan, &stim, vectors, &TimeWarpConfig::default());
+    let tw = run_timewarp(&nl, &plan, &stim, vectors, &TimeWarpConfig::default())
+        .expect("time warp run stalled");
     let tw_time = t0.elapsed();
     println!(
         "time warp  : {:.2?} ({} events incl. re-execution)",

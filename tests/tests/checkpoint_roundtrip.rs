@@ -1,0 +1,205 @@
+//! Checkpoint integrity: the GVT-round [`Checkpoint`] images that crash
+//! recovery stands on must (a) survive JSON serialization losslessly,
+//! (b) restore to a process whose state image is identical to the
+//! original's, and (c) make mid-run crash-restore invisible — identical
+//! counters to an uninterrupted run — across every schedule policy and a
+//! spread of seeds.
+
+use dvs_core::multiway::{partition_multiway, MultiwayConfig};
+use dvs_core::{FromJson, Json, ToJson};
+use dvs_integration_tests::elaborate;
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::dst::first_cut_channel;
+use dvs_sim::timewarp::proc::ClusterProcess;
+use dvs_sim::timewarp::{
+    run_timewarp, Checkpoint, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode,
+    TwMessage,
+};
+use dvs_verilog::Netlist;
+use dvs_workloads::seqcirc::generate_counter;
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use proptest::prelude::*;
+
+/// Drive a two-cluster system by hand for `epochs` scheduling steps,
+/// shuttling messages between the processes, and return the processes —
+/// a realistic mid-run state with pending events, tombstones, rollback
+/// history and outstanding output log entries.
+fn pump_two_clusters<'a>(
+    nl: &'a Netlist,
+    plan: &'a ClusterPlan,
+    stim_seed: u64,
+    epochs: u32,
+    state_saving: StateSaving,
+) -> Vec<ClusterProcess<'a, 'a>> {
+    let stim = VectorStimulus::from_netlist(nl, 10, stim_seed);
+    let cycles = 30;
+    let mut procs: Vec<ClusterProcess> = (0..2)
+        .map(|c| ClusterProcess::new(nl, plan, c, stim.clone(), cycles, state_saving))
+        .collect();
+    let mut queues: Vec<Vec<TwMessage>> = vec![Vec::new(); 2];
+    for step in 0..epochs {
+        let c = (step % 2) as usize;
+        // Deliver everything queued for `c` first, then advance one epoch.
+        let inbox = std::mem::take(&mut queues[c]);
+        let mut outbox: Vec<TwMessage> = Vec::new();
+        let mut send = |m: TwMessage| outbox.push(m);
+        for m in inbox {
+            procs[c].handle_message(m, &mut send);
+        }
+        procs[c].process_next_epoch(u64::MAX, &mut send);
+        for m in outbox {
+            queues[m.dst as usize].push(m);
+        }
+    }
+    procs
+}
+
+fn two_cluster_fixture() -> (Netlist, Vec<u32>) {
+    let nl = elaborate(&generate_counter(6));
+    let gb: Vec<u32> = (0..nl.gate_count()).map(|i| (i % 2) as u32).collect();
+    (nl, gb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Checkpoint -> json -> Checkpoint` is lossless on realistic mid-run
+    /// states, and capturing the same state twice yields byte-identical
+    /// artifacts (unordered collections are sorted at capture).
+    #[test]
+    fn checkpoint_json_roundtrip_is_lossless(
+        stim_seed in any::<u64>(),
+        epochs in 1u32..40,
+        gvt in 0u64..50,
+        checkpoint_saving in any::<bool>(),
+    ) {
+        let (nl, gb) = two_cluster_fixture();
+        let plan = ClusterPlan::new(&nl, &gb, 2);
+        let saving = if checkpoint_saving {
+            StateSaving::Checkpoint { interval: 4 }
+        } else {
+            StateSaving::IncrementalUndo
+        };
+        let procs = pump_two_clusters(&nl, &plan, stim_seed, epochs, saving);
+        for p in &procs {
+            let ck = p.checkpoint(gvt);
+            let text = ck.to_json().emit().expect("emit");
+            let back = Checkpoint::from_json(&Json::parse(&text).expect("parse"))
+                .expect("checkpoint deserializes");
+            prop_assert_eq!(&back, &ck, "round-trip lost information");
+            // Determinism of capture and of serialization.
+            let again = p.checkpoint(gvt);
+            prop_assert_eq!(&again, &ck);
+            prop_assert_eq!(again.to_json().emit().expect("emit"), text);
+        }
+    }
+
+    /// Restoring a checkpoint yields a process whose own state image is
+    /// identical to the one it was built from — capture/restore is a
+    /// fixed point.
+    #[test]
+    fn restored_process_reproduces_its_image(
+        stim_seed in any::<u64>(),
+        epochs in 1u32..40,
+    ) {
+        let (nl, gb) = two_cluster_fixture();
+        let plan = ClusterPlan::new(&nl, &gb, 2);
+        let stim = VectorStimulus::from_netlist(&nl, 10, stim_seed);
+        let procs = pump_two_clusters(&nl, &plan, stim_seed, epochs, StateSaving::IncrementalUndo);
+        for p in &procs {
+            let ck = p.checkpoint(7);
+            let restored = ClusterProcess::from_checkpoint(
+                &nl,
+                &plan,
+                stim.clone(),
+                30,
+                StateSaving::IncrementalUndo,
+                &ck,
+            );
+            prop_assert_eq!(restored.checkpoint(7), ck);
+        }
+    }
+}
+
+/// Schema and kind are enforced on read: a tampered artifact is rejected
+/// instead of silently misinterpreted.
+#[test]
+fn checkpoint_rejects_wrong_kind_and_schema() {
+    let (nl, gb) = two_cluster_fixture();
+    let plan = ClusterPlan::new(&nl, &gb, 2);
+    let procs = pump_two_clusters(&nl, &plan, 1, 8, StateSaving::IncrementalUndo);
+    let ck = procs[0].checkpoint(3);
+
+    let mut wrong_kind = ck.to_json();
+    if let Json::Object(members) = &mut wrong_kind {
+        for (k, v) in members.iter_mut() {
+            if k == "kind" {
+                *v = Json::Str("flow_report".into());
+            }
+        }
+    }
+    assert!(Checkpoint::from_json(&wrong_kind).is_err());
+
+    let mut wrong_schema = ck.to_json();
+    if let Json::Object(members) = &mut wrong_schema {
+        for (k, v) in members.iter_mut() {
+            if k == "checkpoint_schema" {
+                *v = Json::Int(999);
+            }
+        }
+    }
+    assert!(Checkpoint::from_json(&wrong_schema).is_err());
+}
+
+/// The satellite acceptance sweep: a crash-and-restore in the middle of a
+/// deterministic run leaves every counter identical to the uninterrupted
+/// run, for 16 seeds × all four schedule policies.
+#[test]
+fn mid_run_restore_is_invisible_for_sixteen_seeds_and_all_policies() {
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = elaborate(&src);
+    let part = partition_multiway(&nl, &MultiwayConfig::new(3, 20.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, 3);
+    let stim = VectorStimulus::from_netlist(&nl, 10, 7);
+    let delay = first_cut_channel(&plan).expect("cut channel");
+    let policies = [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::SeededRandom,
+        SchedulePolicy::StragglerHeavy,
+        SchedulePolicy::DelayChannel {
+            src: delay.0,
+            dst: delay.1,
+        },
+    ];
+    for policy in policies {
+        for seed in 0..16u64 {
+            let base = TimeWarpConfig {
+                mode: TimeWarpMode::Deterministic {
+                    seed,
+                    schedule: policy,
+                },
+                window: 8,
+                batch: 2,
+                gvt_interval: 1,
+                state_saving: StateSaving::IncrementalUndo,
+                ..TimeWarpConfig::default()
+            };
+            let clean = run_timewarp(&nl, &plan, &stim, 20, &base).expect("clean run stalled");
+            let cfg = TimeWarpConfig {
+                fault: FaultPlan::crash((seed % 3) as u32, 20 + seed * 9),
+                ..base
+            };
+            let tw = run_timewarp(&nl, &plan, &stim, 20, &cfg).expect("crash run stalled");
+            let label = format!("{} seed {seed}", policy.name());
+            assert_eq!(tw.recovery.crashes, 1, "{label}: fault did not fire");
+            assert_eq!(tw.stats, clean.stats, "{label}: stats diverged");
+            assert_eq!(
+                tw.cluster_stats, clean.cluster_stats,
+                "{label}: cluster stats diverged"
+            );
+            assert_eq!(tw.values, clean.values, "{label}: values diverged");
+            assert_eq!(tw.gvt_rounds, clean.gvt_rounds, "{label}: GVT diverged");
+        }
+    }
+}

@@ -28,7 +28,8 @@ fn assert_bit_exact(src: &str, k: u32, b: f64, cycles: u64, seed: u64) {
     );
     seq.run(&stim, cycles, &mut NullObserver);
 
-    let tw = run_timewarp(&nl, &plan, &stim, cycles, &TimeWarpConfig::default());
+    let tw = run_timewarp(&nl, &plan, &stim, cycles, &TimeWarpConfig::default())
+        .expect("time warp run stalled");
     for (ni, net) in nl.nets.iter().enumerate() {
         if net.driver.is_some() {
             assert_eq!(
@@ -117,8 +118,9 @@ fn deterministic_mode_matches_golden_counters() {
             batch: 2,
             gvt_interval: 1,
             state_saving: StateSaving::IncrementalUndo,
+            ..TimeWarpConfig::default()
         };
-        let tw = run_timewarp(&nl, &plan, &stim, 40, &cfg);
+        let tw = run_timewarp(&nl, &plan, &stim, 40, &cfg).expect("time warp run stalled");
         let got = (
             policy,
             tw.stats.events,
@@ -152,8 +154,8 @@ fn timewarp_stats_scale_with_cut() {
     assert!(bad_plan.cut_nets() > good_plan.cut_nets());
 
     let cfg = TimeWarpConfig::default();
-    let rg = run_timewarp(&nl, &good_plan, &stim, 30, &cfg);
-    let rb = run_timewarp(&nl, &bad_plan, &stim, 30, &cfg);
+    let rg = run_timewarp(&nl, &good_plan, &stim, 30, &cfg).expect("time warp run stalled");
+    let rb = run_timewarp(&nl, &bad_plan, &stim, 30, &cfg).expect("time warp run stalled");
     assert!(
         rb.stats.messages > rg.stats.messages,
         "bad {} <= good {}",

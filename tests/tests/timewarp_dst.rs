@@ -12,7 +12,7 @@ use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::dst::first_cut_channel;
 use dvs_sim::timewarp::{
-    run_timewarp, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode, TwRunResult,
+    run_timewarp, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode, TwRunResult,
 };
 use dvs_verilog::Netlist;
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
@@ -38,6 +38,7 @@ fn dst_config(seed: u64, schedule: SchedulePolicy) -> TimeWarpConfig {
         batch: 2,
         gvt_interval: 1,
         state_saving: StateSaving::IncrementalUndo,
+        ..TimeWarpConfig::default()
     }
 }
 
@@ -47,7 +48,7 @@ fn run(
     stim: &VectorStimulus,
     cfg: &TimeWarpConfig,
 ) -> TwRunResult {
-    run_timewarp(nl, plan, stim, CYCLES, cfg)
+    run_timewarp(nl, plan, stim, CYCLES, cfg).expect("deterministic run stalled")
 }
 
 /// Final driven-net state must equal the sequential simulator's.
@@ -142,6 +143,126 @@ fn same_seed_runs_emit_byte_identical_artifacts() {
     let b = run(&nl, &plan, &stim, &cfg).to_json().emit().expect("emit");
     assert_eq!(a, b, "same (seed, schedule) must serialize identically");
     assert!(a.contains("\"rollbacks\""), "artifact must carry counters");
+}
+
+/// Acceptance criterion for crash-fault tolerance: a crash injected at ANY
+/// decision index recovers and produces a canonical artifact byte-identical
+/// to the no-crash run's — recovery restores the exact pre-crash state, so
+/// every counter (rollbacks, messages, fossil collection, GVT rounds)
+/// continues unchanged.
+#[test]
+fn crash_at_any_decision_index_yields_byte_identical_canonical_artifact() {
+    let (nl, plan, stim) = fixture();
+    for policy in [SchedulePolicy::RoundRobin, SchedulePolicy::SeededRandom] {
+        let clean_cfg = dst_config(11, policy);
+        let clean = run(&nl, &plan, &stim, &clean_cfg);
+        let clean_bytes = dvs_core::tw_run_canonical_json(&clean)
+            .emit()
+            .expect("emit");
+        assert_eq!(clean.recovery.crashes, 0);
+
+        // Early, mid-run and late crash points, on every cluster. Points
+        // beyond the run's decision count simply never fire (the run is
+        // then trivially identical); the `fired` tally below proves the
+        // sweep exercised real crashes at several depths.
+        let mut fired = 0u32;
+        for (victim, at) in [(0u32, 0u64), (1, 7), (2, 100), (0, 400), (1, 900)] {
+            let cfg = TimeWarpConfig {
+                fault: FaultPlan::crash(victim, at),
+                ..clean_cfg.clone()
+            };
+            let tw = run(&nl, &plan, &stim, &cfg);
+            let label = format!("{} crash=({victim},{at})", policy.name());
+            assert_matches_sequential(&nl, &stim, &tw, &label);
+            assert_eq!(
+                tw.recovery.crashes, tw.recovery.restarts,
+                "{label}: every fired crash must be recovered"
+            );
+            assert!(!tw.recovery.degraded, "{label}: unexpected degradation");
+            fired += tw.recovery.crashes;
+            let bytes = dvs_core::tw_run_canonical_json(&tw).emit().expect("emit");
+            assert_eq!(
+                bytes, clean_bytes,
+                "{label}: canonical artifact differs from the no-crash run"
+            );
+        }
+        assert!(
+            fired >= 3,
+            "{}: only {fired} crash points fired — sweep too shallow",
+            policy.name()
+        );
+    }
+}
+
+/// Repeated crashes of the same cluster (fault re-arms after each recovery)
+/// still converge to the no-crash artifact as long as the restart budget
+/// holds.
+#[test]
+fn repeated_crashes_within_budget_still_converge() {
+    let (nl, plan, stim) = fixture();
+    let clean_cfg = dst_config(3, SchedulePolicy::StragglerHeavy);
+    let clean = run(&nl, &plan, &stim, &clean_cfg);
+    let clean_bytes = dvs_core::tw_run_canonical_json(&clean)
+        .emit()
+        .expect("emit");
+
+    let cfg = TimeWarpConfig {
+        fault: FaultPlan {
+            crash_at: Some((2, 40)),
+            crashes: 3,
+            max_restarts: 3,
+        },
+        ..clean_cfg
+    };
+    let tw = run(&nl, &plan, &stim, &cfg);
+    assert_eq!(tw.recovery.crashes, 3);
+    assert_eq!(tw.recovery.restarts, 3);
+    assert!(!tw.recovery.degraded);
+    assert!(tw.recovery.replayed_ops > 0, "recovery must replay the log");
+    let bytes = dvs_core::tw_run_canonical_json(&tw).emit().expect("emit");
+    assert_eq!(bytes, clean_bytes);
+}
+
+/// Exhausting the restart budget degrades gracefully to the sequential
+/// simulator: the run still returns the correct final state, flagged with
+/// `degraded = true` rather than an error.
+#[test]
+fn exhausted_restart_budget_degrades_to_sequential() {
+    let (nl, plan, stim) = fixture();
+    let cfg = TimeWarpConfig {
+        fault: FaultPlan {
+            crash_at: Some((1, 10)),
+            crashes: 3,
+            max_restarts: 2,
+        },
+        ..dst_config(5, SchedulePolicy::RoundRobin)
+    };
+    let tw = run(&nl, &plan, &stim, &cfg);
+    assert!(tw.recovery.degraded, "restart budget was not exhausted");
+    assert_eq!(tw.recovery.crashes, 3);
+    assert_eq!(tw.recovery.restarts, 2);
+    assert_matches_sequential(&nl, &stim, &tw, "degraded run");
+}
+
+/// The full (non-canonical) serialization carries the recovery provenance;
+/// the canonical form excludes it so crashed and undisturbed runs compare
+/// equal.
+#[test]
+fn recovery_provenance_is_serialized_but_not_canonical() {
+    let (nl, plan, stim) = fixture();
+    let cfg = TimeWarpConfig {
+        fault: FaultPlan::crash(0, 25),
+        ..dst_config(8, SchedulePolicy::RoundRobin)
+    };
+    let tw = run(&nl, &plan, &stim, &cfg);
+    let full = tw.to_json().emit().expect("emit");
+    assert!(
+        full.contains("\"recovery\""),
+        "full artifact lacks recovery"
+    );
+    assert!(full.contains("\"restarts\":1"), "{full}");
+    let canonical = dvs_core::tw_run_canonical_json(&tw).emit().expect("emit");
+    assert!(!canonical.contains("\"recovery\""));
 }
 
 /// Acceptance criterion: at least one adversarial schedule provably triggers
