@@ -152,10 +152,10 @@ fn bench_state_saving(c: &mut Criterion) {
         ("checkpoint_64", StateSaving::Checkpoint { interval: 64 }),
     ] {
         group.bench_function(name, |b| {
-            let cfg = TimeWarpConfig {
-                state_saving: mode,
-                ..TimeWarpConfig::default()
-            };
+            let cfg = TimeWarpConfig::builder()
+                .state_saving(mode)
+                .build()
+                .expect("valid config");
             b.iter(|| {
                 black_box(
                     run_timewarp(&nl, &plan, &stim, 40, &cfg)

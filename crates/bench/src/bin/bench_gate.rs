@@ -7,16 +7,21 @@
 //!
 //! Runs the fixed smoke grid (see `dvs_bench::gate::smoke_grid`), once
 //! serial and once on 4 threads per case, asserts the canonical artifacts
-//! of the two legs are byte-identical, writes `BENCH_<label>.json`, and
-//! compares against the checked-in baseline. Exit status:
+//! of the two legs are byte-identical, then runs the process-transport leg
+//! (`dvs_bench::gate::process_case` — real `tw_worker` OS processes, one
+//! `SIGKILL`ed and recovered, byte-compared against the in-process run),
+//! writes `BENCH_<label>.json`, and compares against the checked-in
+//! baseline. Exit status:
 //!
 //! * `0` — gate passed (or `--write-baseline` refreshed the baseline);
 //! * `1` — determinism broken, a counter drifted, or a time left its
 //!   tolerance band;
-//! * `2` — usage or I/O error (unreadable baseline, unwritable artifact).
+//! * `2` — usage or I/O error (unreadable baseline, unwritable artifact,
+//!   missing `tw_worker` binary).
 
-use dvs_bench::gate::{bench_artifact, compare, run_case, smoke_grid, Tolerances};
+use dvs_bench::gate::{bench_artifact, compare, process_case, run_case, smoke_grid, Tolerances};
 use dvs_core::json::Json;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
@@ -57,6 +62,25 @@ fn main() {
                 eprintln!(
                     "   case `{}`: serial and threaded legs agree [{:.2?}]",
                     case.name,
+                    t.elapsed()
+                );
+                cases.push(artifact);
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    {
+        let worker = find_worker();
+        let t = Instant::now();
+        match process_case(&worker) {
+            Ok(artifact) => {
+                eprintln!(
+                    "   case `process_transport`: in-process, process, and \
+                     crash-recovered legs agree [{:.2?}]",
                     t.elapsed()
                 );
                 cases.push(artifact);
@@ -117,6 +141,29 @@ fn main() {
         outcome.checked,
         t0.elapsed()
     );
+}
+
+/// Locate the `tw_worker` binary for the process-transport leg:
+/// `DVS_TW_WORKER` if set, else the sibling of this executable (both are
+/// `dvs-bench` targets, so a workspace build places them together).
+fn find_worker() -> PathBuf {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("tw_worker")));
+    let candidate = std::env::var_os("DVS_TW_WORKER")
+        .map(PathBuf::from)
+        .or(sibling);
+    match candidate {
+        Some(p) if p.exists() => p,
+        _ => {
+            eprintln!(
+                "tw_worker binary not found — build it alongside bench_gate \
+                 (`cargo build --release -p dvs-bench --bins`) or point \
+                 DVS_TW_WORKER at it"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 fn need(args: &mut impl Iterator<Item = String>, msg: &str) -> String {

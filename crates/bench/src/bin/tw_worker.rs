@@ -1,0 +1,30 @@
+//! Time Warp cluster worker: the child half of
+//! [`dvs_sim::timewarp::Transport::Process`].
+//!
+//! The supervisor spawns one of these per cluster with `--socket <path>`;
+//! the worker connects back over the Unix-domain socket and serves framed
+//! commands until told to finish (see `dvs_sim::timewarp::serve_worker`
+//! for the protocol). All simulation state lives here, which is what makes
+//! a `SIGKILL` of this process a true crash-stop fault for the recovery
+//! supervisor to handle.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args_os().skip(1);
+    let socket = match (args.next(), args.next(), args.next()) {
+        (Some(flag), Some(path), None) if flag == "--socket" => PathBuf::from(path),
+        _ => {
+            eprintln!("usage: tw_worker --socket <path>");
+            return ExitCode::from(2);
+        }
+    };
+    match dvs_sim::timewarp::serve_worker(&socket) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tw_worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

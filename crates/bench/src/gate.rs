@@ -21,12 +21,19 @@
 //! failure: schema growth requires a baseline refresh
 //! (`bench_gate --write-baseline`), never a silent pass.
 
-use dvs_core::json::{Json, JsonError, ObjBuilder, SCHEMA_VERSION};
-use dvs_core::{FlowBuilder, Parallelism, Search, TwPresimConfig};
+use dvs_core::json::{Json, JsonError, ObjBuilder, ToJson, SCHEMA_VERSION};
+use dvs_core::{
+    partition_multiway, tw_run_canonical_json, FlowBuilder, MultiwayConfig, Parallelism, Search,
+    TwPresimConfig,
+};
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::{run_timewarp, TimeWarpConfig, Transport};
 use dvs_sim::{FaultPlan, SchedulePolicy};
 use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
 use dvs_workloads::{generate_viterbi, ViterbiParams};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::time::Instant;
 
 /// Stimulus seed every gate run uses. Fixed forever: changing it changes
@@ -63,6 +70,107 @@ pub fn dst_presim() -> TwPresimConfig {
         fault: Some(FaultPlan::crash(CRASH_AT.0, CRASH_AT.1)),
         ..TwPresimConfig::new(DST_SEED)
     }
+}
+
+/// Vectors for the process-transport leg. Short — each run spawns one OS
+/// process per cluster — but long enough that the crash at [`CRASH_AT`]
+/// fires and is recovered.
+pub const PROCESS_VECTORS: u64 = 20;
+/// Cluster count for the process-transport leg.
+pub const PROCESS_CLUSTERS: u32 = 3;
+
+/// The process-transport leg of the gate: real `tw_worker` OS processes,
+/// one per cluster, over the Unix-socket wire protocol. Three runs — clean
+/// in-process, clean process, and a process run whose cluster-0 worker is
+/// `SIGKILL`ed at decision [`CRASH_AT`]`.1` and recovered from its last
+/// GVT checkpoint — must all emit **byte-identical** canonical artifacts.
+/// The resulting case pins the recovery counters and an FNV-1a hash of the
+/// canonical bytes exactly, so any drift in the wire protocol, the
+/// checkpoint/replay machinery, or the supervisor's decision sequence
+/// fails the gate rather than passing silently.
+pub fn process_case(worker: &Path) -> Result<CaseArtifact, String> {
+    const NAME: &str = "process_transport";
+    let ctx = |e: String| format!("case `{NAME}`: {e}");
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = dvs_verilog::parse_and_elaborate(&src)
+        .map_err(|e| ctx(e.to_string()))?
+        .into_netlist();
+    let part = partition_multiway(&nl, &MultiwayConfig::new(PROCESS_CLUSTERS, 20.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, PROCESS_CLUSTERS as usize);
+    let stim = VectorStimulus::from_netlist(&nl, 10, STIM_SEED);
+
+    let run = |transport: Transport, fault: FaultPlan| {
+        let cfg = TimeWarpConfig::builder()
+            .transport(transport)
+            .window(8)
+            .batch(2)
+            .gvt_interval(1)
+            .fault(fault)
+            .build()
+            .map_err(|e| ctx(e.to_string()))?;
+        let t = Instant::now();
+        let tw = run_timewarp(&nl, &plan, &stim, PROCESS_VECTORS, &cfg)
+            .map_err(|e| ctx(e.to_string()))?;
+        let seconds = t.elapsed().as_secs_f64();
+        let canonical = tw_run_canonical_json(&tw)
+            .emit()
+            .map_err(|e| ctx(e.to_string()))?;
+        Ok::<_, String>((tw, canonical, seconds))
+    };
+    let policy = SchedulePolicy::SeededRandom;
+    let in_proc = || Transport::in_proc(DST_SEED, policy);
+    let process = || Transport::process_with_worker(DST_SEED, policy, worker.to_path_buf());
+
+    let (_, clean, inproc_seconds) = run(in_proc(), FaultPlan::default())?;
+    let (_, clean_process, process_seconds) = run(process(), FaultPlan::default())?;
+    if clean_process != clean {
+        return Err(ctx(
+            "clean process run diverged from the in-process run — the transport \
+             leaked into the canonical artifact"
+                .to_string(),
+        ));
+    }
+    let (crashed, crashed_bytes, crash_seconds) =
+        run(process(), FaultPlan::crash(CRASH_AT.0, CRASH_AT.1))?;
+    if crashed_bytes != clean {
+        return Err(ctx(
+            "crash-recovered process run diverged from the undisturbed artifact".to_string(),
+        ));
+    }
+    if crashed.recovery.crashes == 0 {
+        return Err(ctx(
+            "the injected crash never fired — move CRASH_AT earlier".to_string(),
+        ));
+    }
+
+    Ok(CaseArtifact {
+        name: NAME.to_string(),
+        report: ObjBuilder::new()
+            .str(
+                "artifact_fnv1a",
+                &format!("{:016x}", fnv1a(clean.as_bytes())),
+            )
+            .field("stats", crashed.stats.to_json())
+            .uint("gvt_rounds", crashed.gvt_rounds)
+            .field("recovery", crashed.recovery.to_json())
+            .build(),
+        host: ObjBuilder::new()
+            .float("inproc_seconds", inproc_seconds)
+            .float("process_seconds", process_seconds)
+            .float("crash_recovery_seconds", crash_seconds)
+            .build(),
+    })
+}
+
+/// 64-bit FNV-1a over the canonical artifact bytes: a compact exact pin of
+/// the entire run (final values, counters, ordering) in the baseline.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// One workload of the smoke grid.

@@ -8,6 +8,13 @@
 //! (`bench_gate`), and consumable by plotting scripts without scraping
 //! text tables.
 //!
+//! Serialization is layered by ownership (the shared JSON traits live in
+//! `dvs-json`, so the orphan rule puts each `impl` next to its type):
+//! simulation types — including the [`Checkpoint`] wire format of the
+//! process transport — serialize in `dvs_sim::artifact`, netlist
+//! statistics in `dvs_verilog::artifact`, and this module assembles the
+//! flow-level reports on top.
+//!
 //! Two serializations exist for a [`FlowReport`]:
 //!
 //! * [`FlowReport::to_json`] — everything, including host wall-clock
@@ -22,536 +29,20 @@
 //! [`FromJson`] implementations reconstruct the full structures, so
 //! downstream tools can round-trip artifacts losslessly; floats round-trip
 //! bit-exactly (shortest-representation formatting on emit).
+//!
+//! [`Checkpoint`]: dvs_sim::timewarp::Checkpoint
 
 use crate::json::{
     uint_array, uint_vec, FromJson, Json, JsonError, ObjBuilder, ToJson, SCHEMA_VERSION,
 };
 use crate::pipeline::{FlowMetrics, FlowReport, PointCost};
 use crate::presim::{PartitionQuality, PointTiming, PresimPoint};
-use dvs_sim::cluster_model::{ClusterRun, RunTiming};
+use dvs_sim::artifact::cluster_run_core;
+use dvs_sim::cluster_model::ClusterRun;
 use dvs_sim::stats::SimStats;
-use dvs_sim::timewarp::{
-    Checkpoint, CkptEvent, CkptSource, RecoveryOutcome, TwMessage, TwRunResult, CHECKPOINT_SCHEMA,
-};
-use dvs_sim::wheel::NetEvent;
-use dvs_sim::Logic;
-use dvs_verilog::netlist::{GateKind, NetId};
 use dvs_verilog::stats::DesignStats;
 
-/// A logic-value vector as a compact display-char string (`"01xz…"`).
-fn logic_str(values: &[Logic]) -> String {
-    values.iter().map(|v| v.display_char()).collect()
-}
-
-fn logic_vec(v: &Json) -> Result<Vec<Logic>, JsonError> {
-    v.as_str()?
-        .chars()
-        .map(|c| {
-            Logic::from_display_char(c)
-                .ok_or_else(|| JsonError::new(format!("invalid logic value character `{c}`")))
-        })
-        .collect()
-}
-
-fn logic_from_json(v: &Json) -> Result<Logic, JsonError> {
-    let s = v.as_str()?;
-    let mut chars = s.chars();
-    match (
-        chars.next().and_then(Logic::from_display_char),
-        chars.next(),
-    ) {
-        (Some(l), None) => Ok(l),
-        _ => Err(JsonError::new(format!("invalid logic value `{s}`"))),
-    }
-}
-
-impl ToJson for SimStats {
-    fn to_json(&self) -> Json {
-        ObjBuilder::new()
-            .uint("events", self.events)
-            .uint("gate_evals", self.gate_evals)
-            .uint("net_toggles", self.net_toggles)
-            .uint("cycles", self.cycles)
-            .uint("end_time", self.end_time)
-            .uint("messages", self.messages)
-            .uint("anti_messages", self.anti_messages)
-            .uint("rollbacks", self.rollbacks)
-            .uint("rolled_back_events", self.rolled_back_events)
-            .uint("gvt_rounds", self.gvt_rounds)
-            .uint("fossil_collected", self.fossil_collected)
-            .build()
-    }
-}
-
-impl FromJson for SimStats {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(SimStats {
-            events: v.field("events")?.as_u64()?,
-            gate_evals: v.field("gate_evals")?.as_u64()?,
-            net_toggles: v.field("net_toggles")?.as_u64()?,
-            cycles: v.field("cycles")?.as_u64()?,
-            end_time: v.field("end_time")?.as_u64()?,
-            messages: v.field("messages")?.as_u64()?,
-            anti_messages: v.field("anti_messages")?.as_u64()?,
-            rollbacks: v.field("rollbacks")?.as_u64()?,
-            rolled_back_events: v.field("rolled_back_events")?.as_u64()?,
-            gvt_rounds: v.field("gvt_rounds")?.as_u64()?,
-            fossil_collected: v.field("fossil_collected")?.as_u64()?,
-        })
-    }
-}
-
-impl ToJson for RunTiming {
-    fn to_json(&self) -> Json {
-        ObjBuilder::new()
-            .float("profile_seconds", self.profile_seconds)
-            .float("model_seconds", self.model_seconds)
-            .build()
-    }
-}
-
-impl FromJson for RunTiming {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(RunTiming {
-            profile_seconds: v.field("profile_seconds")?.as_f64()?,
-            model_seconds: v.field("model_seconds")?.as_f64()?,
-        })
-    }
-}
-
-/// The deterministic portion of a [`ClusterRun`] (everything except the
-/// host-side [`RunTiming`]).
-fn cluster_run_core(run: &ClusterRun) -> ObjBuilder {
-    ObjBuilder::new()
-        .field("stats", run.stats.to_json())
-        .float("wall_seconds", run.wall_seconds)
-        .float("seq_seconds", run.seq_seconds)
-        .float("speedup", run.speedup)
-        .field("machine_events", uint_array(&run.machine_events))
-        .field("machine_rollbacks", uint_array(&run.machine_rollbacks))
-        .field("machine_messages", uint_array(&run.machine_messages))
-}
-
-impl ToJson for ClusterRun {
-    fn to_json(&self) -> Json {
-        cluster_run_core(self)
-            .field("timing", self.timing.to_json())
-            .build()
-    }
-}
-
-impl FromJson for ClusterRun {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(ClusterRun {
-            stats: SimStats::from_json(v.field("stats")?)?,
-            wall_seconds: v.field("wall_seconds")?.as_f64()?,
-            seq_seconds: v.field("seq_seconds")?.as_f64()?,
-            speedup: v.field("speedup")?.as_f64()?,
-            machine_events: uint_vec(v.field("machine_events")?)?,
-            machine_rollbacks: uint_vec(v.field("machine_rollbacks")?)?,
-            machine_messages: uint_vec(v.field("machine_messages")?)?,
-            // Host timings default to zero when an artifact omits them
-            // (canonical artifacts carry no host measurements).
-            timing: match v.get("timing") {
-                Some(t) => RunTiming::from_json(t)?,
-                None => RunTiming::default(),
-            },
-        })
-    }
-}
-
-impl ToJson for DesignStats {
-    fn to_json(&self) -> Json {
-        let kinds = Json::Object(
-            self.gates_by_kind
-                .iter()
-                .map(|&(name, n)| {
-                    (
-                        name.to_string(),
-                        Json::Int(i64::try_from(n).unwrap_or(i64::MAX)),
-                    )
-                })
-                .collect(),
-        );
-        ObjBuilder::new()
-            .uint("module_defs", self.module_defs as u64)
-            .uint("instances", self.instances as u64)
-            .uint("max_depth", self.max_depth as u64)
-            .uint("gates", self.gates as u64)
-            .uint("nets", self.nets as u64)
-            .uint("primary_inputs", self.primary_inputs as u64)
-            .uint("primary_outputs", self.primary_outputs as u64)
-            .field("gates_by_kind", kinds)
-            .uint("sequential_gates", self.sequential_gates as u64)
-            .uint("max_fanout", self.max_fanout as u64)
-            .float("mean_fanout", self.mean_fanout)
-            .field(
-                "logic_depth",
-                match self.logic_depth {
-                    Some(d) => Json::Int(d as i64),
-                    None => Json::Null,
-                },
-            )
-            .build()
-    }
-}
-
-impl FromJson for DesignStats {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let mut gates_by_kind = Vec::new();
-        for (name, n) in v.field("gates_by_kind")?.as_object()? {
-            let kind = GateKind::from_name(name)
-                .ok_or_else(|| JsonError::new(format!("unknown gate kind `{name}`")))?;
-            gates_by_kind.push((kind.name(), n.as_usize()?));
-        }
-        Ok(DesignStats {
-            module_defs: v.field("module_defs")?.as_usize()?,
-            instances: v.field("instances")?.as_usize()?,
-            max_depth: v.field("max_depth")?.as_u64()? as u32,
-            gates: v.field("gates")?.as_usize()?,
-            nets: v.field("nets")?.as_usize()?,
-            primary_inputs: v.field("primary_inputs")?.as_usize()?,
-            primary_outputs: v.field("primary_outputs")?.as_usize()?,
-            gates_by_kind,
-            sequential_gates: v.field("sequential_gates")?.as_usize()?,
-            max_fanout: v.field("max_fanout")?.as_usize()?,
-            mean_fanout: v.field("mean_fanout")?.as_f64()?,
-            logic_depth: match v.field("logic_depth")? {
-                Json::Null => None,
-                d => Some(d.as_u64()? as u32),
-            },
-        })
-    }
-}
-
-impl ToJson for RecoveryOutcome {
-    fn to_json(&self) -> Json {
-        ObjBuilder::new()
-            .uint("crashes", self.crashes as u64)
-            .uint("restarts", self.restarts as u64)
-            .uint("replayed_ops", self.replayed_ops)
-            .bool("degraded", self.degraded)
-            .build()
-    }
-}
-
-impl FromJson for RecoveryOutcome {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(RecoveryOutcome {
-            crashes: v.field("crashes")?.as_u64()? as u32,
-            restarts: v.field("restarts")?.as_u64()? as u32,
-            replayed_ops: v.field("replayed_ops")?.as_u64()?,
-            degraded: v.field("degraded")?.as_bool()?,
-        })
-    }
-}
-
-/// The simulation content of a Time Warp run — everything except the
-/// recovery provenance.
-fn tw_run_core(r: &TwRunResult) -> ObjBuilder {
-    ObjBuilder::new()
-        .field("stats", r.stats.to_json())
-        .array(
-            "cluster_stats",
-            r.cluster_stats.iter().map(|s| s.to_json()).collect(),
-        )
-        .uint("gvt_rounds", r.gvt_rounds)
-        .str("values", &logic_str(&r.values))
-}
-
-/// The **canonical** serialization of a Time Warp run: simulation content
-/// only, recovery provenance excluded. Under
-/// [`dvs_sim::timewarp::TimeWarpMode::Deterministic`] every included field
-/// is an exact counter, and recovery restores the pre-crash state
-/// bit-for-bit — so a run that crashed and recovered emits a canonical
-/// artifact byte-identical to the undisturbed run's. The crash-recovery
-/// DST tests assert exactly that.
-pub fn tw_run_canonical_json(r: &TwRunResult) -> Json {
-    tw_run_core(r).build()
-}
-
-impl ToJson for TwRunResult {
-    /// The full serialization: the canonical simulation content plus the
-    /// `recovery` provenance block (crashes injected, restarts performed,
-    /// operations replayed, degradation flag). Use
-    /// [`tw_run_canonical_json`] for crash-invariant comparisons.
-    fn to_json(&self) -> Json {
-        tw_run_core(self)
-            .field("recovery", self.recovery.to_json())
-            .build()
-    }
-}
-
-fn ckpt_source_json(s: &CkptSource) -> Json {
-    match *s {
-        CkptSource::Stimulus => ObjBuilder::new().str("kind", "stimulus").build(),
-        CkptSource::Local { created_at, lseq } => ObjBuilder::new()
-            .str("kind", "local")
-            .uint("created_at", created_at)
-            .uint("lseq", lseq)
-            .build(),
-        CkptSource::Remote { src, seq } => ObjBuilder::new()
-            .str("kind", "remote")
-            .uint("src", src as u64)
-            .uint("seq", seq)
-            .build(),
-    }
-}
-
-fn ckpt_source_from_json(v: &Json) -> Result<CkptSource, JsonError> {
-    match v.field("kind")?.as_str()? {
-        "stimulus" => Ok(CkptSource::Stimulus),
-        "local" => Ok(CkptSource::Local {
-            created_at: v.field("created_at")?.as_u64()?,
-            lseq: v.field("lseq")?.as_u64()?,
-        }),
-        "remote" => Ok(CkptSource::Remote {
-            src: v.field("src")?.as_u64()? as u32,
-            seq: v.field("seq")?.as_u64()?,
-        }),
-        k => Err(JsonError::new(format!("unknown event source kind `{k}`"))),
-    }
-}
-
-impl ToJson for CkptEvent {
-    fn to_json(&self) -> Json {
-        ObjBuilder::new()
-            .uint("time", self.time)
-            .uint("net", self.net as u64)
-            .str("value", &self.value.display_char().to_string())
-            .field("source", ckpt_source_json(&self.source))
-            .uint("order", self.order)
-            .build()
-    }
-}
-
-impl FromJson for CkptEvent {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(CkptEvent {
-            time: v.field("time")?.as_u64()?,
-            net: v.field("net")?.as_u64()? as u32,
-            value: logic_from_json(v.field("value")?)?,
-            source: ckpt_source_from_json(v.field("source")?)?,
-            order: v.field("order")?.as_u64()?,
-        })
-    }
-}
-
-impl ToJson for TwMessage {
-    fn to_json(&self) -> Json {
-        ObjBuilder::new()
-            .uint("src", self.src as u64)
-            .uint("dst", self.dst as u64)
-            .uint("seq", self.seq)
-            .uint("time", self.ev.time)
-            .uint("net", self.ev.net.0 as u64)
-            .str("value", &self.ev.value.display_char().to_string())
-            .bool("anti", self.anti)
-            .build()
-    }
-}
-
-impl FromJson for TwMessage {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(TwMessage {
-            src: v.field("src")?.as_u64()? as u32,
-            dst: v.field("dst")?.as_u64()? as u32,
-            seq: v.field("seq")?.as_u64()?,
-            ev: NetEvent {
-                time: v.field("time")?.as_u64()?,
-                net: NetId(v.field("net")?.as_u64()? as u32),
-                value: logic_from_json(v.field("value")?)?,
-            },
-            anti: v.field("anti")?.as_bool()?,
-        })
-    }
-}
-
-impl ToJson for Checkpoint {
-    /// Schema-versioned checkpoint artifact (`kind: "tw_checkpoint"`). The
-    /// capture is deterministic (nondeterministic collections are sorted
-    /// when the image is taken), so equal cluster states serialize to
-    /// byte-identical artifacts and the round-trip through [`FromJson`] is
-    /// lossless — the `checkpoint_roundtrip` suite asserts both.
-    fn to_json(&self) -> Json {
-        ObjBuilder::new()
-            .int("schema_version", SCHEMA_VERSION)
-            .str("kind", "tw_checkpoint")
-            .uint("checkpoint_schema", self.schema as u64)
-            .uint("cluster", self.cluster as u64)
-            .uint("gvt", self.gvt)
-            .str("values", &logic_str(&self.values))
-            .array(
-                "pending",
-                self.pending.iter().map(|e| e.to_json()).collect(),
-            )
-            .array(
-                "tomb_remote",
-                self.tomb_remote
-                    .iter()
-                    .map(|&(src, seq)| uint_array(&[src as u64, seq]))
-                    .collect(),
-            )
-            .field("tomb_local", uint_array(&self.tomb_local))
-            .array(
-                "processed",
-                self.processed.iter().map(|e| e.to_json()).collect(),
-            )
-            .array(
-                "undo",
-                self.undo
-                    .iter()
-                    .map(|&(t, net, val)| {
-                        Json::Array(vec![
-                            Json::Int(t as i64),
-                            Json::Int(net as i64),
-                            Json::Str(val.display_char().to_string()),
-                        ])
-                    })
-                    .collect(),
-            )
-            .array(
-                "snapshots",
-                self.snapshots
-                    .iter()
-                    .map(|(t, vals)| {
-                        Json::Array(vec![Json::Int(*t as i64), Json::Str(logic_str(vals))])
-                    })
-                    .collect(),
-            )
-            .uint("epochs_since_snapshot", self.epochs_since_snapshot as u64)
-            .array(
-                "outlog",
-                self.outlog
-                    .iter()
-                    .map(|(t, m)| Json::Array(vec![Json::Int(*t as i64), m.to_json()]))
-                    .collect(),
-            )
-            .array(
-                "sched_log",
-                self.sched_log
-                    .iter()
-                    .map(|&(t, lseq)| uint_array(&[t, lseq]))
-                    .collect(),
-            )
-            .uint("stim_cycle", self.stim_cycle)
-            .uint("last_time", self.last_time)
-            .bool("settled", self.settled)
-            .uint("order", self.order)
-            .uint("lseq", self.lseq)
-            .uint("mseq", self.mseq)
-            .field("stats", self.stats.to_json())
-            .build()
-    }
-}
-
-fn uint_pair(v: &Json) -> Result<(u64, u64), JsonError> {
-    let pair = uint_vec(v)?;
-    match pair.as_slice() {
-        &[a, b] => Ok((a, b)),
-        other => Err(JsonError::new(format!(
-            "expected a 2-element array, got {} elements",
-            other.len()
-        ))),
-    }
-}
-
-impl FromJson for Checkpoint {
-    fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let version = v.field("schema_version")?.as_i64()?;
-        if version != SCHEMA_VERSION {
-            return Err(JsonError::new(format!(
-                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
-            )));
-        }
-        let kind = v.field("kind")?.as_str()?;
-        if kind != "tw_checkpoint" {
-            return Err(JsonError::new(format!(
-                "expected kind `tw_checkpoint`, got `{kind}`"
-            )));
-        }
-        let schema = v.field("checkpoint_schema")?.as_u64()? as u32;
-        if schema != CHECKPOINT_SCHEMA {
-            return Err(JsonError::new(format!(
-                "unsupported checkpoint_schema {schema} (expected {CHECKPOINT_SCHEMA})"
-            )));
-        }
-        let events = |key: &str| -> Result<Vec<CkptEvent>, JsonError> {
-            v.field(key)?
-                .as_array()?
-                .iter()
-                .map(CkptEvent::from_json)
-                .collect()
-        };
-        Ok(Checkpoint {
-            schema,
-            cluster: v.field("cluster")?.as_u64()? as u32,
-            gvt: v.field("gvt")?.as_u64()?,
-            values: logic_vec(v.field("values")?)?,
-            pending: events("pending")?,
-            tomb_remote: v
-                .field("tomb_remote")?
-                .as_array()?
-                .iter()
-                .map(|p| uint_pair(p).map(|(src, seq)| (src as u32, seq)))
-                .collect::<Result<_, _>>()?,
-            tomb_local: uint_vec(v.field("tomb_local")?)?,
-            processed: events("processed")?,
-            undo: v
-                .field("undo")?
-                .as_array()?
-                .iter()
-                .map(|u| {
-                    let parts = u.as_array()?;
-                    match parts {
-                        [t, net, val] => {
-                            Ok((t.as_u64()?, net.as_u64()? as u32, logic_from_json(val)?))
-                        }
-                        _ => Err(JsonError::new("undo entry must be [time, net, value]")),
-                    }
-                })
-                .collect::<Result<_, _>>()?,
-            snapshots: v
-                .field("snapshots")?
-                .as_array()?
-                .iter()
-                .map(|s| {
-                    let parts = s.as_array()?;
-                    match parts {
-                        [t, vals] => Ok((t.as_u64()?, logic_vec(vals)?)),
-                        _ => Err(JsonError::new("snapshot entry must be [time, values]")),
-                    }
-                })
-                .collect::<Result<_, _>>()?,
-            epochs_since_snapshot: v.field("epochs_since_snapshot")?.as_u64()? as u32,
-            outlog: v
-                .field("outlog")?
-                .as_array()?
-                .iter()
-                .map(|o| {
-                    let parts = o.as_array()?;
-                    match parts {
-                        [t, m] => Ok((t.as_u64()?, TwMessage::from_json(m)?)),
-                        _ => Err(JsonError::new("outlog entry must be [time, message]")),
-                    }
-                })
-                .collect::<Result<_, _>>()?,
-            sched_log: v
-                .field("sched_log")?
-                .as_array()?
-                .iter()
-                .map(uint_pair)
-                .collect::<Result<_, _>>()?,
-            stim_cycle: v.field("stim_cycle")?.as_u64()?,
-            last_time: v.field("last_time")?.as_u64()?,
-            settled: v.field("settled")?.as_bool()?,
-            order: v.field("order")?.as_u64()?,
-            lseq: v.field("lseq")?.as_u64()?,
-            mseq: v.field("mseq")?.as_u64()?,
-            stats: SimStats::from_json(v.field("stats")?)?,
-        })
-    }
-}
+pub use dvs_sim::artifact::tw_run_canonical_json;
 
 impl ToJson for PartitionQuality {
     fn to_json(&self) -> Json {
@@ -892,24 +383,6 @@ mod tests {
     }
 
     #[test]
-    fn sim_stats_round_trip_is_exact() {
-        let s = sample_stats();
-        let text = s.to_json().emit().unwrap();
-        let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
-        assert_eq!(back, s);
-    }
-
-    #[test]
-    fn sim_stats_missing_field_is_an_error() {
-        let mut v = sample_stats().to_json();
-        if let Json::Object(members) = &mut v {
-            members.retain(|(k, _)| k != "rollbacks");
-        }
-        let err = SimStats::from_json(&v).unwrap_err();
-        assert!(err.msg.contains("rollbacks"), "{err}");
-    }
-
-    #[test]
     fn partition_quality_round_trips() {
         let q = PartitionQuality {
             cut: 263,
@@ -962,18 +435,5 @@ mod tests {
             .unwrap()
             .tw
             .is_none());
-    }
-
-    #[test]
-    fn unknown_gate_kind_is_rejected() {
-        let v = Json::parse(
-            r#"{"module_defs":1,"instances":0,"max_depth":0,"gates":1,"nets":1,
-                "primary_inputs":1,"primary_outputs":1,
-                "gates_by_kind":{"tribuf":1},"sequential_gates":0,
-                "max_fanout":1,"mean_fanout":1.0,"logic_depth":1}"#,
-        )
-        .unwrap();
-        let err = DesignStats::from_json(&v).unwrap_err();
-        assert!(err.msg.contains("tribuf"), "{err}");
     }
 }

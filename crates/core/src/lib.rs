@@ -40,11 +40,13 @@
 //!   (or netlist) to a chosen, simulated partition, with per-stage metrics;
 //! * [`report`] — fixed-width table rendering used by the reproduction
 //!   harness;
-//! * [`json`] — dependency-free JSON value type, emitter and parser;
+//! * [`json`] — re-export of the dependency-free `dvs-json` value type,
+//!   emitter and parser shared by every artifact layer;
 //! * [`artifact`] — machine-readable run artifacts: schema-versioned JSON
 //!   serialization of [`FlowReport`] and friends, including the canonical
 //!   (deterministic, thread-count-independent) view used by the CI perf
-//!   gate.
+//!   gate. Simulation- and netlist-level types serialize in their own
+//!   crates (`dvs_sim::artifact`, `dvs_verilog::artifact`).
 //!
 //! ## Quickstart
 //!
@@ -77,7 +79,7 @@ pub mod activity;
 pub mod artifact;
 pub mod cone;
 pub mod engine;
-pub mod json;
+pub use dvs_json as json;
 pub mod multiway;
 pub mod pairing;
 pub mod pipeline;

@@ -35,7 +35,7 @@ use crate::presim::{
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterRun};
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::FaultPlan;
+use dvs_sim::timewarp::{FaultPlan, Transport};
 use dvs_verilog::stats::{stats, DesignStats};
 use dvs_verilog::{Error, Netlist};
 use std::fmt;
@@ -204,6 +204,7 @@ pub struct FlowBuilder<'a> {
     part_seed: Option<u64>,
     timewarp_presim: Option<TwPresimConfig>,
     fault_plan: Option<FaultPlan>,
+    transport: Option<Transport>,
 }
 
 impl<'a> FlowBuilder<'a> {
@@ -222,6 +223,7 @@ impl<'a> FlowBuilder<'a> {
             part_seed: None,
             timewarp_presim: None,
             fault_plan: None,
+            transport: None,
         }
     }
 
@@ -293,6 +295,18 @@ impl<'a> FlowBuilder<'a> {
         self
     }
 
+    /// Select the transport for the deterministic Time Warp presim legs
+    /// (see [`Transport`]). [`Transport::Process`] runs each cluster as a
+    /// separate `tw_worker` OS process; the counters recorded in the
+    /// artifacts are byte-identical to the in-process executor's, which is
+    /// exactly what the kill-harness tests assert. When no
+    /// [`FlowBuilder::timewarp_presim`] configuration was supplied, a
+    /// default deterministic leg is enabled to carry the transport.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
     /// Inject a crash fault into a second deterministic Time Warp leg per
     /// candidate partition, recording its counters in
     /// [`PresimPoint::tw_crash`]. Recovery is exact, so the crash leg's
@@ -343,6 +357,13 @@ impl<'a> FlowBuilder<'a> {
                 .timewarp
                 .get_or_insert_with(|| TwPresimConfig::new(0xFA17))
                 .fault = Some(fp);
+        }
+        if let Some(tr) = self.transport {
+            presim
+                .timewarp
+                .get_or_insert_with(|| TwPresimConfig::new(0xFA17))
+                .kernel
+                .transport = tr;
         }
         Ok(Flow {
             nl,

@@ -24,7 +24,7 @@ use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::cluster_model::{ClusterModel, ClusterModelConfig};
 use dvs_sim::stats::SimStats;
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, FaultPlan, SchedulePolicy, TimeWarpConfig, TimeWarpMode};
+use dvs_sim::timewarp::{run_timewarp, FaultPlan, SchedulePolicy, TimeWarpConfig, Transport};
 use dvs_verilog::netlist::Netlist;
 use std::cmp::Ordering;
 use std::time::Instant;
@@ -46,7 +46,9 @@ pub struct TwPresimConfig {
     /// run's `vectors` — the executor simulates every gate for real.
     pub vectors: u64,
     /// Kernel tuning (window, batch, GVT cadence, state saving). The
-    /// `mode` field is ignored: the run is always deterministic.
+    /// `transport` field's seed and schedule are overridden by `seed` and
+    /// `schedule` above, and [`Transport::Threads`] is mapped to the
+    /// in-process deterministic executor: the run is always deterministic.
     pub kernel: TimeWarpConfig,
     /// When set, run a second deterministic leg with this crash fault
     /// injected and record its counters in [`PresimPoint::tw_crash`].
@@ -245,14 +247,20 @@ pub fn evaluate_partition(
     // Deterministic mode makes it a pure function of its inputs, so points
     // stay bit-identical for any evaluation order or thread count.
     let run_leg = |t: &TwPresimConfig, fault: FaultPlan| {
-        let twcfg = TimeWarpConfig {
-            mode: TimeWarpMode::Deterministic {
+        let mut twcfg = t.kernel.clone();
+        // The presim leg is always deterministic, whatever the kernel
+        // config says: Threads maps to the in-process executor; Process
+        // keeps its worker binary but runs under the presim's own seed
+        // and schedule.
+        twcfg.transport = match twcfg.transport {
+            Transport::Process { worker, .. } => Transport::Process {
                 seed: t.seed,
                 schedule: t.schedule,
+                worker,
             },
-            fault,
-            ..t.kernel.clone()
+            _ => Transport::in_proc(t.seed, t.schedule),
         };
+        twcfg.fault = fault;
         match run_timewarp(nl, &plan, &stim, t.vectors, &twcfg) {
             Ok(r) => r.stats,
             // A wedged kernel during pre-simulation is a configuration/

@@ -1,0 +1,553 @@
+//! JSON serialization of simulation-level run artifacts.
+//!
+//! Each crate owns the artifact serialization of its own types (the orphan
+//! rule requires it once the JSON traits live in the shared `dvs-json`
+//! crate): this module covers simulation statistics, Time Warp run
+//! results, recovery provenance, and the schema-versioned [`Checkpoint`]
+//! image. The checkpoint serialization doubles as the **wire format** of
+//! the process transport ([`crate::timewarp::Transport::Process`]) — a
+//! respawned worker is restored from exactly these bytes, which is why the
+//! round-trip must be lossless and the capture deterministic.
+//!
+//! Flow-level artifact assembly (reports, presim points) stays in
+//! `dvs_core::artifact`; netlist statistics serialize in
+//! `dvs_verilog::artifact`.
+
+use crate::cluster_model::{ClusterRun, RunTiming};
+use crate::stats::SimStats;
+use crate::timewarp::{
+    Checkpoint, CkptEvent, CkptSource, RecoveryOutcome, TwMessage, TwRunResult, CHECKPOINT_SCHEMA,
+};
+use crate::wheel::NetEvent;
+use crate::Logic;
+use dvs_json::{
+    uint_array, uint_vec, FromJson, Json, JsonError, ObjBuilder, ToJson, SCHEMA_VERSION,
+};
+use dvs_verilog::netlist::NetId;
+
+/// A logic-value vector as a compact display-char string (`"01xz…"`).
+pub(crate) fn logic_str(values: &[Logic]) -> String {
+    values.iter().map(|v| v.display_char()).collect()
+}
+
+pub(crate) fn logic_vec(v: &Json) -> Result<Vec<Logic>, JsonError> {
+    v.as_str()?
+        .chars()
+        .map(|c| {
+            Logic::from_display_char(c)
+                .ok_or_else(|| JsonError::new(format!("invalid logic value character `{c}`")))
+        })
+        .collect()
+}
+
+pub(crate) fn logic_from_json(v: &Json) -> Result<Logic, JsonError> {
+    let s = v.as_str()?;
+    let mut chars = s.chars();
+    match (
+        chars.next().and_then(Logic::from_display_char),
+        chars.next(),
+    ) {
+        (Some(l), None) => Ok(l),
+        _ => Err(JsonError::new(format!("invalid logic value `{s}`"))),
+    }
+}
+
+impl ToJson for SimStats {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("events", self.events)
+            .uint("gate_evals", self.gate_evals)
+            .uint("net_toggles", self.net_toggles)
+            .uint("cycles", self.cycles)
+            .uint("end_time", self.end_time)
+            .uint("messages", self.messages)
+            .uint("anti_messages", self.anti_messages)
+            .uint("rollbacks", self.rollbacks)
+            .uint("rolled_back_events", self.rolled_back_events)
+            .uint("gvt_rounds", self.gvt_rounds)
+            .uint("fossil_collected", self.fossil_collected)
+            .build()
+    }
+}
+
+impl FromJson for SimStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SimStats {
+            events: v.field("events")?.as_u64()?,
+            gate_evals: v.field("gate_evals")?.as_u64()?,
+            net_toggles: v.field("net_toggles")?.as_u64()?,
+            cycles: v.field("cycles")?.as_u64()?,
+            end_time: v.field("end_time")?.as_u64()?,
+            messages: v.field("messages")?.as_u64()?,
+            anti_messages: v.field("anti_messages")?.as_u64()?,
+            rollbacks: v.field("rollbacks")?.as_u64()?,
+            rolled_back_events: v.field("rolled_back_events")?.as_u64()?,
+            gvt_rounds: v.field("gvt_rounds")?.as_u64()?,
+            fossil_collected: v.field("fossil_collected")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for RunTiming {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .float("profile_seconds", self.profile_seconds)
+            .float("model_seconds", self.model_seconds)
+            .build()
+    }
+}
+
+impl FromJson for RunTiming {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunTiming {
+            profile_seconds: v.field("profile_seconds")?.as_f64()?,
+            model_seconds: v.field("model_seconds")?.as_f64()?,
+        })
+    }
+}
+
+/// The deterministic portion of a [`ClusterRun`] (everything except the
+/// host-side [`RunTiming`]). Public so `dvs_core::artifact` can assemble
+/// the canonical flow report from it.
+pub fn cluster_run_core(run: &ClusterRun) -> ObjBuilder {
+    ObjBuilder::new()
+        .field("stats", run.stats.to_json())
+        .float("wall_seconds", run.wall_seconds)
+        .float("seq_seconds", run.seq_seconds)
+        .float("speedup", run.speedup)
+        .field("machine_events", uint_array(&run.machine_events))
+        .field("machine_rollbacks", uint_array(&run.machine_rollbacks))
+        .field("machine_messages", uint_array(&run.machine_messages))
+}
+
+impl ToJson for ClusterRun {
+    fn to_json(&self) -> Json {
+        cluster_run_core(self)
+            .field("timing", self.timing.to_json())
+            .build()
+    }
+}
+
+impl FromJson for ClusterRun {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ClusterRun {
+            stats: SimStats::from_json(v.field("stats")?)?,
+            wall_seconds: v.field("wall_seconds")?.as_f64()?,
+            seq_seconds: v.field("seq_seconds")?.as_f64()?,
+            speedup: v.field("speedup")?.as_f64()?,
+            machine_events: uint_vec(v.field("machine_events")?)?,
+            machine_rollbacks: uint_vec(v.field("machine_rollbacks")?)?,
+            machine_messages: uint_vec(v.field("machine_messages")?)?,
+            // Host timings default to zero when an artifact omits them
+            // (canonical artifacts carry no host measurements).
+            timing: match v.get("timing") {
+                Some(t) => RunTiming::from_json(t)?,
+                None => RunTiming::default(),
+            },
+        })
+    }
+}
+
+impl ToJson for RecoveryOutcome {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("crashes", self.crashes as u64)
+            .uint("restarts", self.restarts as u64)
+            .uint("replayed_ops", self.replayed_ops)
+            .field(
+                "victims",
+                uint_array(&self.victims.iter().map(|&c| c as u64).collect::<Vec<_>>()),
+            )
+            .bool("degraded", self.degraded)
+            .build()
+    }
+}
+
+impl FromJson for RecoveryOutcome {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RecoveryOutcome {
+            crashes: v.field("crashes")?.as_u64()? as u32,
+            restarts: v.field("restarts")?.as_u64()? as u32,
+            replayed_ops: v.field("replayed_ops")?.as_u64()?,
+            // Absent in artifacts written before the victim list existed.
+            victims: match v.get("victims") {
+                Some(a) => uint_vec(a)?.into_iter().map(|c| c as u32).collect(),
+                None => Vec::new(),
+            },
+            degraded: v.field("degraded")?.as_bool()?,
+        })
+    }
+}
+
+/// The simulation content of a Time Warp run — everything except the
+/// recovery provenance.
+fn tw_run_core(r: &TwRunResult) -> ObjBuilder {
+    ObjBuilder::new()
+        .field("stats", r.stats.to_json())
+        .array(
+            "cluster_stats",
+            r.cluster_stats.iter().map(|s| s.to_json()).collect(),
+        )
+        .uint("gvt_rounds", r.gvt_rounds)
+        .str("values", &logic_str(&r.values))
+}
+
+/// The **canonical** serialization of a Time Warp run: simulation content
+/// only, recovery provenance excluded. Under the deterministic transports
+/// ([`crate::timewarp::Transport::InProc`] and
+/// [`crate::timewarp::Transport::Process`]) every included field is an
+/// exact counter, and recovery restores the pre-crash state bit-for-bit —
+/// so a run that crashed and recovered emits a canonical artifact
+/// byte-identical to the undisturbed run's, *on either transport*. The
+/// crash-recovery DST tests and the process kill harness assert exactly
+/// that.
+pub fn tw_run_canonical_json(r: &TwRunResult) -> Json {
+    tw_run_core(r).build()
+}
+
+impl ToJson for TwRunResult {
+    /// The full serialization: the canonical simulation content plus the
+    /// `recovery` provenance block (crashes injected, restarts performed,
+    /// operations replayed, victim clusters, degradation flag). Use
+    /// [`tw_run_canonical_json`] for crash-invariant comparisons.
+    fn to_json(&self) -> Json {
+        tw_run_core(self)
+            .field("recovery", self.recovery.to_json())
+            .build()
+    }
+}
+
+fn ckpt_source_json(s: &CkptSource) -> Json {
+    match *s {
+        CkptSource::Stimulus => ObjBuilder::new().str("kind", "stimulus").build(),
+        CkptSource::Local { created_at, lseq } => ObjBuilder::new()
+            .str("kind", "local")
+            .uint("created_at", created_at)
+            .uint("lseq", lseq)
+            .build(),
+        CkptSource::Remote { src, seq } => ObjBuilder::new()
+            .str("kind", "remote")
+            .uint("src", src as u64)
+            .uint("seq", seq)
+            .build(),
+    }
+}
+
+fn ckpt_source_from_json(v: &Json) -> Result<CkptSource, JsonError> {
+    match v.field("kind")?.as_str()? {
+        "stimulus" => Ok(CkptSource::Stimulus),
+        "local" => Ok(CkptSource::Local {
+            created_at: v.field("created_at")?.as_u64()?,
+            lseq: v.field("lseq")?.as_u64()?,
+        }),
+        "remote" => Ok(CkptSource::Remote {
+            src: v.field("src")?.as_u64()? as u32,
+            seq: v.field("seq")?.as_u64()?,
+        }),
+        k => Err(JsonError::new(format!("unknown event source kind `{k}`"))),
+    }
+}
+
+impl ToJson for CkptEvent {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("time", self.time)
+            .uint("net", self.net as u64)
+            .str("value", &self.value.display_char().to_string())
+            .field("source", ckpt_source_json(&self.source))
+            .uint("order", self.order)
+            .build()
+    }
+}
+
+impl FromJson for CkptEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CkptEvent {
+            time: v.field("time")?.as_u64()?,
+            net: v.field("net")?.as_u64()? as u32,
+            value: logic_from_json(v.field("value")?)?,
+            source: ckpt_source_from_json(v.field("source")?)?,
+            order: v.field("order")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for TwMessage {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .uint("src", self.src as u64)
+            .uint("dst", self.dst as u64)
+            .uint("seq", self.seq)
+            .uint("time", self.ev.time)
+            .uint("net", self.ev.net.0 as u64)
+            .str("value", &self.ev.value.display_char().to_string())
+            .bool("anti", self.anti)
+            .build()
+    }
+}
+
+impl FromJson for TwMessage {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TwMessage {
+            src: v.field("src")?.as_u64()? as u32,
+            dst: v.field("dst")?.as_u64()? as u32,
+            seq: v.field("seq")?.as_u64()?,
+            ev: NetEvent {
+                time: v.field("time")?.as_u64()?,
+                net: NetId(v.field("net")?.as_u64()? as u32),
+                value: logic_from_json(v.field("value")?)?,
+            },
+            anti: v.field("anti")?.as_bool()?,
+        })
+    }
+}
+
+impl ToJson for Checkpoint {
+    /// Schema-versioned checkpoint artifact (`kind: "tw_checkpoint"`). The
+    /// capture is deterministic (nondeterministic collections are sorted
+    /// when the image is taken), so equal cluster states serialize to
+    /// byte-identical artifacts and the round-trip through [`FromJson`] is
+    /// lossless — the `checkpoint_roundtrip` suite asserts both. These are
+    /// the exact bytes the process transport ships in `Restore` frames.
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .int("schema_version", SCHEMA_VERSION)
+            .str("kind", "tw_checkpoint")
+            .uint("checkpoint_schema", self.schema as u64)
+            .uint("cluster", self.cluster as u64)
+            .uint("gvt", self.gvt)
+            .str("values", &logic_str(&self.values))
+            .array(
+                "pending",
+                self.pending.iter().map(|e| e.to_json()).collect(),
+            )
+            .array(
+                "tomb_remote",
+                self.tomb_remote
+                    .iter()
+                    .map(|&(src, seq)| uint_array(&[src as u64, seq]))
+                    .collect(),
+            )
+            .field("tomb_local", uint_array(&self.tomb_local))
+            .array(
+                "processed",
+                self.processed.iter().map(|e| e.to_json()).collect(),
+            )
+            .array(
+                "undo",
+                self.undo
+                    .iter()
+                    .map(|&(t, net, val)| {
+                        Json::Array(vec![
+                            Json::Int(t as i64),
+                            Json::Int(net as i64),
+                            Json::Str(val.display_char().to_string()),
+                        ])
+                    })
+                    .collect(),
+            )
+            .array(
+                "snapshots",
+                self.snapshots
+                    .iter()
+                    .map(|(t, vals)| {
+                        Json::Array(vec![Json::Int(*t as i64), Json::Str(logic_str(vals))])
+                    })
+                    .collect(),
+            )
+            .uint("epochs_since_snapshot", self.epochs_since_snapshot as u64)
+            .array(
+                "outlog",
+                self.outlog
+                    .iter()
+                    .map(|(t, m)| Json::Array(vec![Json::Int(*t as i64), m.to_json()]))
+                    .collect(),
+            )
+            .array(
+                "sched_log",
+                self.sched_log
+                    .iter()
+                    .map(|&(t, lseq)| uint_array(&[t, lseq]))
+                    .collect(),
+            )
+            .uint("stim_cycle", self.stim_cycle)
+            .uint("last_time", self.last_time)
+            .bool("settled", self.settled)
+            .uint("order", self.order)
+            .uint("lseq", self.lseq)
+            .uint("mseq", self.mseq)
+            .field("stats", self.stats.to_json())
+            .build()
+    }
+}
+
+pub(crate) fn uint_pair(v: &Json) -> Result<(u64, u64), JsonError> {
+    let pair = uint_vec(v)?;
+    match pair.as_slice() {
+        &[a, b] => Ok((a, b)),
+        other => Err(JsonError::new(format!(
+            "expected a 2-element array, got {} elements",
+            other.len()
+        ))),
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v.field("schema_version")?.as_i64()?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let kind = v.field("kind")?.as_str()?;
+        if kind != "tw_checkpoint" {
+            return Err(JsonError::new(format!(
+                "expected kind `tw_checkpoint`, got `{kind}`"
+            )));
+        }
+        let schema = v.field("checkpoint_schema")?.as_u64()? as u32;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint_schema {schema} (expected {CHECKPOINT_SCHEMA})"
+            )));
+        }
+        let events = |key: &str| -> Result<Vec<CkptEvent>, JsonError> {
+            v.field(key)?
+                .as_array()?
+                .iter()
+                .map(CkptEvent::from_json)
+                .collect()
+        };
+        Ok(Checkpoint {
+            schema,
+            cluster: v.field("cluster")?.as_u64()? as u32,
+            gvt: v.field("gvt")?.as_u64()?,
+            values: logic_vec(v.field("values")?)?,
+            pending: events("pending")?,
+            tomb_remote: v
+                .field("tomb_remote")?
+                .as_array()?
+                .iter()
+                .map(|p| uint_pair(p).map(|(src, seq)| (src as u32, seq)))
+                .collect::<Result<_, _>>()?,
+            tomb_local: uint_vec(v.field("tomb_local")?)?,
+            processed: events("processed")?,
+            undo: v
+                .field("undo")?
+                .as_array()?
+                .iter()
+                .map(|u| {
+                    let parts = u.as_array()?;
+                    match parts {
+                        [t, net, val] => {
+                            Ok((t.as_u64()?, net.as_u64()? as u32, logic_from_json(val)?))
+                        }
+                        _ => Err(JsonError::new("undo entry must be [time, net, value]")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            snapshots: v
+                .field("snapshots")?
+                .as_array()?
+                .iter()
+                .map(|s| {
+                    let parts = s.as_array()?;
+                    match parts {
+                        [t, vals] => Ok((t.as_u64()?, logic_vec(vals)?)),
+                        _ => Err(JsonError::new("snapshot entry must be [time, values]")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            epochs_since_snapshot: v.field("epochs_since_snapshot")?.as_u64()? as u32,
+            outlog: v
+                .field("outlog")?
+                .as_array()?
+                .iter()
+                .map(|o| {
+                    let parts = o.as_array()?;
+                    match parts {
+                        [t, m] => Ok((t.as_u64()?, TwMessage::from_json(m)?)),
+                        _ => Err(JsonError::new("outlog entry must be [time, message]")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+            sched_log: v
+                .field("sched_log")?
+                .as_array()?
+                .iter()
+                .map(uint_pair)
+                .collect::<Result<_, _>>()?,
+            stim_cycle: v.field("stim_cycle")?.as_u64()?,
+            last_time: v.field("last_time")?.as_u64()?,
+            settled: v.field("settled")?.as_bool()?,
+            order: v.field("order")?.as_u64()?,
+            lseq: v.field("lseq")?.as_u64()?,
+            mseq: v.field("mseq")?.as_u64()?,
+            stats: SimStats::from_json(v.field("stats")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            events: 101,
+            gate_evals: 99,
+            net_toggles: 55,
+            cycles: 40,
+            end_time: 400,
+            messages: 12,
+            anti_messages: 3,
+            rollbacks: 2,
+            rolled_back_events: 7,
+            gvt_rounds: 9,
+            fossil_collected: 88,
+        }
+    }
+
+    #[test]
+    fn sim_stats_round_trip_is_exact() {
+        let s = sample_stats();
+        let text = s.to_json().emit().unwrap();
+        let back = SimStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sim_stats_missing_field_is_an_error() {
+        let mut v = sample_stats().to_json();
+        if let Json::Object(members) = &mut v {
+            members.retain(|(k, _)| k != "rollbacks");
+        }
+        let err = SimStats::from_json(&v).unwrap_err();
+        assert!(err.msg.contains("rollbacks"), "{err}");
+    }
+
+    #[test]
+    fn recovery_outcome_round_trips_and_tolerates_missing_victims() {
+        let r = RecoveryOutcome {
+            crashes: 3,
+            restarts: 2,
+            replayed_ops: 17,
+            victims: vec![1, 1, 0],
+            degraded: false,
+        };
+        let text = r.to_json().emit().unwrap();
+        let back = RecoveryOutcome::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+
+        // Artifacts written before the victim list existed have no
+        // `victims` key; they read back with an empty list.
+        let mut v = r.to_json();
+        if let Json::Object(members) = &mut v {
+            members.retain(|(k, _)| k != "victims");
+        }
+        let back = RecoveryOutcome::from_json(&v).unwrap();
+        assert!(back.victims.is_empty());
+        assert_eq!(back.crashes, 3);
+    }
+}

@@ -23,12 +23,16 @@
 //!   time, message and rollback counts reproducibly — used by the
 //!   table/figure harness;
 //! * [`vcd`] — IEEE 1364 Value Change Dump waveform output;
-//! * [`stats`] — simulation statistics shared by all kernels.
+//! * [`stats`] — simulation statistics shared by all kernels;
+//! * [`artifact`] — JSON serialization of the above (stats, run results,
+//!   checkpoints — the checkpoint serialization is also the wire format of
+//!   the process transport).
 
 // Hot paths must not abort the process on recoverable conditions; the few
 // justified `unwrap`s are allow-listed at the call site with a proof sketch.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod artifact;
 pub mod cluster;
 pub mod cluster_model;
 pub mod logic;
@@ -39,6 +43,7 @@ pub mod timewarp;
 pub mod vcd;
 pub mod wheel;
 
+pub use artifact::tw_run_canonical_json;
 pub use cluster::ClusterPlan;
 pub use cluster_model::{ClusterModel, ClusterModelConfig, ClusterRun};
 pub use logic::Logic;
@@ -46,6 +51,6 @@ pub use seq::{SeqSim, SimConfig};
 pub use stats::SimStats;
 pub use stimulus::VectorStimulus;
 pub use timewarp::{
-    Checkpoint, FaultPlan, RecoveryOutcome, SchedulePolicy, TimeWarpConfig, TimeWarpError,
-    TimeWarpMode,
+    Checkpoint, FaultPlan, RecoveryOutcome, SchedulePolicy, TimeWarpBuilder, TimeWarpConfig,
+    TimeWarpError, Transport,
 };

@@ -1,6 +1,6 @@
 //! Deterministic simulation testing (DST) for the Time Warp kernel.
 //!
-//! [`run_deterministic`] drives the same [`ClusterProcess`] state machines
+//! [`run_deterministic`] drives the same [`super::proc::ClusterProcess`] state machines
 //! as the threaded kernel, but under a single-threaded virtual scheduler:
 //! the executor owns one FIFO queue per directed cluster pair (so a positive
 //! message always precedes its anti-message, exactly as on a real channel)
@@ -38,18 +38,14 @@
 //! decisions: eventually its delivery is the only legal action left.
 
 use super::error::TimeWarpError;
-use super::gvt::GvtState;
-use super::proc::ClusterProcess;
-use super::recovery::{degrade_sequential, DstSupervisor, RecoveryOutcome};
-use super::{merge_results, TimeWarpConfig, TwMessage, TwRunResult};
+use super::transport::{run_supervisor, InProcWorker};
+use super::{TimeWarpConfig, TwRunResult};
 use crate::cluster::ClusterPlan;
 use crate::stimulus::VectorStimulus;
 use crate::wheel::VTime;
 use dvs_verilog::netlist::Netlist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 
 /// One scheduling decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -354,298 +350,33 @@ pub fn run_with_schedule(
     check: bool,
     label: &str,
 ) -> Result<TwRunResult, TimeWarpError> {
-    let k = plan.k;
-    let shared = GvtState::new(k);
-    let mut procs: Vec<ClusterProcess<'_, '_>> = (0..k)
-        .map(|me| ClusterProcess::new(nl, plan, me as u32, stim.clone(), cycles, cfg.state_saving))
+    let mut workers: Vec<InProcWorker<'_, '_>> = (0..plan.k)
+        .map(|me| {
+            InProcWorker::new(
+                nl,
+                plan,
+                stim.clone(),
+                cycles,
+                cfg.state_saving,
+                check,
+                label,
+                me as u32,
+            )
+        })
         .collect();
-    // One FIFO queue per directed cluster pair, indexed `src * k + dst`.
-    // FIFO within a queue is the per-channel ordering the annihilation
-    // protocol relies on; the schedule only controls *which* queue head is
-    // delivered next.
-    let mut queues: Vec<VecDeque<TwMessage>> = vec![VecDeque::new(); k * k];
-
-    // Recovery bookkeeping is only paid for when a crash fault is armed.
-    let fault = cfg.fault;
-    let mut supervisor = fault.crash_at.map(|_| DstSupervisor::new(&procs));
-    let mut crashes_left = fault.crash_budget();
-    let mut outcome = RecoveryOutcome::default();
-
-    let gvt_cadence = (cfg.batch.max(1) * cfg.gvt_interval.max(1)) as u64;
-    let mut decision: u64 = 0;
-    let mut last_gvt: VTime = 0;
-    let mut idle: u64 = 0;
-    let mut lvts = vec![0 as VTime; k];
-    let mut steppable: Vec<u32> = Vec::with_capacity(k);
-    let mut deliverable: Vec<(u32, u32)> = Vec::with_capacity(k * k);
-
-    loop {
-        let gvt = shared.gvt.load(Ordering::SeqCst);
-        if gvt == VTime::MAX {
-            break; // global quiescence
-        }
-        if gvt > last_gvt {
-            last_gvt = gvt;
-            idle = 0;
-        }
-        let limit = gvt.saturating_add(cfg.window);
-
-        // Refresh the view: publish every LVT, list legal actions.
-        steppable.clear();
-        deliverable.clear();
-        for (i, l) in lvts.iter_mut().enumerate() {
-            *l = procs[i].lvt();
-            shared.publish_lvt(i, *l);
-            if *l != VTime::MAX && *l <= limit {
-                steppable.push(i as u32);
-            }
-        }
-        for src in 0..k {
-            for dst in 0..k {
-                if !queues[src * k + dst].is_empty() {
-                    deliverable.push((src as u32, dst as u32));
-                }
-            }
-        }
-
-        if steppable.is_empty() && deliverable.is_empty() {
-            // Everyone is idle or throttled and nothing is in transit: the
-            // GVT sample is valid by construction and must advance (the
-            // minimum LVT exceeds the current GVT, or is MAX = done). If it
-            // does not, the protocol is wedged — no retry can fix that.
-            let Some(new_gvt) = shared.try_compute_gvt() else {
-                return Err(TimeWarpError::Stalled { gvt, idle });
-            };
-            fossil_all(&mut procs, new_gvt, check, label);
-            if new_gvt != VTime::MAX {
-                if let Some(sup) = supervisor.as_mut() {
-                    sup.on_gvt_round(&procs, new_gvt);
-                }
-            } else if check {
-                check_quiescence(&mut procs, label);
-            }
-            continue;
-        }
-
-        // Crash injection: the armed fault fires when the executor reaches
-        // decision index `crash_at.1`, before the schedule is consulted —
-        // so the decision sequence after recovery is identical to the
-        // no-crash run's, which is what makes artifacts byte-identical.
-        if crashes_left > 0 {
-            if let Some((victim, at)) = fault.crash_at {
-                let v = victim as usize;
-                if decision == at && v < k {
-                    crashes_left -= 1;
-                    outcome.crashes += 1;
-                    if outcome.restarts >= fault.max_restarts {
-                        // Restart budget exhausted: graceful degradation.
-                        let mut r = degrade_sequential(nl, stim, cycles);
-                        r.recovery.crashes = outcome.crashes;
-                        r.recovery.restarts = outcome.restarts;
-                        r.recovery.replayed_ops = outcome.replayed_ops;
-                        return Ok(r);
-                    }
-                    outcome.restarts += 1;
-                    let sup = supervisor.as_ref().expect("supervisor armed with fault");
-
-                    // Crash-stop: the victim loses its in-memory state and
-                    // its incoming channels (in-flight messages toward it
-                    // die with it).
-                    let mut dropped: Vec<Vec<TwMessage>> = Vec::with_capacity(k);
-                    let mut dropped_total = 0i64;
-                    for src in 0..k {
-                        let q = &mut queues[src * k + v];
-                        dropped_total += q.len() as i64;
-                        dropped.push(q.drain(..).collect());
-                    }
-                    if dropped_total > 0 {
-                        shared.in_transit.fetch_sub(dropped_total, Ordering::SeqCst);
-                    }
-
-                    // Recovery: last coordinated checkpoint + input-log
-                    // replay rebuilds the exact pre-crash process …
-                    let (p, ops) = sup.restore(v, nl, plan, stim, cycles, cfg.state_saving);
-                    outcome.replayed_ops += ops;
-                    procs[v] = p;
-                    shared.publish_lvt(v, procs[v].lvt());
-
-                    // … and the lost channels are re-filled from each
-                    // neighbour's retained output history (the undelivered
-                    // suffix since the last GVT round).
-                    let mut refilled = 0i64;
-                    for (src, lost) in dropped.iter().enumerate() {
-                        let und = sup.undelivered(src, v);
-                        if check {
-                            assert_eq!(
-                                und,
-                                lost.as_slice(),
-                                "recovered channel {src}->{v} differs from the lost \
-                                 in-flight messages ({label})"
-                            );
-                        }
-                        refilled += und.len() as i64;
-                        queues[src * k + v].extend(und.iter().copied());
-                    }
-                    if refilled > 0 {
-                        shared.in_transit.fetch_add(refilled, Ordering::SeqCst);
-                    }
-                    continue;
-                }
-            }
-        }
-
-        let view = DstView {
-            gvt,
-            lvts: &lvts,
-            steppable: &steppable,
-            deliverable: &deliverable,
-            decision,
-        };
-        let action = schedule.next(&view);
-        assert!(
-            view.is_legal(action),
-            "schedule returned illegal action {action:?} at decision {decision} ({label})"
-        );
-        decision += 1;
-        idle += 1;
-        if cfg.stall_limit > 0 && idle >= cfg.stall_limit {
-            // Livelock watchdog: work keeps happening but GVT never
-            // advances, so nothing will ever commit or terminate.
-            return Err(TimeWarpError::Stalled { gvt, idle });
-        }
-
-        match action {
-            DstAction::Step(c) => {
-                let c = c as usize;
-                if check {
-                    assert!(
-                        lvts[c] >= gvt,
-                        "cluster {c} would step an epoch at t={} below GVT {gvt} ({label})",
-                        lvts[c]
-                    );
-                }
-                if let Some(sup) = supervisor.as_mut() {
-                    sup.record_step(c, limit);
-                }
-                procs[c].process_next_epoch(limit, &mut |m: TwMessage| {
-                    enqueue(&shared, &mut queues, k, m, check, label);
-                    if let Some(sup) = supervisor.as_mut() {
-                        sup.record_send(m);
-                    }
-                });
-                shared.publish_lvt(c, procs[c].lvt());
-            }
-            DstAction::Deliver { src, dst } => {
-                let msg = queues[src as usize * k + dst as usize]
-                    .pop_front()
-                    .expect("deliverable channel is non-empty");
-                if check {
-                    assert!(
-                        msg.ev.time >= gvt,
-                        "message {src}->{dst} at t={} delivered below GVT {gvt} ({label})",
-                        msg.ev.time
-                    );
-                }
-                if let Some(sup) = supervisor.as_mut() {
-                    sup.record_deliver(msg);
-                }
-                let d = dst as usize;
-                procs[d].handle_message(msg, &mut |m: TwMessage| {
-                    enqueue(&shared, &mut queues, k, m, check, label);
-                    if let Some(sup) = supervisor.as_mut() {
-                        sup.record_send(m);
-                    }
-                });
-                // Same ordering discipline as the threaded kernel: the
-                // in-transit counter drops only after the receiver's LVT
-                // reflects the insertion, keeping GVT samples sound.
-                shared.publish_lvt(d, procs[d].lvt());
-                shared.in_transit.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
-
-        // Periodic GVT, mirroring the threaded workers' cadence of one
-        // attempt per `gvt_interval` quanta of `batch` epochs.
-        if decision.is_multiple_of(gvt_cadence) {
-            if let Some(new_gvt) = shared.try_compute_gvt() {
-                fossil_all(&mut procs, new_gvt, check, label);
-                if new_gvt != VTime::MAX {
-                    if let Some(sup) = supervisor.as_mut() {
-                        sup.on_gvt_round(&procs, new_gvt);
-                    }
-                }
-            }
-        }
-    }
-
-    let per_cluster = procs
-        .into_iter()
-        .map(|mut p| (p.take_stats(), p.into_values()))
-        .collect();
-    let mut result = merge_results(
+    // Recovery bookkeeping is only paid for when a crash fault is armed;
+    // the process transport always tracks (workers can genuinely die).
+    let track = cfg.fault.crash_at.is_some();
+    run_supervisor(
         nl,
         plan,
-        per_cluster,
-        shared.gvt_rounds.load(Ordering::SeqCst),
-    );
-    result.recovery = outcome;
-    Ok(result)
-}
-
-#[inline]
-fn enqueue(
-    shared: &GvtState,
-    queues: &mut [VecDeque<TwMessage>],
-    k: usize,
-    m: TwMessage,
-    check: bool,
-    label: &str,
-) {
-    if check {
-        let g = shared.gvt.load(Ordering::SeqCst);
-        assert!(
-            m.ev.time >= g,
-            "message {}->{} at t={} sent below GVT {g} ({label})",
-            m.src,
-            m.dst,
-            m.ev.time
-        );
-    }
-    shared.in_transit.fetch_add(1, Ordering::SeqCst);
-    shared.send_epoch.fetch_add(1, Ordering::SeqCst);
-    queues[m.src as usize * k + m.dst as usize].push_back(m);
-}
-
-fn fossil_all(procs: &mut [ClusterProcess<'_, '_>], gvt: VTime, check: bool, label: &str) {
-    for (i, p) in procs.iter_mut().enumerate() {
-        let before = check.then(|| p.history_at_or_after(gvt));
-        p.fossil_collect(gvt);
-        if let Some(before) = before {
-            let after = p.history_at_or_after(gvt);
-            assert_eq!(
-                before, after,
-                "fossil collection on cluster {i} reclaimed history at or above GVT {gvt} ({label})"
-            );
-        }
-    }
-}
-
-fn check_quiescence(procs: &mut [ClusterProcess<'_, '_>], label: &str) {
-    for (i, p) in procs.iter_mut().enumerate() {
-        assert_eq!(
-            p.lvt(),
-            VTime::MAX,
-            "cluster {i} still has pending work at quiescence ({label})"
-        );
-        assert_eq!(
-            p.orphan_tombstones(),
-            0,
-            "annihilation left orphan tombstones on cluster {i} at quiescence ({label})"
-        );
-        assert_eq!(
-            p.pending_len(),
-            0,
-            "cluster {i} still has queued events at quiescence ({label})"
-        );
-    }
+        stim,
+        cycles,
+        cfg,
+        schedule,
+        check,
+        label,
+        &mut workers,
+        track,
+    )
 }

@@ -22,6 +22,52 @@ pub enum TimeWarpError {
         /// Decisions/quanta executed since GVT last advanced.
         idle: u64,
     },
+    /// [`super::TimeWarpBuilder::build`] rejected the configuration.
+    InvalidConfig {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A worker panicked. Under [`super::Transport::Process`] the panic is
+    /// caught worker-side and shipped back as a typed frame rather than an
+    /// opaque exit code. Panics are deterministic — replaying the same
+    /// operation would panic again — so they are fatal, not recoverable.
+    WorkerPanic {
+        /// The cluster whose worker panicked.
+        cluster: u32,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The process transport failed at the protocol level: a malformed or
+    /// oversized frame, an unexpected response kind, or a worker that could
+    /// not be spawned or connected.
+    Transport {
+        /// The cluster whose link failed.
+        cluster: u32,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A worker stopped responding: no frame arrived within the read
+    /// timeout. A wedged worker is not crash-stop (its state may still
+    /// mutate), so the run fails instead of attempting recovery — this is
+    /// the process-transport arm of the stall watchdog.
+    WorkerTimeout {
+        /// The cluster whose worker went silent.
+        cluster: u32,
+        /// The read timeout that elapsed, in milliseconds.
+        after_ms: u64,
+    },
+    /// Version negotiation with a worker failed: its wire or checkpoint
+    /// schema version differs from ours. Mixed-version deployments must be
+    /// rejected up front — a checkpoint restored under a different schema
+    /// would silently diverge.
+    VersionMismatch {
+        /// The cluster whose worker offered the other version.
+        cluster: u32,
+        /// Our combined version (wire, checkpoint schema).
+        ours: (u32, u32),
+        /// The worker's combined version.
+        theirs: (u32, u32),
+    },
 }
 
 impl std::fmt::Display for TimeWarpError {
@@ -30,6 +76,29 @@ impl std::fmt::Display for TimeWarpError {
             TimeWarpError::Stalled { gvt, idle } => write!(
                 f,
                 "time warp stalled: GVT stuck at {gvt} for {idle} scheduling decisions"
+            ),
+            TimeWarpError::InvalidConfig { reason } => {
+                write!(f, "invalid time warp configuration: {reason}")
+            }
+            TimeWarpError::WorkerPanic { cluster, message } => {
+                write!(f, "worker for cluster {cluster} panicked: {message}")
+            }
+            TimeWarpError::Transport { cluster, detail } => {
+                write!(f, "transport failure on cluster {cluster}: {detail}")
+            }
+            TimeWarpError::WorkerTimeout { cluster, after_ms } => write!(
+                f,
+                "worker for cluster {cluster} sent no frame for {after_ms} ms"
+            ),
+            TimeWarpError::VersionMismatch {
+                cluster,
+                ours,
+                theirs,
+            } => write!(
+                f,
+                "version mismatch with worker for cluster {cluster}: \
+                 ours wire={} checkpoint={}, theirs wire={} checkpoint={}",
+                ours.0, ours.1, theirs.0, theirs.1
             ),
         }
     }

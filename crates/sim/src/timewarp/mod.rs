@@ -33,12 +33,15 @@
 //!   entries strictly below GVT are reclaimed.
 //!
 //! Determinism: the final circuit state equals the sequential simulator's
-//! (asserted in tests) in every mode. Under [`TimeWarpMode::Threads`] the
-//! message/rollback *counts* depend on thread timing; under
-//! [`TimeWarpMode::Deterministic`] the same cluster state machines are
-//! driven by the single-threaded [`dst`] executor and every counter is an
-//! exact, seed-reproducible value. ([`crate::cluster_model`] remains as the
-//! fast *modeled* estimate of those counts for pre-simulation sweeps.)
+//! (asserted in tests) under every transport. Under [`Transport::Threads`]
+//! the message/rollback *counts* depend on thread timing; under
+//! [`Transport::InProc`] and [`Transport::Process`] the same cluster state
+//! machines are driven by the single-threaded deterministic supervisor
+//! (see [`dst`] and [`transport`]) and every counter is an exact,
+//! seed-reproducible value — byte-identical between the two, whether the
+//! workers are in-process state machines or `SIGKILL`-able OS processes.
+//! ([`crate::cluster_model`] remains as the fast *modeled* estimate of
+//! those counts for pre-simulation sweeps.)
 
 pub mod checkpoint;
 pub mod dst;
@@ -46,11 +49,13 @@ pub mod error;
 pub mod gvt;
 pub mod proc;
 pub mod recovery;
+pub mod transport;
 
 pub use checkpoint::{Checkpoint, CkptEvent, CkptSource, CHECKPOINT_SCHEMA};
 pub use dst::{DstAction, DstView, Schedule, SchedulePolicy};
 pub use error::TimeWarpError;
 pub use recovery::{FaultPlan, RecoveryOutcome};
+pub use transport::{serve_worker, Transport};
 
 use crate::cluster::ClusterPlan;
 use crate::logic::Logic;
@@ -75,24 +80,16 @@ pub struct TwMessage {
     pub anti: bool,
 }
 
-/// How the kernel is executed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TimeWarpMode {
-    /// One free-running OS thread per cluster, exchanging messages over
-    /// channels. Fastest wall-clock; counters depend on thread timing.
-    Threads,
-    /// Single-threaded virtual scheduler stepping the same cluster state
-    /// machines deterministically (see [`dst`]). `(seed, schedule)` fully
-    /// determines the execution, making every counter exact and
-    /// reproducible — including under adversarial schedules.
-    Deterministic { seed: u64, schedule: SchedulePolicy },
-}
-
-/// Kernel tuning parameters.
+/// Kernel tuning parameters. Construct via [`TimeWarpConfig::builder`]
+/// (see [`TimeWarpBuilder`]) — the struct is `#[non_exhaustive]`, so
+/// literal construction is reserved to this crate and new knobs can be
+/// added without breaking downstream code.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TimeWarpConfig {
-    /// Execution mode (threaded or deterministic; see [`TimeWarpMode`]).
-    pub mode: TimeWarpMode,
+    /// How the cluster workers execute and exchange messages (see
+    /// [`Transport`]).
+    pub transport: Transport,
     /// Epochs processed per scheduling quantum before re-checking channels.
     pub batch: usize,
     /// Attempt a GVT computation every this many quanta.
@@ -120,6 +117,7 @@ pub struct TimeWarpConfig {
 /// How a cluster preserves enough history to roll back — the classic Time
 /// Warp design trade-off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StateSaving {
     /// Incremental: log `(time, net, old value)` per change; rollback
     /// replays the log backwards. Cheap rollbacks, per-change overhead.
@@ -135,7 +133,7 @@ pub enum StateSaving {
 impl Default for TimeWarpConfig {
     fn default() -> Self {
         TimeWarpConfig {
-            mode: TimeWarpMode::Threads,
+            transport: Transport::Threads,
             batch: 16,
             gvt_interval: 1,
             window: 16,
@@ -143,6 +141,103 @@ impl Default for TimeWarpConfig {
             fault: FaultPlan::default(),
             stall_limit: 5_000_000,
         }
+    }
+}
+
+impl TimeWarpConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> TimeWarpBuilder {
+        TimeWarpBuilder::new()
+    }
+}
+
+/// Builder for [`TimeWarpConfig`] — the only way to construct one outside
+/// this crate. Invalid combinations are rejected by [`build`] with
+/// [`TimeWarpError::InvalidConfig`] instead of panicking mid-run.
+///
+/// ```
+/// use dvs_sim::timewarp::{SchedulePolicy, TimeWarpConfig, Transport};
+///
+/// let cfg = TimeWarpConfig::builder()
+///     .transport(Transport::in_proc(0xFA17, SchedulePolicy::RoundRobin))
+///     .window(32)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.window, 32);
+/// ```
+///
+/// [`build`]: TimeWarpBuilder::build
+#[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct TimeWarpBuilder {
+    cfg: TimeWarpConfig,
+}
+
+impl TimeWarpBuilder {
+    /// A builder initialized with the default configuration.
+    pub fn new() -> Self {
+        TimeWarpBuilder {
+            cfg: TimeWarpConfig::default(),
+        }
+    }
+
+    /// Select the worker transport (see [`Transport`]).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Epochs processed per scheduling quantum (threaded transport only).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Attempt a GVT computation every this many quanta.
+    pub fn gvt_interval(mut self, gvt_interval: usize) -> Self {
+        self.cfg.gvt_interval = gvt_interval;
+        self
+    }
+
+    /// Optimism window above GVT (`u64::MAX` = unthrottled).
+    pub fn window(mut self, window: VTime) -> Self {
+        self.cfg.window = window;
+        self
+    }
+
+    /// State-saving strategy for rollback.
+    pub fn state_saving(mut self, state_saving: StateSaving) -> Self {
+        self.cfg.state_saving = state_saving;
+        self
+    }
+
+    /// Crash-fault injection and recovery plan.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    /// Livelock watchdog threshold (`0` disables it).
+    pub fn stall_limit(mut self, stall_limit: u64) -> Self {
+        self.cfg.stall_limit = stall_limit;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<TimeWarpConfig, TimeWarpError> {
+        let invalid = |reason: &str| TimeWarpError::InvalidConfig {
+            reason: reason.to_string(),
+        };
+        if self.cfg.batch == 0 {
+            return Err(invalid("batch must be at least 1"));
+        }
+        if self.cfg.gvt_interval == 0 {
+            return Err(invalid("gvt_interval must be at least 1"));
+        }
+        if let StateSaving::Checkpoint { interval: 0 } = self.cfg.state_saving {
+            return Err(invalid("checkpoint interval must be at least 1"));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -162,12 +257,16 @@ pub struct TwRunResult {
 }
 
 /// Run the Time Warp kernel over the clusters of `plan`, simulating
-/// `cycles` vectors of `stim`. `cfg.mode` selects threaded execution (one
-/// worker per cluster) or the deterministic single-scheduler executor;
-/// final net values are identical either way. Injected crash faults
-/// (`cfg.fault`) are recovered transparently — or, once the restart budget
-/// is exhausted, the run degrades to the sequential simulator (flagged in
-/// [`TwRunResult::recovery`]); only a wedged GVT surfaces as an error.
+/// `cycles` vectors of `stim`. `cfg.transport` selects threaded execution
+/// (one worker thread per cluster), the deterministic in-process executor,
+/// or one OS process per cluster driven over Unix-domain sockets; final net
+/// values are identical in all three, and the two deterministic transports
+/// produce byte-identical artifacts. Crash faults — injected via
+/// `cfg.fault`, or (under [`Transport::Process`]) genuine worker deaths —
+/// are recovered transparently from the last GVT checkpoint; once the
+/// restart budget is exhausted, the run degrades to the sequential
+/// simulator (flagged in [`TwRunResult::recovery`]). Errors are reserved
+/// for conditions no retry can fix (see [`TimeWarpError`]).
 pub fn run_timewarp(
     nl: &Netlist,
     plan: &ClusterPlan,
@@ -175,9 +274,9 @@ pub fn run_timewarp(
     cycles: u64,
     cfg: &TimeWarpConfig,
 ) -> Result<TwRunResult, TimeWarpError> {
-    match &cfg.mode {
-        TimeWarpMode::Threads => run_threads(nl, plan, stim, cycles, cfg),
-        TimeWarpMode::Deterministic { seed, schedule } => dst::run_deterministic(
+    match &cfg.transport {
+        Transport::Threads => run_threads(nl, plan, stim, cycles, cfg),
+        Transport::InProc { seed, schedule } => dst::run_deterministic(
             nl,
             plan,
             stim,
@@ -186,6 +285,20 @@ pub fn run_timewarp(
             *seed,
             schedule,
             cfg!(debug_assertions),
+        ),
+        Transport::Process {
+            seed,
+            schedule,
+            worker,
+        } => transport::run_process(
+            nl,
+            plan,
+            stim,
+            cycles,
+            cfg,
+            *seed,
+            schedule,
+            worker.as_deref(),
         ),
     }
 }
@@ -222,6 +335,7 @@ fn run_threads(
             ThreadsAttempt::Done(mut r) => {
                 r.recovery.crashes = injector.as_ref().map_or(0, |i| i.fired());
                 r.recovery.restarts = restarts;
+                r.recovery.victims = thread_victims(cfg, r.recovery.crashes);
                 return Ok(r);
             }
             ThreadsAttempt::Crashed => {
@@ -229,6 +343,7 @@ fn run_threads(
                     let mut r = recovery::degrade_sequential(nl, stim, cycles);
                     r.recovery.crashes = injector.as_ref().map_or(0, |i| i.fired());
                     r.recovery.restarts = restarts;
+                    r.recovery.victims = thread_victims(cfg, r.recovery.crashes);
                     return Ok(r);
                 }
                 std::thread::sleep(recovery::backoff(restarts));
@@ -238,6 +353,16 @@ fn run_threads(
                 return Err(TimeWarpError::Stalled { gvt, idle })
             }
         }
+    }
+}
+
+/// Under the threaded transport every injected crash hits the configured
+/// victim cluster, so the victim list is fully determined by the plan and
+/// the number of faults that actually fired.
+fn thread_victims(cfg: &TimeWarpConfig, fired: u32) -> Vec<u32> {
+    match cfg.fault.crash_at {
+        Some((victim, _)) => vec![victim; fired as usize],
+        None => Vec::new(),
     }
 }
 

@@ -3,7 +3,11 @@
 //! The fault model is a *crash-stop* worker: a cluster dies, losing its
 //! entire in-memory state **and** every message currently in flight toward
 //! it (its incoming channels die with it). Messages it already sent live on
-//! — they left the node. Recovery follows classic log-based rollback
+//! — they left the node. Under [`super::Transport::InProc`] the crash is
+//! simulated by discarding the cluster state machine; under
+//! [`super::Transport::Process`] it is an OS process dying for real (a
+//! `SIGKILL`'d worker, detected by the supervisor as a socket EOF).
+//! Recovery is identical either way and follows classic log-based rollback
 //! recovery, built on two retention rules that piggyback on the existing
 //! GVT machinery:
 //!
@@ -18,16 +22,17 @@
 //!   the retention window is exactly one GVT round.
 //!
 //! On a crash the supervisor rebuilds the victim from its last checkpoint,
-//! **replays its input log** (the exact sequence of step/deliver operations
-//! applied since that checkpoint — the cluster state machine is
+//! **replays its input log** (the exact sequence of step/deliver/fossil
+//! operations applied since that checkpoint — the cluster state machine is
 //! deterministic, so replay reproduces the pre-crash state bit-for-bit,
 //! counters included, with re-sends suppressed because the originals are
 //! already on the wire or delivered), and re-fills its incoming channels
 //! with the undelivered suffix of each neighbour's retained output history.
 //! The global state after recovery is therefore *exactly* the pre-crash
 //! state, which is what makes crash runs byte-identical to no-crash runs
-//! under the deterministic executor — determinism is the correctness oracle
-//! for recovery, the same way it is for the schedule fuzzer.
+//! under the deterministic transports — determinism is the correctness
+//! oracle for recovery, the same way it is for the schedule fuzzer and for
+//! the process transport itself.
 //!
 //! When the restart budget is exhausted the supervisor degrades gracefully:
 //! the whole workload is re-run on the sequential simulator, yielding a
@@ -36,8 +41,7 @@
 
 use super::checkpoint::Checkpoint;
 use super::proc::ClusterProcess;
-use super::{StateSaving, TwMessage, TwRunResult};
-use crate::cluster::ClusterPlan;
+use super::{TwMessage, TwRunResult};
 use crate::seq::{NullObserver, SeqSim, SimConfig};
 use crate::stimulus::VectorStimulus;
 use crate::wheel::VTime;
@@ -49,8 +53,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Crash cluster `.0` when the deterministic executor reaches decision
-    /// index `.1`, or (in [`super::TimeWarpMode::Threads`]) when that
-    /// cluster's worker finishes its `.1`-th scheduling quantum, by
+    /// index `.1` (under the in-proc transport the cluster state machine is
+    /// discarded; under the process transport the worker process is killed
+    /// with `SIGKILL`), or — under [`super::Transport::Threads`] — when
+    /// that cluster's worker finishes its `.1`-th scheduling quantum, by
     /// panicking it. `None` disables crash injection.
     pub crash_at: Option<(u32, u64)>,
     /// How many times the fault fires in total: after each recovery the
@@ -94,17 +100,20 @@ impl Default for FaultPlan {
 }
 
 /// What the supervisor did about crash faults during a run. All fields are
-/// deterministic under the deterministic executor, but they are *recovery
+/// deterministic under the deterministic transports, but they are *recovery
 /// provenance*, not simulation content — canonical artifacts exclude them
 /// so a recovered run serializes byte-identically to an undisturbed one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryOutcome {
-    /// Crash faults that fired.
+    /// Crash faults that fired (injected or — under the process transport —
+    /// genuine worker deaths).
     pub crashes: u32,
     /// Successful restore-and-replay recoveries.
     pub restarts: u32,
     /// Input-log operations replayed across all recoveries.
     pub replayed_ops: u64,
+    /// The cluster that died, once per crash, in crash order.
+    pub victims: Vec<u32>,
     /// The restart budget ran out and the run fell back to the sequential
     /// simulator; `values`/`stats` are the sequential run's.
     pub degraded: bool,
@@ -113,20 +122,49 @@ pub struct RecoveryOutcome {
 /// One logged operation applied to a cluster since its last checkpoint.
 /// The cluster state machine is a deterministic function of this sequence,
 /// which is exactly why replaying it reconstructs the pre-crash state.
-#[derive(Debug, Clone, Copy)]
+/// This is also a wire type: the process transport ships the victim's log
+/// in the `restore` frame so the respawned worker replays it locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum ReplayOp {
     /// `process_next_epoch(limit, ..)` was invoked (the optimism limit is
     /// constant between GVT rounds, but stored per-op for robustness).
     Step { limit: VTime },
     /// This exact message was delivered.
     Deliver(TwMessage),
+    /// Fossil collection ran at this GVT. Only transiently present: a GVT
+    /// round re-checkpoints right after fossil collection, which truncates
+    /// the log — but a worker that dies *between* the two (possible only
+    /// with real processes) must replay the fossil or its `fossil_collected`
+    /// counter would diverge from the undisturbed run.
+    Fossil(VTime),
 }
 
-/// Recovery bookkeeping for the deterministic executor: per-cluster
+/// Replay a logged operation sequence against a rebuilt cluster process.
+/// Re-sends are suppressed: the original messages are already on the wire
+/// or delivered, and re-emitting them would duplicate `(src, seq)`
+/// identities. Shared by the in-proc worker and the process-worker serve
+/// loop.
+pub(crate) fn replay_ops(p: &mut ClusterProcess<'_, '_>, ops: &[ReplayOp]) {
+    let mut suppress = |_m: TwMessage| {};
+    for op in ops {
+        match *op {
+            ReplayOp::Step { limit } => {
+                p.process_next_epoch(limit, &mut suppress);
+            }
+            ReplayOp::Deliver(m) => p.handle_message(m, &mut suppress),
+            ReplayOp::Fossil(gvt) => p.fossil_collect(gvt),
+        }
+    }
+}
+
+/// Recovery bookkeeping for the transport-generic supervisor: per-cluster
 /// checkpoints and input logs, per-channel sender-side retention. All state
 /// is scoped to "since the last GVT round" — a successful GVT sample
-/// implies every channel drained, so logs truncate at each round.
-pub(crate) struct DstSupervisor {
+/// implies every channel drained, so logs truncate at each round. Unlike
+/// the worker state it protects, this lives supervisor-side on **both**
+/// transports, which is what keeps the recovery protocol identical whether
+/// the worker is a struct in this process or an OS process on a socket.
+pub(crate) struct RecoveryLog {
     k: usize,
     checkpoints: Vec<Checkpoint>,
     input_log: Vec<Vec<ReplayOp>>,
@@ -137,13 +175,13 @@ pub(crate) struct DstSupervisor {
     delivered: Vec<usize>,
 }
 
-impl DstSupervisor {
-    /// Capture the initial coordinated checkpoint (GVT 0, fresh state).
-    pub fn new(procs: &[ClusterProcess<'_, '_>]) -> Self {
-        let k = procs.len();
-        DstSupervisor {
+impl RecoveryLog {
+    /// Start from the initial coordinated checkpoints (GVT 0, fresh state).
+    pub fn from_checkpoints(checkpoints: Vec<Checkpoint>) -> Self {
+        let k = checkpoints.len();
+        RecoveryLog {
             k,
-            checkpoints: procs.iter().map(|p| p.checkpoint(0)).collect(),
+            checkpoints,
             input_log: vec![Vec::new(); k],
             sent_log: vec![Vec::new(); k * k],
             delivered: vec![0; k * k],
@@ -163,52 +201,35 @@ impl DstSupervisor {
         self.sent_log[m.src as usize * self.k + m.dst as usize].push(m);
     }
 
+    pub fn record_fossil(&mut self, c: usize, gvt: VTime) {
+        self.input_log[c].push(ReplayOp::Fossil(gvt));
+    }
+
+    /// A fresh coordinated checkpoint of cluster `i` was captured at a GVT
+    /// round; its input log restarts from this image.
+    pub fn set_checkpoint(&mut self, i: usize, ck: Checkpoint) {
+        self.checkpoints[i] = ck;
+        self.input_log[i].clear();
+    }
+
     /// A GVT advance is the group acknowledgement: every channel drained,
-    /// so retention windows reset and a fresh coordinated checkpoint is
-    /// taken (after fossil collection, so the images are minimal).
-    pub fn on_gvt_round(&mut self, procs: &[ClusterProcess<'_, '_>], gvt: VTime) {
-        for (i, p) in procs.iter().enumerate() {
-            self.checkpoints[i] = p.checkpoint(gvt);
-            self.input_log[i].clear();
-        }
+    /// so the sender-side retention windows reset. Called once per round,
+    /// after every cluster's checkpoint was captured.
+    pub fn clear_channels(&mut self) {
         for l in &mut self.sent_log {
             l.clear();
         }
         self.delivered.fill(0);
     }
 
-    /// Rebuild `victim` from its last checkpoint and replay its input log.
-    /// Replayed sends are suppressed: the original messages are already on
-    /// the wire or delivered, and re-emitting them would duplicate
-    /// `(src, seq)` identities. Returns the process (in its exact pre-crash
-    /// state) and the number of operations replayed.
-    pub fn restore<'nl, 'p>(
-        &self,
-        victim: usize,
-        nl: &'nl Netlist,
-        plan: &'p ClusterPlan,
-        stim: &VectorStimulus,
-        cycles: u64,
-        state_saving: StateSaving,
-    ) -> (ClusterProcess<'nl, 'p>, u64) {
-        let mut p = ClusterProcess::from_checkpoint(
-            nl,
-            plan,
-            stim.clone(),
-            cycles,
-            state_saving,
-            &self.checkpoints[victim],
-        );
-        let mut suppress = |_m: TwMessage| {};
-        for op in &self.input_log[victim] {
-            match *op {
-                ReplayOp::Step { limit } => {
-                    p.process_next_epoch(limit, &mut suppress);
-                }
-                ReplayOp::Deliver(m) => p.handle_message(m, &mut suppress),
-            }
-        }
-        (p, self.input_log[victim].len() as u64)
+    /// The victim's last coordinated checkpoint.
+    pub fn checkpoint(&self, victim: usize) -> &Checkpoint {
+        &self.checkpoints[victim]
+    }
+
+    /// The victim's input log since that checkpoint — the replay sequence.
+    pub fn ops(&self, victim: usize) -> &[ReplayOp] {
+        &self.input_log[victim]
     }
 
     /// The undelivered suffix of the `src → dst` channel: what was in

@@ -1,0 +1,2268 @@
+//! Pluggable worker transports for the Time Warp kernel.
+//!
+//! The deterministic executor ([`super::dst`]) drives one worker per
+//! cluster through a small command vocabulary — step, deliver, fossil,
+//! checkpoint, restore, finish. `ClusterWorker` abstracts *where* that
+//! worker lives:
+//!
+//! * `InProcWorker` — the worker is a `ClusterProcess` owned by the
+//!   supervisor itself, commands are direct method calls. This is the
+//!   deterministic executor of [`Transport::InProc`], unchanged in
+//!   behaviour from its pre-transport form.
+//! * `ProcessWorker` — the worker is a separate OS process (the
+//!   `tw_worker` binary) on a Unix-domain socket, commands are
+//!   length-prefixed JSON frames. A `SIGKILL`'d worker surfaces as a
+//!   socket EOF, which the supervisor treats exactly like an injected
+//!   crash fault: restore from the last GVT-coordinated checkpoint, replay
+//!   the input log, re-fill the lost channels (see [`super::recovery`]).
+//!
+//! The supervisor loop (`run_supervisor`) is transport-generic and
+//! *identical* for both, which is what makes the canonical run artifact of
+//! a process-transport run — crashed and recovered or not — byte-identical
+//! to the same-seed in-proc run: both transports execute the same decision
+//! sequence against the same deterministic cluster state machines.
+//!
+//! # Wire protocol
+//!
+//! Frames are `u32` little-endian length prefixes followed by that many
+//! bytes of compact JSON, capped at [`MAX_FRAME`]. The supervisor connects
+//! the conversation with a `hello` carrying [`WIRE_VERSION`] and
+//! [`CHECKPOINT_SCHEMA`]; the worker answers with its own `hello` and both
+//! sides reject a mismatch ([`TimeWarpError::VersionMismatch`]) — the
+//! checkpoint serialization *is* the restore payload, so mixed-version
+//! pairs must never exchange state. An `init` frame ships the reduced
+//! netlist (gate structure only — names, hierarchy and declared delays do
+//! not affect simulation), the partition assignment and the stimulus
+//! parameters; the worker rebuilds its [`ClusterPlan`] locally, which is
+//! deterministic, so both sides agree on every cut channel. Each command
+//! frame is written with a single buffered syscall per quantum and the
+//! response is read back under a timeout ([`TimeWarpError::WorkerTimeout`]
+//! when it elapses — a hung worker is *not* crash-stop, so it is fatal
+//! rather than recovered). Worker-side panics are caught and shipped back
+//! as a typed `panic` frame ([`TimeWarpError::WorkerPanic`]) instead of an
+//! opaque exit code.
+
+use super::checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+use super::dst::{DstAction, DstView, Schedule, SchedulePolicy};
+use super::error::TimeWarpError;
+use super::gvt::GvtState;
+use super::proc::ClusterProcess;
+use super::recovery::{degrade_sequential, replay_ops, RecoveryLog, RecoveryOutcome, ReplayOp};
+use super::{merge_results, StateSaving, TimeWarpConfig, TwMessage, TwRunResult};
+use crate::artifact::{logic_str, logic_vec};
+use crate::cluster::ClusterPlan;
+use crate::logic::Logic;
+use crate::stats::SimStats;
+use crate::stimulus::VectorStimulus;
+use crate::wheel::VTime;
+use dvs_json::{uint_array, uint_vec, FromJson, Json, ObjBuilder, ToJson};
+use dvs_verilog::netlist::{Gate, GateId, GateKind, InstId, Net, NetId, Netlist};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Where the Time Warp workers execute. Selecting a transport also selects
+/// the execution discipline: `Threads` is free-running (wall-clock fast,
+/// counters timing-dependent), the other two are deterministically
+/// scheduled by `(seed, schedule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Transport {
+    /// One free-running OS thread per cluster, exchanging messages over
+    /// channels. Fastest wall-clock; counters depend on thread timing.
+    #[default]
+    Threads,
+    /// Single-threaded virtual scheduler stepping cluster state machines
+    /// owned by the supervisor itself. `(seed, schedule)` fully determines
+    /// the execution, making every counter exact and reproducible —
+    /// including under adversarial schedules.
+    InProc {
+        /// Seed for the schedule policy.
+        seed: u64,
+        /// The scheduling policy driving the executor.
+        schedule: SchedulePolicy,
+    },
+    /// The same deterministic scheduler, but each cluster is a separate OS
+    /// process (the `tw_worker` binary) driven over a Unix-domain socket.
+    /// Crash faults are real `SIGKILL`s; recovery is checkpoint-restore
+    /// plus input-log replay, and the canonical artifact stays
+    /// byte-identical to the same-seed [`Transport::InProc`] run.
+    Process {
+        /// Seed for the schedule policy.
+        seed: u64,
+        /// The scheduling policy driving the executor.
+        schedule: SchedulePolicy,
+        /// Explicit path to the worker binary. `None` falls back to the
+        /// `DVS_TW_WORKER` environment variable, then to a `tw_worker`
+        /// next to (or one directory above) the current executable.
+        worker: Option<PathBuf>,
+    },
+}
+
+impl Transport {
+    /// Deterministic in-process execution under `schedule` seeded with
+    /// `seed`.
+    pub fn in_proc(seed: u64, schedule: SchedulePolicy) -> Self {
+        Transport::InProc { seed, schedule }
+    }
+
+    /// Deterministic process-per-cluster execution, discovering the worker
+    /// binary from the environment.
+    pub fn process(seed: u64, schedule: SchedulePolicy) -> Self {
+        Transport::Process {
+            seed,
+            schedule,
+            worker: None,
+        }
+    }
+
+    /// Deterministic process-per-cluster execution with an explicit worker
+    /// binary.
+    pub fn process_with_worker(
+        seed: u64,
+        schedule: SchedulePolicy,
+        worker: impl Into<PathBuf>,
+    ) -> Self {
+        Transport::Process {
+            seed,
+            schedule,
+            worker: Some(worker.into()),
+        }
+    }
+
+    /// Stable name for logs and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transport::Threads => "threads",
+            Transport::InProc { .. } => "in_proc",
+            Transport::Process { .. } => "process",
+        }
+    }
+}
+
+/// Why a worker command failed, as seen by the transport. Only `Lost` is
+/// recoverable (crash-stop: the worker is gone and its state with it);
+/// everything else is mapped to a typed [`TimeWarpError`] by [`fatal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WorkerFailure {
+    /// The worker vanished: socket EOF, broken pipe, or a dead process.
+    Lost { detail: String },
+    /// No response arrived within the read timeout.
+    Timeout { after_ms: u64 },
+    /// The worker caught a panic and reported it before exiting.
+    Panic { message: String },
+    /// The conversation itself broke: malformed frame, unexpected kind,
+    /// spawn failure.
+    Protocol { detail: String },
+    /// Version negotiation failed; `theirs` is `(wire, checkpoint_schema)`.
+    Version { theirs: (u32, u32) },
+}
+
+/// Map a non-recoverable worker failure to the public error type.
+fn fatal(cluster: u32, f: WorkerFailure) -> TimeWarpError {
+    match f {
+        WorkerFailure::Lost { detail } => TimeWarpError::Transport { cluster, detail },
+        WorkerFailure::Timeout { after_ms } => TimeWarpError::WorkerTimeout { cluster, after_ms },
+        WorkerFailure::Panic { message } => TimeWarpError::WorkerPanic { cluster, message },
+        WorkerFailure::Protocol { detail } => TimeWarpError::Transport { cluster, detail },
+        WorkerFailure::Version { theirs } => TimeWarpError::VersionMismatch {
+            cluster,
+            ours: (WIRE_VERSION, CHECKPOINT_SCHEMA),
+            theirs,
+        },
+    }
+}
+
+/// One Time Warp cluster as seen by the transport-generic supervisor.
+/// Implementations must be deterministic state machines: the same command
+/// sequence produces the same responses, counters included — that is the
+/// contract the recovery replay and the cross-transport byte-identity
+/// guarantee both rest on.
+pub(crate) trait ClusterWorker {
+    /// Current local virtual time (used once, at startup; afterwards the
+    /// supervisor caches the LVT returned by each step/deliver).
+    fn lvt(&mut self) -> Result<VTime, WorkerFailure>;
+    /// Process the next pending epoch within `limit`; emitted messages are
+    /// appended to `sends`. Returns the new LVT.
+    fn step(&mut self, limit: VTime, sends: &mut Vec<TwMessage>) -> Result<VTime, WorkerFailure>;
+    /// Deliver one message; emitted messages (e.g. rollback anti-messages)
+    /// are appended to `sends`. Returns the new LVT.
+    fn deliver(&mut self, m: TwMessage, sends: &mut Vec<TwMessage>)
+        -> Result<VTime, WorkerFailure>;
+    /// Fossil-collect history strictly below `gvt`.
+    fn fossil(&mut self, gvt: VTime) -> Result<(), WorkerFailure>;
+    /// Capture a checkpoint image at `gvt`.
+    fn checkpoint(&mut self, gvt: VTime) -> Result<Checkpoint, WorkerFailure>;
+    /// Rebuild the worker from `ck` and replay `ops` (re-sends
+    /// suppressed). Returns the restored LVT.
+    fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure>;
+    /// Assert the quiescence invariants (check mode only): idle LVT, no
+    /// orphan tombstones, no pending events.
+    fn check_quiescence(&mut self) -> Result<(), WorkerFailure>;
+    /// Tear down and return the final `(stats, net values)`.
+    fn finish(&mut self) -> Result<(SimStats, Vec<Logic>), WorkerFailure>;
+    /// Crash-fault injection: make this worker die right now, the same way
+    /// a genuine crash would (in-proc: discard the state machine; process:
+    /// `SIGKILL` the child and observe the socket EOF).
+    fn inject_crash(&mut self);
+    /// Unconditional teardown (degradation path / drop).
+    fn kill(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+/// A cluster worker living inside the supervisor: commands are direct
+/// method calls on a [`ClusterProcess`].
+pub(crate) struct InProcWorker<'nl, 'p> {
+    nl: &'nl Netlist,
+    plan: &'p ClusterPlan,
+    stim: VectorStimulus,
+    cycles: u64,
+    state_saving: StateSaving,
+    check: bool,
+    label: String,
+    me: u32,
+    proc: Option<ClusterProcess<'nl, 'p>>,
+}
+
+impl<'nl, 'p> InProcWorker<'nl, 'p> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        nl: &'nl Netlist,
+        plan: &'p ClusterPlan,
+        stim: VectorStimulus,
+        cycles: u64,
+        state_saving: StateSaving,
+        check: bool,
+        label: &str,
+        me: u32,
+    ) -> Self {
+        let proc = ClusterProcess::new(nl, plan, me, stim.clone(), cycles, state_saving);
+        InProcWorker {
+            nl,
+            plan,
+            stim,
+            cycles,
+            state_saving,
+            check,
+            label: label.to_string(),
+            me,
+            proc: Some(proc),
+        }
+    }
+}
+
+impl ClusterWorker for InProcWorker<'_, '_> {
+    fn lvt(&mut self) -> Result<VTime, WorkerFailure> {
+        Ok(self.proc.as_mut().expect("in-proc worker is alive").lvt())
+    }
+
+    fn step(&mut self, limit: VTime, sends: &mut Vec<TwMessage>) -> Result<VTime, WorkerFailure> {
+        let p = self.proc.as_mut().expect("in-proc worker is alive");
+        p.process_next_epoch(limit, &mut |m: TwMessage| sends.push(m));
+        Ok(p.lvt())
+    }
+
+    fn deliver(
+        &mut self,
+        m: TwMessage,
+        sends: &mut Vec<TwMessage>,
+    ) -> Result<VTime, WorkerFailure> {
+        let p = self.proc.as_mut().expect("in-proc worker is alive");
+        p.handle_message(m, &mut |m: TwMessage| sends.push(m));
+        Ok(p.lvt())
+    }
+
+    fn fossil(&mut self, gvt: VTime) -> Result<(), WorkerFailure> {
+        let p = self.proc.as_mut().expect("in-proc worker is alive");
+        let before = self.check.then(|| p.history_at_or_after(gvt));
+        p.fossil_collect(gvt);
+        if let Some(before) = before {
+            let after = p.history_at_or_after(gvt);
+            assert_eq!(
+                before, after,
+                "fossil collection on cluster {} reclaimed history at or above GVT {gvt} ({})",
+                self.me, self.label
+            );
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, gvt: VTime) -> Result<Checkpoint, WorkerFailure> {
+        Ok(self
+            .proc
+            .as_ref()
+            .expect("in-proc worker is alive")
+            .checkpoint(gvt))
+    }
+
+    fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure> {
+        let mut p = ClusterProcess::from_checkpoint(
+            self.nl,
+            self.plan,
+            self.stim.clone(),
+            self.cycles,
+            self.state_saving,
+            ck,
+        );
+        replay_ops(&mut p, ops);
+        let lvt = p.lvt();
+        self.proc = Some(p);
+        Ok(lvt)
+    }
+
+    fn check_quiescence(&mut self) -> Result<(), WorkerFailure> {
+        let p = self.proc.as_mut().expect("in-proc worker is alive");
+        quiescence_asserts(p, self.me, &self.label);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(SimStats, Vec<Logic>), WorkerFailure> {
+        let mut p = self.proc.take().expect("in-proc worker is alive");
+        Ok((p.take_stats(), p.into_values()))
+    }
+
+    fn inject_crash(&mut self) {
+        // Crash-stop: the in-memory state machine is simply gone.
+        self.proc = None;
+    }
+
+    fn kill(&mut self) {
+        self.proc = None;
+    }
+}
+
+/// The quiescence invariants shared by both transports (the process worker
+/// runs them on its own side, where the state lives).
+fn quiescence_asserts(p: &mut ClusterProcess<'_, '_>, me: u32, label: &str) {
+    assert_eq!(
+        p.lvt(),
+        VTime::MAX,
+        "cluster {me} still has pending work at quiescence ({label})"
+    );
+    assert_eq!(
+        p.orphan_tombstones(),
+        0,
+        "annihilation left orphan tombstones on cluster {me} at quiescence ({label})"
+    );
+    assert_eq!(
+        p.pending_len(),
+        0,
+        "cluster {me} still has queued events at quiescence ({label})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Transport-generic supervisor
+// ---------------------------------------------------------------------------
+
+/// Run the deterministic executor over an arbitrary set of workers. This is
+/// the loop formerly private to the DST module, now generic over
+/// [`ClusterWorker`]; `track` arms the recovery log (always on for the
+/// process transport — real workers can die at any time — and on for
+/// in-proc only when a crash fault is configured, so undisturbed in-proc
+/// runs pay nothing).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_supervisor<W: ClusterWorker>(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+    schedule: &mut dyn Schedule,
+    check: bool,
+    label: &str,
+    workers: &mut [W],
+    track: bool,
+) -> Result<TwRunResult, TimeWarpError> {
+    let k = plan.k;
+    assert_eq!(workers.len(), k, "one worker per cluster");
+    let mut lvts = vec![0 as VTime; k];
+    for (i, l) in lvts.iter_mut().enumerate() {
+        *l = workers[i].lvt().map_err(|f| fatal(i as u32, f))?;
+    }
+    // The initial coordinated "checkpoint" is the fresh state at GVT 0. A
+    // worker death this early has nothing to restore from, so it is fatal
+    // rather than recovered.
+    let log = if track {
+        let mut cks = Vec::with_capacity(k);
+        for (i, w) in workers.iter_mut().enumerate() {
+            cks.push(w.checkpoint(0).map_err(|f| fatal(i as u32, f))?);
+        }
+        Some(RecoveryLog::from_checkpoints(cks))
+    } else {
+        None
+    };
+    let mut sup = Supervisor {
+        nl,
+        stim,
+        cycles,
+        cfg,
+        check,
+        label,
+        workers,
+        k,
+        shared: GvtState::new(k),
+        queues: vec![VecDeque::new(); k * k],
+        lvts,
+        log,
+        outcome: RecoveryOutcome::default(),
+    };
+    let result = sup.run(schedule);
+    match result {
+        SupRun::Finished(per_cluster) => {
+            let mut result = merge_results(
+                nl,
+                plan,
+                per_cluster,
+                sup.shared.gvt_rounds.load(Ordering::SeqCst),
+            );
+            result.recovery = sup.outcome;
+            Ok(result)
+        }
+        SupRun::Degraded(r) => Ok(r),
+        SupRun::Failed(e) => Err(e),
+    }
+}
+
+/// How a supervised run ended.
+enum SupRun {
+    /// Clean completion: per-cluster `(stats, values)` ready to merge.
+    Finished(Vec<(SimStats, Vec<Logic>)>),
+    /// Restart budget exhausted; the sequential fallback already ran.
+    Degraded(TwRunResult),
+    Failed(TimeWarpError),
+}
+
+/// Outcome of one supervised worker command (possibly after recoveries).
+enum OpOutcome {
+    Done,
+    Degraded(TwRunResult),
+    Failed(TimeWarpError),
+}
+
+struct Supervisor<'a, W: ClusterWorker> {
+    nl: &'a Netlist,
+    stim: &'a VectorStimulus,
+    cycles: u64,
+    cfg: &'a TimeWarpConfig,
+    check: bool,
+    label: &'a str,
+    workers: &'a mut [W],
+    k: usize,
+    shared: GvtState,
+    /// One FIFO queue per directed cluster pair, indexed `src * k + dst`.
+    /// FIFO within a queue is the per-channel ordering the annihilation
+    /// protocol relies on; the schedule only controls *which* queue head
+    /// is delivered next.
+    queues: Vec<VecDeque<TwMessage>>,
+    /// Cached per-cluster LVTs. `ClusterProcess::lvt` is idempotent
+    /// between operations, so caching the value returned by each
+    /// step/deliver is equivalent to re-querying every iteration — and
+    /// under the process transport it saves a full round-trip per cluster
+    /// per decision.
+    lvts: Vec<VTime>,
+    log: Option<RecoveryLog>,
+    outcome: RecoveryOutcome,
+}
+
+macro_rules! try_op {
+    ($e:expr) => {
+        match $e {
+            OpOutcome::Done => {}
+            OpOutcome::Degraded(r) => return SupRun::Degraded(r),
+            OpOutcome::Failed(e) => return SupRun::Failed(e),
+        }
+    };
+}
+
+impl<W: ClusterWorker> Supervisor<'_, W> {
+    fn run(&mut self, schedule: &mut dyn Schedule) -> SupRun {
+        let fault = self.cfg.fault;
+        let mut crashes_left = fault.crash_budget();
+        let gvt_cadence = (self.cfg.batch.max(1) * self.cfg.gvt_interval.max(1)) as u64;
+        let mut decision: u64 = 0;
+        let mut last_gvt: VTime = 0;
+        let mut idle: u64 = 0;
+        let mut steppable: Vec<u32> = Vec::with_capacity(self.k);
+        let mut deliverable: Vec<(u32, u32)> = Vec::with_capacity(self.k * self.k);
+        let mut sends: Vec<TwMessage> = Vec::new();
+
+        loop {
+            let gvt = self.shared.gvt.load(Ordering::SeqCst);
+            if gvt == VTime::MAX {
+                break; // global quiescence
+            }
+            if gvt > last_gvt {
+                last_gvt = gvt;
+                idle = 0;
+            }
+            let limit = gvt.saturating_add(self.cfg.window);
+
+            // Refresh the view: publish every LVT, list legal actions.
+            steppable.clear();
+            deliverable.clear();
+            for (i, &l) in self.lvts.iter().enumerate() {
+                self.shared.publish_lvt(i, l);
+                if l != VTime::MAX && l <= limit {
+                    steppable.push(i as u32);
+                }
+            }
+            for src in 0..self.k {
+                for dst in 0..self.k {
+                    if !self.queues[src * self.k + dst].is_empty() {
+                        deliverable.push((src as u32, dst as u32));
+                    }
+                }
+            }
+
+            if steppable.is_empty() && deliverable.is_empty() {
+                // Everyone is idle or throttled and nothing is in transit:
+                // the GVT sample is valid by construction and must advance
+                // (the minimum LVT exceeds the current GVT, or is MAX =
+                // done). If it does not, the protocol is wedged — no retry
+                // can fix that.
+                let Some(new_gvt) = self.shared.try_compute_gvt() else {
+                    return SupRun::Failed(TimeWarpError::Stalled { gvt, idle });
+                };
+                try_op!(self.gvt_round(new_gvt, true));
+                continue;
+            }
+
+            // Crash injection: the armed fault fires when the executor
+            // reaches decision index `crash_at.1`, before the schedule is
+            // consulted — so the decision sequence after recovery is
+            // identical to the no-crash run's, which is what makes
+            // artifacts byte-identical.
+            if crashes_left > 0 {
+                if let Some((victim, at)) = fault.crash_at {
+                    let v = victim as usize;
+                    if decision == at && v < self.k {
+                        crashes_left -= 1;
+                        self.workers[v].inject_crash();
+                        try_op!(self.recover(v));
+                        continue;
+                    }
+                }
+            }
+
+            let action = {
+                let view = DstView {
+                    gvt,
+                    lvts: &self.lvts,
+                    steppable: &steppable,
+                    deliverable: &deliverable,
+                    decision,
+                };
+                let action = schedule.next(&view);
+                assert!(
+                    view.is_legal(action),
+                    "schedule returned illegal action {action:?} at decision {decision} ({})",
+                    self.label
+                );
+                action
+            };
+            decision += 1;
+            idle += 1;
+            if self.cfg.stall_limit > 0 && idle >= self.cfg.stall_limit {
+                // Livelock watchdog: work keeps happening but GVT never
+                // advances, so nothing will ever commit or terminate.
+                return SupRun::Failed(TimeWarpError::Stalled { gvt, idle });
+            }
+
+            match action {
+                DstAction::Step(c) => {
+                    try_op!(self.do_step(c as usize, gvt, limit, &mut sends));
+                }
+                DstAction::Deliver { src, dst } => {
+                    try_op!(self.do_deliver(src as usize, dst as usize, gvt, &mut sends));
+                }
+            }
+
+            // Periodic GVT, mirroring the threaded workers' cadence of one
+            // attempt per `gvt_interval` quanta of `batch` epochs.
+            if decision.is_multiple_of(gvt_cadence) {
+                if let Some(new_gvt) = self.shared.try_compute_gvt() {
+                    try_op!(self.gvt_round(new_gvt, false));
+                }
+            }
+        }
+
+        // Quiescent: collect final state. A worker lost here is recovered
+        // like any other (its log includes the final fossil collection).
+        let mut per_cluster: Vec<(SimStats, Vec<Logic>)> = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            loop {
+                match self.workers[i].finish() {
+                    Ok(sv) => {
+                        per_cluster.push(sv);
+                        break;
+                    }
+                    Err(WorkerFailure::Lost { .. }) => match self.recover(i) {
+                        OpOutcome::Done => {}
+                        OpOutcome::Degraded(r) => return SupRun::Degraded(r),
+                        OpOutcome::Failed(e) => return SupRun::Failed(e),
+                    },
+                    Err(f) => return SupRun::Failed(fatal(i as u32, f)),
+                }
+            }
+        }
+        SupRun::Finished(per_cluster)
+    }
+
+    /// Execute a `Step(c)` decision, recovering `c` as often as needed.
+    fn do_step(
+        &mut self,
+        c: usize,
+        gvt: VTime,
+        limit: VTime,
+        sends: &mut Vec<TwMessage>,
+    ) -> OpOutcome {
+        if self.check {
+            assert!(
+                self.lvts[c] >= gvt,
+                "cluster {c} would step an epoch at t={} below GVT {gvt} ({})",
+                self.lvts[c],
+                self.label
+            );
+        }
+        loop {
+            sends.clear();
+            match self.workers[c].step(limit, sends) {
+                Ok(lvt) => {
+                    // Record only after success: a worker that died
+                    // mid-step never applied the op, so replay must not
+                    // include it — the supervisor simply re-issues it.
+                    if let Some(log) = self.log.as_mut() {
+                        log.record_step(c, limit);
+                    }
+                    self.commit_sends(sends);
+                    self.lvts[c] = lvt;
+                    self.shared.publish_lvt(c, lvt);
+                    return OpOutcome::Done;
+                }
+                Err(WorkerFailure::Lost { .. }) => match self.recover(c) {
+                    OpOutcome::Done => {}
+                    other => return other,
+                },
+                Err(f) => return OpOutcome::Failed(fatal(c as u32, f)),
+            }
+        }
+    }
+
+    /// Execute a `Deliver { src, dst }` decision, recovering `dst` as often
+    /// as needed.
+    fn do_deliver(
+        &mut self,
+        src: usize,
+        dst: usize,
+        gvt: VTime,
+        sends: &mut Vec<TwMessage>,
+    ) -> OpOutcome {
+        let ch = src * self.k + dst;
+        // Peek, don't pop: if the worker dies mid-delivery the message is
+        // still in flight — it counts toward the victim's lost channel
+        // state and is re-delivered to the respawned incarnation (recovery
+        // re-fills the queue with it at the head, FIFO preserved).
+        let msg = *self.queues[ch]
+            .front()
+            .expect("deliverable channel is non-empty");
+        if self.check {
+            assert!(
+                msg.ev.time >= gvt,
+                "message {src}->{dst} at t={} delivered below GVT {gvt} ({})",
+                msg.ev.time,
+                self.label
+            );
+        }
+        loop {
+            sends.clear();
+            match self.workers[dst].deliver(msg, sends) {
+                Ok(lvt) => {
+                    self.queues[ch].pop_front();
+                    if let Some(log) = self.log.as_mut() {
+                        log.record_deliver(msg);
+                    }
+                    self.commit_sends(sends);
+                    self.lvts[dst] = lvt;
+                    // Same ordering discipline as the threaded kernel: the
+                    // in-transit counter drops only after the receiver's
+                    // LVT reflects the insertion, keeping GVT samples
+                    // sound.
+                    self.shared.publish_lvt(dst, lvt);
+                    self.shared.in_transit.fetch_sub(1, Ordering::SeqCst);
+                    return OpOutcome::Done;
+                }
+                Err(WorkerFailure::Lost { .. }) => match self.recover(dst) {
+                    OpOutcome::Done => {}
+                    other => return other,
+                },
+                Err(f) => return OpOutcome::Failed(fatal(dst as u32, f)),
+            }
+        }
+    }
+
+    /// Enqueue messages a worker emitted during a successful op and retain
+    /// them in the sender-side log.
+    fn commit_sends(&mut self, sends: &[TwMessage]) {
+        for &m in sends {
+            if self.check {
+                let g = self.shared.gvt.load(Ordering::SeqCst);
+                assert!(
+                    m.ev.time >= g,
+                    "message {}->{} at t={} sent below GVT {g} ({})",
+                    m.src,
+                    m.dst,
+                    m.ev.time,
+                    self.label
+                );
+            }
+            self.shared.in_transit.fetch_add(1, Ordering::SeqCst);
+            self.shared.send_epoch.fetch_add(1, Ordering::SeqCst);
+            self.queues[m.src as usize * self.k + m.dst as usize].push_back(m);
+            if let Some(log) = self.log.as_mut() {
+                log.record_send(m);
+            }
+        }
+    }
+
+    /// One GVT round: fossil-collect everyone, then — unless the run just
+    /// quiesced — capture the next coordinated checkpoint cut. `quiesce`
+    /// marks the no-action path, the only place quiescence checks run.
+    fn gvt_round(&mut self, new_gvt: VTime, quiesce: bool) -> OpOutcome {
+        for i in 0..self.k {
+            loop {
+                match self.workers[i].fossil(new_gvt) {
+                    Ok(()) => {
+                        // Recorded even at GVT = MAX: a worker dying
+                        // between this fossil and its finish must replay
+                        // it or its fossil counter would diverge.
+                        if let Some(log) = self.log.as_mut() {
+                            log.record_fossil(i, new_gvt);
+                        }
+                        break;
+                    }
+                    Err(WorkerFailure::Lost { .. }) => match self.recover(i) {
+                        OpOutcome::Done => {}
+                        other => return other,
+                    },
+                    Err(f) => return OpOutcome::Failed(fatal(i as u32, f)),
+                }
+            }
+        }
+        if new_gvt != VTime::MAX {
+            if self.log.is_some() {
+                for i in 0..self.k {
+                    loop {
+                        match self.workers[i].checkpoint(new_gvt) {
+                            Ok(ck) => {
+                                if let Some(log) = self.log.as_mut() {
+                                    log.set_checkpoint(i, ck);
+                                }
+                                break;
+                            }
+                            Err(WorkerFailure::Lost { .. }) => match self.recover(i) {
+                                OpOutcome::Done => {}
+                                other => return other,
+                            },
+                            Err(f) => return OpOutcome::Failed(fatal(i as u32, f)),
+                        }
+                    }
+                }
+                if let Some(log) = self.log.as_mut() {
+                    log.clear_channels();
+                }
+            }
+        } else if quiesce && self.check {
+            for i in 0..self.k {
+                loop {
+                    match self.workers[i].check_quiescence() {
+                        Ok(()) => break,
+                        Err(WorkerFailure::Lost { .. }) => match self.recover(i) {
+                            OpOutcome::Done => {}
+                            other => return other,
+                        },
+                        Err(f) => return OpOutcome::Failed(fatal(i as u32, f)),
+                    }
+                }
+            }
+        }
+        OpOutcome::Done
+    }
+
+    /// Crash-stop recovery of cluster `v`: drop its incoming channels,
+    /// respawn from the last coordinated checkpoint, replay the input log,
+    /// re-fill the channels from sender-side retention. Counts every death
+    /// (including deaths during respawn itself) against the restart budget
+    /// and degrades to the sequential simulator when it runs out.
+    fn recover(&mut self, v: usize) -> OpOutcome {
+        // Crash-stop: the victim loses its in-memory state and its
+        // incoming channels (in-flight messages toward it die with it).
+        // Captured once — respawn retries compare against the originally
+        // lost set.
+        let mut dropped: Vec<Vec<TwMessage>> = Vec::with_capacity(self.k);
+        let mut dropped_total = 0i64;
+        for src in 0..self.k {
+            let q = &mut self.queues[src * self.k + v];
+            dropped_total += q.len() as i64;
+            dropped.push(q.drain(..).collect());
+        }
+        if dropped_total > 0 {
+            self.shared
+                .in_transit
+                .fetch_sub(dropped_total, Ordering::SeqCst);
+        }
+        let log = self
+            .log
+            .take()
+            .expect("recovery requires an armed recovery log");
+        let out = self.recover_inner(v, &dropped, &log);
+        self.log = Some(log);
+        out
+    }
+
+    fn recover_inner(
+        &mut self,
+        v: usize,
+        dropped: &[Vec<TwMessage>],
+        log: &RecoveryLog,
+    ) -> OpOutcome {
+        loop {
+            self.outcome.crashes += 1;
+            self.outcome.victims.push(v as u32);
+            if self.outcome.restarts >= self.cfg.fault.max_restarts {
+                // Restart budget exhausted: graceful degradation.
+                for w in self.workers.iter_mut() {
+                    w.kill();
+                }
+                let mut r = degrade_sequential(self.nl, self.stim, self.cycles);
+                r.recovery.crashes = self.outcome.crashes;
+                r.recovery.restarts = self.outcome.restarts;
+                r.recovery.replayed_ops = self.outcome.replayed_ops;
+                r.recovery.victims = self.outcome.victims.clone();
+                return OpOutcome::Degraded(r);
+            }
+            self.outcome.restarts += 1;
+            match self.workers[v].respawn(log.checkpoint(v), log.ops(v)) {
+                Ok(lvt) => {
+                    self.outcome.replayed_ops += log.ops(v).len() as u64;
+                    self.lvts[v] = lvt;
+                    self.shared.publish_lvt(v, lvt);
+                    // The lost channels are re-filled from each
+                    // neighbour's retained output history (the
+                    // undelivered suffix since the last GVT round).
+                    let mut refilled = 0i64;
+                    for (src, lost) in dropped.iter().enumerate() {
+                        let und = log.undelivered(src, v);
+                        if self.check {
+                            assert_eq!(
+                                und,
+                                lost.as_slice(),
+                                "recovered channel {src}->{v} differs from the lost \
+                                 in-flight messages ({})",
+                                self.label
+                            );
+                        }
+                        refilled += und.len() as i64;
+                        self.queues[src * self.k + v].extend(und.iter().copied());
+                    }
+                    if refilled > 0 {
+                        self.shared.in_transit.fetch_add(refilled, Ordering::SeqCst);
+                    }
+                    return OpOutcome::Done;
+                }
+                // The replacement died during respawn (possible only with
+                // real processes): another crash against the budget.
+                Err(WorkerFailure::Lost { .. }) => continue,
+                Err(f) => return OpOutcome::Failed(fatal(v as u32, f)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: framing and frame vocabulary
+// ---------------------------------------------------------------------------
+
+/// Version of the framing and command vocabulary. Negotiated in the
+/// `hello` exchange together with [`CHECKPOINT_SCHEMA`] (the restore
+/// payload is a serialized [`Checkpoint`], so both must match).
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (64 MiB). A length prefix above this is
+/// a protocol error, not an allocation request.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one `u32`-LE length-prefixed frame. Header and payload are
+/// assembled into a single buffer first, so each frame costs one write
+/// syscall and a reader never observes a torn header from a live peer.
+fn write_frame<Wr: Write>(w: &mut Wr, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *at a frame boundary* (the
+/// peer closed deliberately); EOF inside a header or payload is an
+/// `UnexpectedEof` error — the signature of a killed worker.
+fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serialize and send one JSON frame.
+fn send_json<Wr: Write>(w: &mut Wr, j: &Json) -> io::Result<()> {
+    let text = j
+        .emit()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.msg))?;
+    write_frame(w, text.as_bytes())
+}
+
+fn parse_json(bytes: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    Json::parse(text).map_err(|e| format!("frame is not JSON: {}", e.msg))
+}
+
+fn json_kind(j: &Json) -> Result<&str, String> {
+    j.field("kind").and_then(Json::as_str).map_err(|e| e.msg)
+}
+
+/// Virtual times go on the wire as integers, with the idle sentinel
+/// `VTime::MAX` as `null` (it does not fit a JSON int).
+fn vtime_json(t: VTime) -> Json {
+    if t == VTime::MAX {
+        Json::Null
+    } else if let Ok(i) = i64::try_from(t) {
+        Json::Int(i)
+    } else {
+        // Virtual times beyond i64 don't occur in practice (they are
+        // bounded by cycles × period), but the codec must not silently
+        // saturate: fall back to a decimal string.
+        Json::Str(t.to_string())
+    }
+}
+
+fn vtime_from(v: &Json) -> Result<VTime, String> {
+    match v {
+        Json::Null => Ok(VTime::MAX),
+        Json::Str(s) => s
+            .parse::<VTime>()
+            .map_err(|e| format!("bad vtime string {s:?}: {e}")),
+        other => other.as_u64().map_err(|e| e.msg),
+    }
+}
+
+fn hello_json() -> Json {
+    ObjBuilder::new()
+        .str("kind", "hello")
+        .uint("wire", WIRE_VERSION as u64)
+        .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
+        .build()
+}
+
+/// Parse a `hello` and return the peer's `(wire, checkpoint_schema)`.
+fn hello_versions(j: &Json) -> Result<(u32, u32), String> {
+    if json_kind(j)? != "hello" {
+        return Err(format!("expected a hello frame, got {j:?}"));
+    }
+    let err = |e: dvs_json::JsonError| e.msg;
+    let wire = j.field("wire").and_then(Json::as_u64).map_err(err)? as u32;
+    let ckpt = j
+        .field("checkpoint_schema")
+        .and_then(Json::as_u64)
+        .map_err(err)? as u32;
+    Ok((wire, ckpt))
+}
+
+fn ready_json(lvt: VTime) -> Json {
+    ObjBuilder::new()
+        .str("kind", "ready")
+        .field("lvt", vtime_json(lvt))
+        .build()
+}
+
+fn ok_json() -> Json {
+    ObjBuilder::new().str("kind", "ok").build()
+}
+
+fn done_json(lvt: VTime, sends: &[TwMessage]) -> Json {
+    ObjBuilder::new()
+        .str("kind", "done")
+        .field("lvt", vtime_json(lvt))
+        .array("sends", sends.iter().map(ToJson::to_json).collect())
+        .build()
+}
+
+fn state_saving_json(s: StateSaving) -> Json {
+    match s {
+        StateSaving::IncrementalUndo => ObjBuilder::new().str("kind", "incremental").build(),
+        StateSaving::Checkpoint { interval } => ObjBuilder::new()
+            .str("kind", "checkpoint")
+            .uint("interval", interval as u64)
+            .build(),
+    }
+}
+
+fn state_saving_from_json(v: &Json) -> Result<StateSaving, String> {
+    match json_kind(v)? {
+        "incremental" => Ok(StateSaving::IncrementalUndo),
+        "checkpoint" => Ok(StateSaving::Checkpoint {
+            interval: v
+                .field("interval")
+                .and_then(Json::as_u64)
+                .map_err(|e| e.msg)? as u32,
+        }),
+        other => Err(format!("unknown state-saving kind {other:?}")),
+    }
+}
+
+fn replay_op_json(op: &ReplayOp) -> Json {
+    match *op {
+        ReplayOp::Step { limit } => ObjBuilder::new()
+            .str("op", "step")
+            .field("limit", vtime_json(limit))
+            .build(),
+        ReplayOp::Deliver(m) => ObjBuilder::new()
+            .str("op", "deliver")
+            .field("msg", m.to_json())
+            .build(),
+        ReplayOp::Fossil(gvt) => ObjBuilder::new()
+            .str("op", "fossil")
+            .field("gvt", vtime_json(gvt))
+            .build(),
+    }
+}
+
+fn replay_op_from_json(v: &Json) -> Result<ReplayOp, String> {
+    let err = |e: dvs_json::JsonError| e.msg;
+    match v.field("op").and_then(Json::as_str).map_err(err)? {
+        "step" => Ok(ReplayOp::Step {
+            limit: vtime_from(v.field("limit").map_err(err)?)?,
+        }),
+        "deliver" => Ok(ReplayOp::Deliver(
+            TwMessage::from_json(v.field("msg").map_err(err)?).map_err(err)?,
+        )),
+        "fossil" => Ok(ReplayOp::Fossil(vtime_from(v.field("gvt").map_err(err)?)?)),
+        other => Err(format!("unknown replay op {other:?}")),
+    }
+}
+
+/// Build the `init` frame: everything a worker needs to rebuild its
+/// cluster — the reduced netlist (gate structure only; names, hierarchy
+/// and declared delays do not affect the unit-delay simulation), the
+/// partition assignment, and the stimulus parameters. The worker reruns
+/// [`ClusterPlan::new`] locally, which is deterministic, so both sides
+/// derive identical cut channels.
+#[allow(clippy::too_many_arguments)]
+fn init_json(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    state_saving: StateSaving,
+    check: bool,
+    cluster: u32,
+    label: &str,
+) -> Json {
+    let opt_net = |n: Option<NetId>| match n {
+        Some(id) => Json::Int(id.0 as i64),
+        None => Json::Null,
+    };
+    let gates: Vec<Json> = nl
+        .gates
+        .iter()
+        .map(|g| {
+            let mut a = Vec::with_capacity(2 + g.inputs.len());
+            a.push(Json::Str(g.kind.name().to_string()));
+            a.push(Json::Int(g.output.0 as i64));
+            a.extend(g.inputs.iter().map(|n| Json::Int(n.0 as i64)));
+            Json::Array(a)
+        })
+        .collect();
+    ObjBuilder::new()
+        .str("kind", "init")
+        .uint("cluster", cluster as u64)
+        .uint("k", plan.k as u64)
+        .bool("check", check)
+        .str("label", label)
+        .uint("cycles", cycles)
+        .field("state_saving", state_saving_json(state_saving))
+        .uint("nets", nl.net_count() as u64)
+        .field("const0", opt_net(nl.const0_net))
+        .field("const1", opt_net(nl.const1_net))
+        .field(
+            "primary_inputs",
+            uint_array(
+                &nl.primary_inputs
+                    .iter()
+                    .map(|n| n.0 as u64)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .array("gates", gates)
+        .field(
+            "gate_block",
+            uint_array(
+                &plan
+                    .gate_block
+                    .iter()
+                    .map(|&b| b as u64)
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .field(
+            "stim",
+            ObjBuilder::new()
+                .field(
+                    "data_inputs",
+                    uint_array(
+                        &stim
+                            .data_inputs
+                            .iter()
+                            .map(|n| n.0 as u64)
+                            .collect::<Vec<_>>(),
+                    ),
+                )
+                .field("clock", opt_net(stim.clock))
+                .uint("period", stim.period)
+                .uint("seed", stim.seed)
+                .build(),
+        )
+        .build()
+}
+
+/// Everything a worker rebuilds from the `init` frame.
+struct WorkerInit {
+    netlist: Netlist,
+    gate_block: Vec<u32>,
+    k: usize,
+    cluster: u32,
+    check: bool,
+    cycles: u64,
+    state_saving: StateSaving,
+    stim: VectorStimulus,
+    label: String,
+}
+
+fn worker_init_from_json(v: &Json) -> Result<WorkerInit, String> {
+    let err = |e: dvs_json::JsonError| e.msg;
+    if json_kind(v)? != "init" {
+        return Err(format!(
+            "expected an init frame, got kind {:?}",
+            json_kind(v)
+        ));
+    }
+    let nets = v.field("nets").and_then(Json::as_usize).map_err(err)?;
+    let opt_net = |x: &Json| -> Result<Option<NetId>, String> {
+        match x {
+            Json::Null => Ok(None),
+            other => Ok(Some(NetId(other.as_u64().map_err(err)? as u32))),
+        }
+    };
+    let net_ids = |x: &Json| -> Result<Vec<NetId>, String> {
+        Ok(uint_vec(x)
+            .map_err(err)?
+            .into_iter()
+            .map(|n| NetId(n as u32))
+            .collect())
+    };
+    let mut netlist = Netlist {
+        nets: (0..nets)
+            .map(|_| Net {
+                name: String::new(),
+                driver: None,
+            })
+            .collect(),
+        ..Netlist::default()
+    };
+    netlist.const0_net = opt_net(v.field("const0").map_err(err)?)?;
+    netlist.const1_net = opt_net(v.field("const1").map_err(err)?)?;
+    netlist.primary_inputs = net_ids(v.field("primary_inputs").map_err(err)?)?;
+    for (i, g) in v
+        .field("gates")
+        .and_then(Json::as_array)
+        .map_err(err)?
+        .iter()
+        .enumerate()
+    {
+        let parts = g.as_array().map_err(err)?;
+        if parts.len() < 2 {
+            return Err(format!("gate {i}: expected [kind, output, inputs...]"));
+        }
+        let kind_name = parts[0].as_str().map_err(err)?;
+        let kind = GateKind::from_name(kind_name)
+            .ok_or_else(|| format!("gate {i}: unknown gate kind {kind_name:?}"))?;
+        let output = NetId(parts[1].as_u64().map_err(err)? as u32);
+        if output.idx() >= nets {
+            return Err(format!("gate {i}: output net {} out of range", output.0));
+        }
+        let inputs = parts[2..]
+            .iter()
+            .map(|p| p.as_u64().map(|n| NetId(n as u32)))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(err)?;
+        if inputs.iter().any(|n| n.idx() >= nets) {
+            return Err(format!("gate {i}: input net out of range"));
+        }
+        netlist.nets[output.idx()].driver = Some(GateId(netlist.gates.len() as u32));
+        netlist.gates.push(Gate {
+            kind,
+            output,
+            inputs,
+            owner: InstId(0),
+            delay: None,
+        });
+    }
+    let gate_block: Vec<u32> = uint_vec(v.field("gate_block").map_err(err)?)
+        .map_err(err)?
+        .into_iter()
+        .map(|b| b as u32)
+        .collect();
+    if gate_block.len() != netlist.gate_count() {
+        return Err("gate_block length does not match the gate count".to_string());
+    }
+    let k = v.field("k").and_then(Json::as_usize).map_err(err)?;
+    if k == 0 || gate_block.iter().any(|&b| (b as usize) >= k) {
+        return Err("gate_block assigns a gate to an out-of-range cluster".to_string());
+    }
+    let cluster = v.field("cluster").and_then(Json::as_u64).map_err(err)? as u32;
+    if cluster as usize >= k {
+        return Err(format!("cluster {cluster} out of range for k={k}"));
+    }
+    let s = v.field("stim").map_err(err)?;
+    let stim = VectorStimulus {
+        data_inputs: net_ids(s.field("data_inputs").map_err(err)?)?,
+        clock: opt_net(s.field("clock").map_err(err)?)?,
+        period: s.field("period").and_then(Json::as_u64).map_err(err)?,
+        seed: s.field("seed").and_then(Json::as_u64).map_err(err)?,
+    };
+    Ok(WorkerInit {
+        netlist,
+        gate_block,
+        k,
+        cluster,
+        check: v.field("check").and_then(Json::as_bool).map_err(err)?,
+        cycles: v.field("cycles").and_then(Json::as_u64).map_err(err)?,
+        state_saving: state_saving_from_json(v.field("state_saving").map_err(err)?)?,
+        stim,
+        label: v
+            .field("label")
+            .and_then(Json::as_str)
+            .map_err(err)?
+            .to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Process transport: supervisor side
+// ---------------------------------------------------------------------------
+
+/// How long the supervisor waits for a freshly spawned worker to connect.
+const SPAWN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default per-response read timeout (overridable via `DVS_TW_TIMEOUT_MS`).
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(30_000);
+
+fn read_timeout() -> Duration {
+    std::env::var("DVS_TW_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_READ_TIMEOUT)
+}
+
+/// Locate the worker binary: explicit path, then `DVS_TW_WORKER`, then a
+/// `tw_worker` sibling of the current executable (or of its parent
+/// directory — test binaries live one level below the build root).
+fn resolve_worker(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    if let Some(p) = explicit {
+        return if p.is_file() {
+            Ok(p.to_path_buf())
+        } else {
+            Err(format!("worker binary {} does not exist", p.display()))
+        };
+    }
+    if let Ok(env) = std::env::var("DVS_TW_WORKER") {
+        let p = PathBuf::from(env);
+        return if p.is_file() {
+            Ok(p)
+        } else {
+            Err(format!(
+                "DVS_TW_WORKER points at {}, which does not exist",
+                p.display()
+            ))
+        };
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(dir) = exe.parent() {
+            for d in [Some(dir), dir.parent()].into_iter().flatten() {
+                let cand = d.join("tw_worker");
+                if cand.is_file() {
+                    return Ok(cand);
+                }
+            }
+        }
+    }
+    Err(
+        "no tw_worker binary found: pass Transport::Process { worker }, set DVS_TW_WORKER, \
+         or place tw_worker next to the current executable"
+            .to_string(),
+    )
+}
+
+static SOCKET_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn next_socket_path(cluster: u32) -> PathBuf {
+    let serial = SOCKET_SERIAL.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "dvs-tw-{}-{cluster}-{serial}.sock",
+        std::process::id()
+    ))
+}
+
+/// A cluster worker living in a separate OS process, driven over a
+/// Unix-domain socket. The supervisor owns the listening socket and the
+/// child's lifetime; a dead child surfaces as [`WorkerFailure::Lost`] on
+/// the next exchange, which is precisely the crash-stop signal the
+/// recovery supervisor consumes.
+pub(crate) struct ProcessWorker {
+    cluster: u32,
+    bin: PathBuf,
+    init: Json,
+    timeout: Duration,
+    socket_path: Option<PathBuf>,
+    child: Option<Child>,
+    reader: Option<io::BufReader<UnixStream>>,
+    writer: Option<UnixStream>,
+    last_lvt: VTime,
+}
+
+impl ProcessWorker {
+    pub fn new(cluster: u32, bin: PathBuf, init: Json, timeout: Duration) -> Self {
+        ProcessWorker {
+            cluster,
+            bin,
+            init,
+            timeout,
+            socket_path: None,
+            child: None,
+            reader: None,
+            writer: None,
+            last_lvt: 0,
+        }
+    }
+
+    /// Spawn (or respawn) the child, negotiate versions, and initialize it.
+    /// On success `last_lvt` holds the worker's fresh LVT.
+    fn spawn(&mut self) -> Result<(), WorkerFailure> {
+        self.kill_child();
+        let path = next_socket_path(self.cluster);
+        let _ = std::fs::remove_file(&path);
+        let proto = |detail: String| WorkerFailure::Protocol { detail };
+        let listener = UnixListener::bind(&path)
+            .map_err(|e| proto(format!("bind {}: {e}", path.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| proto(format!("listener nonblocking: {e}")))?;
+        let child = Command::new(&self.bin)
+            .arg("--socket")
+            .arg(&path)
+            .spawn()
+            .map_err(|e| proto(format!("spawn {}: {e}", self.bin.display())))?;
+        self.child = Some(child);
+        self.socket_path = Some(path);
+        let deadline = Instant::now() + SPAWN_TIMEOUT;
+        let stream = loop {
+            match listener.accept() {
+                Ok((s, _)) => break s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Some(status) = self
+                        .child
+                        .as_mut()
+                        .and_then(|c| c.try_wait().ok().flatten())
+                    {
+                        return Err(WorkerFailure::Lost {
+                            detail: format!("worker exited during startup: {status}"),
+                        });
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(WorkerFailure::Timeout {
+                            after_ms: SPAWN_TIMEOUT.as_millis() as u64,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(proto(format!("accept: {e}"))),
+            }
+        };
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| proto(format!("stream blocking: {e}")))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| proto(format!("read timeout: {e}")))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| proto(format!("clone stream: {e}")))?;
+        self.reader = Some(io::BufReader::new(stream));
+        self.writer = Some(writer);
+
+        // Version negotiation: the supervisor speaks first; the worker
+        // always answers with its own versions so a mismatch is
+        // diagnosable on both sides.
+        self.send(&hello_json())?;
+        let reply = self.read_response()?;
+        let theirs = hello_versions(&reply).map_err(|detail| WorkerFailure::Protocol { detail })?;
+        if theirs != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
+            return Err(WorkerFailure::Version { theirs });
+        }
+        let init = self.init.clone();
+        let ready = self.call(&init)?;
+        self.last_lvt = self.expect_ready(&ready)?;
+        Ok(())
+    }
+
+    fn send(&mut self, j: &Json) -> Result<(), WorkerFailure> {
+        let w = self.writer.as_mut().ok_or_else(|| WorkerFailure::Lost {
+            detail: "no connection to worker".to_string(),
+        })?;
+        send_json(w, j).map_err(|e| WorkerFailure::Lost {
+            detail: format!("write failed: {e}"),
+        })
+    }
+
+    fn read_response(&mut self) -> Result<Json, WorkerFailure> {
+        let r = self.reader.as_mut().ok_or_else(|| WorkerFailure::Lost {
+            detail: "no connection to worker".to_string(),
+        })?;
+        let bytes = match read_frame(r) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => {
+                return Err(WorkerFailure::Lost {
+                    detail: "socket EOF (worker process died)".to_string(),
+                })
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(WorkerFailure::Timeout {
+                    after_ms: self.timeout.as_millis() as u64,
+                })
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Err(WorkerFailure::Protocol {
+                    detail: e.to_string(),
+                })
+            }
+            Err(e) => {
+                return Err(WorkerFailure::Lost {
+                    detail: format!("read failed: {e}"),
+                })
+            }
+        };
+        let j = parse_json(&bytes).map_err(|detail| WorkerFailure::Protocol { detail })?;
+        match json_kind(&j).map_err(|detail| WorkerFailure::Protocol { detail })? {
+            "panic" => Err(WorkerFailure::Panic {
+                message: j
+                    .field("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<no message>")
+                    .to_string(),
+            }),
+            "error" => Err(WorkerFailure::Protocol {
+                detail: j
+                    .field("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<no detail>")
+                    .to_string(),
+            }),
+            _ => Ok(j),
+        }
+    }
+
+    /// One command round-trip: a single buffered write, then the response.
+    fn call(&mut self, j: &Json) -> Result<Json, WorkerFailure> {
+        self.send(j)?;
+        self.read_response()
+    }
+
+    fn expect_kind(&self, j: &Json, want: &str) -> Result<(), WorkerFailure> {
+        let kind = json_kind(j).map_err(|detail| WorkerFailure::Protocol { detail })?;
+        if kind == want {
+            Ok(())
+        } else {
+            Err(WorkerFailure::Protocol {
+                detail: format!("expected a {want:?} frame, got {kind:?}"),
+            })
+        }
+    }
+
+    fn expect_ready(&self, j: &Json) -> Result<VTime, WorkerFailure> {
+        self.expect_kind(j, "ready")?;
+        j.field("lvt")
+            .map_err(|e| WorkerFailure::Protocol { detail: e.msg })
+            .and_then(|v| vtime_from(v).map_err(|detail| WorkerFailure::Protocol { detail }))
+    }
+
+    /// Parse a `done` response: new LVT plus emitted messages.
+    fn expect_done(&self, j: &Json, sends: &mut Vec<TwMessage>) -> Result<VTime, WorkerFailure> {
+        self.expect_kind(j, "done")?;
+        let proto = |detail: String| WorkerFailure::Protocol { detail };
+        let lvt = vtime_from(j.field("lvt").map_err(|e| proto(e.msg))?).map_err(proto)?;
+        for m in j
+            .field("sends")
+            .and_then(Json::as_array)
+            .map_err(|e| proto(e.msg))?
+        {
+            sends.push(TwMessage::from_json(m).map_err(|e| proto(e.msg))?);
+        }
+        Ok(lvt)
+    }
+
+    fn kill_child(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.reader = None;
+        self.writer = None;
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl ClusterWorker for ProcessWorker {
+    fn lvt(&mut self) -> Result<VTime, WorkerFailure> {
+        Ok(self.last_lvt)
+    }
+
+    fn step(&mut self, limit: VTime, sends: &mut Vec<TwMessage>) -> Result<VTime, WorkerFailure> {
+        let cmd = ObjBuilder::new()
+            .str("kind", "step")
+            .field("limit", vtime_json(limit))
+            .build();
+        let r = self.call(&cmd)?;
+        self.expect_done(&r, sends)
+    }
+
+    fn deliver(
+        &mut self,
+        m: TwMessage,
+        sends: &mut Vec<TwMessage>,
+    ) -> Result<VTime, WorkerFailure> {
+        let cmd = ObjBuilder::new()
+            .str("kind", "deliver")
+            .field("msg", m.to_json())
+            .build();
+        let r = self.call(&cmd)?;
+        self.expect_done(&r, sends)
+    }
+
+    fn fossil(&mut self, gvt: VTime) -> Result<(), WorkerFailure> {
+        let cmd = ObjBuilder::new()
+            .str("kind", "fossil")
+            .field("gvt", vtime_json(gvt))
+            .build();
+        let r = self.call(&cmd)?;
+        self.expect_kind(&r, "ok")
+    }
+
+    fn checkpoint(&mut self, gvt: VTime) -> Result<Checkpoint, WorkerFailure> {
+        let cmd = ObjBuilder::new()
+            .str("kind", "ckpt")
+            .field("gvt", vtime_json(gvt))
+            .build();
+        let r = self.call(&cmd)?;
+        self.expect_kind(&r, "ckpt")?;
+        let ck = r
+            .field("ck")
+            .map_err(|e| WorkerFailure::Protocol { detail: e.msg })?;
+        Checkpoint::from_json(ck).map_err(|e| WorkerFailure::Protocol { detail: e.msg })
+    }
+
+    fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure> {
+        self.spawn()?;
+        let cmd = ObjBuilder::new()
+            .str("kind", "restore")
+            .field("ck", ck.to_json())
+            .array("ops", ops.iter().map(replay_op_json).collect())
+            .build();
+        let r = self.call(&cmd)?;
+        self.last_lvt = self.expect_ready(&r)?;
+        Ok(self.last_lvt)
+    }
+
+    fn check_quiescence(&mut self) -> Result<(), WorkerFailure> {
+        let r = self.call(&ok_json_cmd("quiesce"))?;
+        self.expect_kind(&r, "ok")
+    }
+
+    fn finish(&mut self) -> Result<(SimStats, Vec<Logic>), WorkerFailure> {
+        let r = self.call(&ok_json_cmd("finish"))?;
+        self.expect_kind(&r, "finished")?;
+        let proto = |detail: String| WorkerFailure::Protocol { detail };
+        let stats = SimStats::from_json(r.field("stats").map_err(|e| proto(e.msg))?)
+            .map_err(|e| proto(e.msg))?;
+        let values =
+            logic_vec(r.field("values").map_err(|e| proto(e.msg))?).map_err(|e| proto(e.msg))?;
+        Ok((stats, values))
+    }
+
+    fn inject_crash(&mut self) {
+        // A real SIGKILL, then observe the death the way a genuine crash
+        // would surface: drain the socket to EOF before dropping it.
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(r) = self.reader.as_mut() {
+            let mut sink = [0u8; 256];
+            loop {
+                match r.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        }
+        self.kill_child();
+    }
+
+    fn kill(&mut self) {
+        self.kill_child();
+    }
+}
+
+impl Drop for ProcessWorker {
+    fn drop(&mut self) {
+        self.kill_child();
+    }
+}
+
+/// A bare `{"kind": <kind>}` command frame.
+fn ok_json_cmd(kind: &str) -> Json {
+    ObjBuilder::new().str("kind", kind).build()
+}
+
+/// Run the Time Warp kernel with one OS process per cluster.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_process(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+    seed: u64,
+    policy: &SchedulePolicy,
+    worker_bin: Option<&Path>,
+) -> Result<TwRunResult, TimeWarpError> {
+    let check = cfg!(debug_assertions);
+    // Same label as the in-proc executor: assertions and artifacts must
+    // not depend on the transport.
+    let label = format!("seed {seed}, schedule {policy:?}");
+    let bin =
+        resolve_worker(worker_bin).map_err(|reason| TimeWarpError::InvalidConfig { reason })?;
+    let timeout = read_timeout();
+    let mut schedule = policy.build(seed);
+    let mut workers: Vec<ProcessWorker> = (0..plan.k)
+        .map(|me| {
+            ProcessWorker::new(
+                me as u32,
+                bin.clone(),
+                init_json(
+                    nl,
+                    plan,
+                    stim,
+                    cycles,
+                    cfg.state_saving,
+                    check,
+                    me as u32,
+                    &label,
+                ),
+                timeout,
+            )
+        })
+        .collect();
+    for w in &mut workers {
+        let cluster = w.cluster;
+        w.spawn().map_err(|f| fatal(cluster, f))?;
+    }
+    run_supervisor(
+        nl,
+        plan,
+        stim,
+        cycles,
+        cfg,
+        schedule.as_mut(),
+        check,
+        &label,
+        &mut workers,
+        true,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Process transport: worker side
+// ---------------------------------------------------------------------------
+
+/// Entry point for the `tw_worker` binary: connect back to the supervisor's
+/// socket and serve one cluster until the supervisor says `finish` (or the
+/// connection closes).
+///
+/// Protocol (all frames are `u32`-LE length-prefixed compact JSON):
+///
+/// 1. supervisor sends `hello` (wire + checkpoint schema versions);
+/// 2. worker always replies with its own `hello`, then exits quietly on a
+///    mismatch — the supervisor owns the error report;
+/// 3. supervisor sends `init` (netlist + gate block + stimulus + config);
+///    worker replies `ready` with its LVT;
+/// 4. command loop: `step`/`deliver` → `done`, `fossil`/`quiesce` → `ok`,
+///    `ckpt` → `ckpt`, `restore` → `ready`, `finish` → `finished`.
+///
+/// Worker panics inside a command are caught and shipped back as a typed
+/// `panic` frame so the supervisor can raise
+/// [`TimeWarpError::WorkerPanic`] instead of seeing an opaque dead socket.
+pub fn serve_worker(socket: &Path) -> io::Result<()> {
+    let stream = UnixStream::connect(socket)?;
+    serve_stream(stream)
+}
+
+fn serve_stream(stream: UnixStream) -> io::Result<()> {
+    // Frames are built whole in `write_frame`'s buffer, so the raw stream
+    // needs no write-side buffering of its own.
+    let mut writer = stream.try_clone()?;
+    let mut reader = io::BufReader::new(stream);
+
+    // Version negotiation: read the supervisor's hello, always answer with
+    // ours (both sides can then diagnose a mismatch), bail quietly if the
+    // versions differ — the supervisor raises the typed error.
+    let hello = match read_frame(&mut reader)? {
+        Some(bytes) => bytes,
+        None => return Ok(()),
+    };
+    send_json(&mut writer, &hello_json())?;
+    let theirs = parse_json(&hello)
+        .and_then(|j| hello_versions(&j))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if theirs != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
+        return Ok(());
+    }
+
+    let init = match read_frame(&mut reader)? {
+        Some(bytes) => bytes,
+        None => return Ok(()),
+    };
+    let init = match parse_json(&init).and_then(|j| worker_init_from_json(&j)) {
+        Ok(init) => init,
+        Err(detail) => {
+            send_json(
+                &mut writer,
+                &ObjBuilder::new()
+                    .str("kind", "error")
+                    .str("detail", &detail)
+                    .build(),
+            )?;
+            return Ok(());
+        }
+    };
+    serve_cluster(init, reader, writer)
+}
+
+/// Parse `DVS_TW_SELFKILL=<cluster>:<after>` — a test hook that makes this
+/// worker abort (SIGABRT, no unwinding, no reply frame) immediately before
+/// dispatching its `<after>`-th command. Exercises asynchronous worker
+/// death at a point the supervisor did not choose.
+fn selfkill_budget(cluster: u32) -> Option<u64> {
+    let spec = std::env::var("DVS_TW_SELFKILL").ok()?;
+    let (c, after) = spec.split_once(':')?;
+    if c.parse::<u32>().ok()? != cluster {
+        return None;
+    }
+    after.parse::<u64>().ok()
+}
+
+fn serve_cluster(
+    init: WorkerInit,
+    mut reader: io::BufReader<UnixStream>,
+    mut writer: UnixStream,
+) -> io::Result<()> {
+    let WorkerInit {
+        netlist,
+        gate_block,
+        k,
+        cluster,
+        check,
+        cycles,
+        state_saving,
+        stim,
+        label,
+    } = init;
+    let plan = ClusterPlan::new(&netlist, &gate_block, k);
+    let mut proc = Some(ClusterProcess::new(
+        &netlist,
+        &plan,
+        cluster,
+        stim.clone(),
+        cycles,
+        state_saving,
+    ));
+    send_json(&mut writer, &ready_json(lvt_of(&mut proc)))?;
+    let mut selfkill = selfkill_budget(cluster);
+
+    loop {
+        let bytes = match read_frame(&mut reader)? {
+            Some(bytes) => bytes,
+            None => return Ok(()), // supervisor went away — crash-stop too
+        };
+        if let Some(left) = selfkill.as_mut() {
+            if *left <= 1 {
+                // Die exactly like SIGKILL would: no unwinding, no drops,
+                // no farewell frame.
+                std::process::abort();
+            }
+            *left -= 1;
+        }
+        let cmd = match parse_json(&bytes) {
+            Ok(cmd) => cmd,
+            Err(detail) => {
+                send_json(
+                    &mut writer,
+                    &ObjBuilder::new()
+                        .str("kind", "error")
+                        .str("detail", &detail)
+                        .build(),
+                )?;
+                return Ok(());
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch(
+                &cmd,
+                &netlist,
+                &plan,
+                &stim,
+                cycles,
+                state_saving,
+                check,
+                &label,
+                cluster,
+                &mut proc,
+                &mut selfkill,
+            )
+        }));
+        match outcome {
+            Ok(Ok(Some(reply))) => {
+                // `finish` wraps its reply so the loop knows to answer and
+                // then hang up cleanly.
+                if json_kind(&reply) == Ok("finished-wrap") {
+                    let inner = reply
+                        .field("inner")
+                        .expect("finished-wrap frames carry an inner reply");
+                    send_json(&mut writer, inner)?;
+                    return Ok(());
+                }
+                send_json(&mut writer, &reply)?
+            }
+            Ok(Ok(None)) => return Ok(()),
+            Ok(Err(detail)) => {
+                send_json(
+                    &mut writer,
+                    &ObjBuilder::new()
+                        .str("kind", "error")
+                        .str("detail", &detail)
+                        .build(),
+                )?;
+                return Ok(());
+            }
+            Err(payload) => {
+                send_json(
+                    &mut writer,
+                    &ObjBuilder::new()
+                        .str("kind", "panic")
+                        .str("message", &panic_message(payload.as_ref()))
+                        .build(),
+                )?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn lvt_of(proc: &mut Option<ClusterProcess<'_, '_>>) -> VTime {
+    proc.as_mut().map_or(VTime::MAX, ClusterProcess::lvt)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Execute one supervisor command against the local cluster process.
+/// `Ok(Some(reply))` answers and continues, `Ok(None)` is a clean `finish`,
+/// `Err(detail)` is a protocol error (reply + hang up).
+#[allow(clippy::too_many_arguments)]
+fn dispatch<'nl, 'p>(
+    cmd: &Json,
+    nl: &'nl Netlist,
+    plan: &'p ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    state_saving: StateSaving,
+    check: bool,
+    label: &str,
+    cluster: u32,
+    proc: &mut Option<ClusterProcess<'nl, 'p>>,
+    selfkill: &mut Option<u64>,
+) -> Result<Option<Json>, String>
+where
+    'nl: 'p,
+{
+    let kind = json_kind(cmd)?;
+    let live = |p: &mut Option<ClusterProcess<'nl, 'p>>| -> Result<(), String> {
+        if p.is_none() {
+            return Err(format!("command {kind:?} after finish"));
+        }
+        Ok(())
+    };
+    match kind {
+        "step" => {
+            live(proc)?;
+            let limit = vtime_from(cmd.field("limit").map_err(|e| e.msg)?)?;
+            let p = proc.as_mut().expect("live() checked presence");
+            let mut sends = Vec::new();
+            p.process_next_epoch(limit, &mut |m: TwMessage| sends.push(m));
+            Ok(Some(done_json(p.lvt(), &sends)))
+        }
+        "deliver" => {
+            live(proc)?;
+            let m =
+                TwMessage::from_json(cmd.field("msg").map_err(|e| e.msg)?).map_err(|e| e.msg)?;
+            let p = proc.as_mut().expect("live() checked presence");
+            let mut sends = Vec::new();
+            p.handle_message(m, &mut |m: TwMessage| sends.push(m));
+            Ok(Some(done_json(p.lvt(), &sends)))
+        }
+        "fossil" => {
+            live(proc)?;
+            let gvt = vtime_from(cmd.field("gvt").map_err(|e| e.msg)?)?;
+            let p = proc.as_mut().expect("live() checked presence");
+            let before = check.then(|| p.history_at_or_after(gvt));
+            p.fossil_collect(gvt);
+            if let Some(before) = before {
+                let after = p.history_at_or_after(gvt);
+                assert_eq!(
+                    before, after,
+                    "fossil collection on cluster {cluster} reclaimed history at or above \
+                     GVT {gvt} ({label})"
+                );
+            }
+            Ok(Some(ok_json()))
+        }
+        "ckpt" => {
+            live(proc)?;
+            let gvt = vtime_from(cmd.field("gvt").map_err(|e| e.msg)?)?;
+            let p = proc.as_ref().expect("live() checked presence");
+            Ok(Some(
+                ObjBuilder::new()
+                    .str("kind", "ckpt")
+                    .field("ck", p.checkpoint(gvt).to_json())
+                    .build(),
+            ))
+        }
+        "restore" => {
+            let ck =
+                Checkpoint::from_json(cmd.field("ck").map_err(|e| e.msg)?).map_err(|e| e.msg)?;
+            let mut ops = Vec::new();
+            for op in cmd
+                .field("ops")
+                .and_then(Json::as_array)
+                .map_err(|e| e.msg)?
+            {
+                ops.push(replay_op_from_json(op)?);
+            }
+            let mut p =
+                ClusterProcess::from_checkpoint(nl, plan, stim.clone(), cycles, state_saving, &ck);
+            replay_ops(&mut p, &ops);
+            let lvt = p.lvt();
+            *proc = Some(p);
+            // A restored worker is a fresh process as far as the fault
+            // model is concerned; it must not re-arm the self-kill hook.
+            *selfkill = None;
+            Ok(Some(ready_json(lvt)))
+        }
+        "quiesce" => {
+            live(proc)?;
+            if check {
+                let p = proc.as_mut().expect("live() checked presence");
+                quiescence_asserts(p, cluster, label);
+            }
+            Ok(Some(ok_json()))
+        }
+        "finish" => {
+            live(proc)?;
+            let mut p = proc.take().expect("live() checked presence");
+            let stats = p.take_stats();
+            let values = p.into_values();
+            // Answer, then let the caller hang up.
+            let reply = ObjBuilder::new()
+                .str("kind", "finished")
+                .field("stats", stats.to_json())
+                .str("values", &logic_str(&values))
+                .build();
+            send_reply_and_stop(reply)
+        }
+        other => Err(format!("unknown command kind {other:?}")),
+    }
+}
+
+/// `finish` both replies and terminates the loop; model that as a reply the
+/// caller must send before returning `Ok(None)`. Implemented as a tiny
+/// shim so `dispatch` keeps a single return type.
+fn send_reply_and_stop(reply: Json) -> Result<Option<Json>, String> {
+    // Encode "reply then stop" as a special frame the serve loop unpacks.
+    Ok(Some(
+        ObjBuilder::new()
+            .str("kind", "finished-wrap")
+            .field("inner", reply)
+            .build(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that yields at most one byte per `read` call — models a
+    /// socket delivering frames in arbitrarily small pieces.
+    struct Trickle<R>(R);
+
+    impl<R: io::Read> io::Read for Trickle<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some(&b"hello frames"[..])
+        );
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn frame_survives_split_reads() {
+        let mut buf = Vec::new();
+        let payload = vec![0xAB_u8; 1000];
+        write_frame(&mut buf, &payload).expect("write");
+        let mut r = Trickle(io::Cursor::new(buf));
+        assert_eq!(read_frame(&mut r).expect("read"), Some(payload));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn eof_inside_header_is_an_error() {
+        // Two bytes of a four-byte header, then EOF.
+        let mut r = io::Cursor::new(vec![7u8, 0]);
+        let err = read_frame(&mut r).expect_err("partial header must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn eof_inside_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").expect("write");
+        buf.truncate(buf.len() - 3);
+        let mut r = io::Cursor::new(buf);
+        let err = read_frame(&mut r).expect_err("partial payload must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut r = io::Cursor::new(buf);
+        let err = read_frame(&mut r).expect_err("oversized header must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let too_big = vec![0u8; MAX_FRAME + 1];
+        let err = write_frame(&mut Vec::new(), &too_big).expect_err("oversized write");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn vtime_sentinel_round_trips() {
+        for t in [0, 1, 42, VTime::MAX - 1, VTime::MAX] {
+            let j = vtime_json(t);
+            assert_eq!(vtime_from(&j).expect("round trip"), t);
+        }
+        assert_eq!(vtime_json(VTime::MAX), Json::Null);
+    }
+
+    #[test]
+    fn state_saving_round_trips() {
+        for s in [
+            StateSaving::IncrementalUndo,
+            StateSaving::Checkpoint { interval: 7 },
+        ] {
+            let j = state_saving_json(s);
+            assert_eq!(state_saving_from_json(&j).expect("round trip"), s);
+        }
+    }
+
+    #[test]
+    fn replay_ops_round_trip() {
+        let ops = [
+            ReplayOp::Step { limit: VTime::MAX },
+            ReplayOp::Step { limit: 16 },
+            ReplayOp::Deliver(TwMessage {
+                src: 1,
+                dst: 0,
+                seq: 4,
+                ev: crate::wheel::NetEvent {
+                    time: 9,
+                    net: dvs_verilog::netlist::NetId(3),
+                    value: Logic::One,
+                },
+                anti: false,
+            }),
+            ReplayOp::Fossil(VTime::MAX),
+        ];
+        for op in &ops {
+            let j = replay_op_json(op);
+            assert_eq!(&replay_op_from_json(&j).expect("round trip"), op);
+        }
+    }
+
+    #[test]
+    fn hello_mismatch_shuts_the_worker_down_quietly() {
+        let (sup, worker) = UnixStream::pair().expect("socketpair");
+        let handle = std::thread::spawn(move || serve_stream(worker));
+
+        let mut writer = sup.try_clone().expect("clone");
+        let mut reader = io::BufReader::new(sup);
+        // Pretend to be a future supervisor with a newer wire version.
+        let bad_hello = ObjBuilder::new()
+            .str("kind", "hello")
+            .uint("wire", (WIRE_VERSION + 1) as u64)
+            .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
+            .build();
+        send_json(&mut writer, &bad_hello).expect("send hello");
+
+        // The worker still answers with its own hello…
+        let reply = read_frame(&mut reader)
+            .expect("read")
+            .expect("worker hello");
+        let reply = parse_json(&reply).expect("parse");
+        assert_eq!(
+            hello_versions(&reply).expect("versions"),
+            (WIRE_VERSION, CHECKPOINT_SCHEMA)
+        );
+        // …then hangs up instead of serving commands.
+        assert_eq!(read_frame(&mut reader).expect("clean eof"), None);
+        handle.join().expect("join").expect("serve_stream exits Ok");
+    }
+
+    #[test]
+    fn checkpoint_payload_crosses_a_real_socket() {
+        let ck = Checkpoint {
+            schema: CHECKPOINT_SCHEMA,
+            cluster: 2,
+            gvt: 17,
+            values: vec![Logic::Zero, Logic::One, Logic::X, Logic::Z],
+            pending: Vec::new(),
+            tomb_remote: vec![(1, 9)],
+            tomb_local: vec![3],
+            processed: Vec::new(),
+            undo: vec![(12, 1, Logic::X)],
+            snapshots: Vec::new(),
+            epochs_since_snapshot: 2,
+            outlog: Vec::new(),
+            sched_log: vec![(11, 7)],
+            stim_cycle: 5,
+            last_time: 16,
+            settled: true,
+            order: 40,
+            lseq: 8,
+            mseq: 11,
+            stats: SimStats::default(),
+        };
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        let payload = ck.to_json();
+        let writer = std::thread::spawn(move || {
+            send_json(&mut a, &payload).expect("send checkpoint");
+        });
+        let mut reader = io::BufReader::new(b);
+        let bytes = read_frame(&mut reader).expect("read").expect("one frame");
+        let back =
+            Checkpoint::from_json(&parse_json(&bytes).expect("parse")).expect("checkpoint decodes");
+        assert_eq!(back.schema, ck.schema);
+        assert_eq!(back.cluster, ck.cluster);
+        assert_eq!(back.gvt, ck.gvt);
+        assert_eq!(back.values, ck.values);
+        assert_eq!(back.tomb_remote, ck.tomb_remote);
+        assert_eq!(back.tomb_local, ck.tomb_local);
+        assert_eq!(back.undo, ck.undo);
+        assert_eq!(back.sched_log, ck.sched_log);
+        assert_eq!(back.stim_cycle, ck.stim_cycle);
+        assert_eq!(back.mseq, ck.mseq);
+        writer.join().expect("writer thread");
+    }
+}

@@ -114,17 +114,17 @@ fn run_with_fault(case: &CrashCase, fault: FaultPlan) -> TwRunResult {
     let gb = random_partition(&nl, case.k, case.part_seed);
     let plan = ClusterPlan::new(&nl, &gb, case.k);
     let stim = VectorStimulus::from_netlist(&nl, 10, case.stim_seed);
-    let cfg = TimeWarpConfig {
-        window: 8,
-        batch: 2,
-        state_saving: if case.checkpoint {
+    let cfg = TimeWarpConfig::builder()
+        .window(8)
+        .batch(2)
+        .state_saving(if case.checkpoint {
             StateSaving::Checkpoint { interval: 4 }
         } else {
             StateSaving::IncrementalUndo
-        },
-        fault,
-        ..TimeWarpConfig::default()
-    };
+        })
+        .fault(fault)
+        .build()
+        .expect("valid config");
     run_deterministic(
         &nl,
         &plan,

@@ -115,16 +115,16 @@ fn run_case(case: &FuzzCase) {
     let policy = policy_for(case, &plan);
     let stim = VectorStimulus::from_netlist(&nl, 10, case.stim_seed);
 
-    let cfg = TimeWarpConfig {
-        window: case.window,
-        batch: case.batch,
-        state_saving: if case.checkpoint {
+    let cfg = TimeWarpConfig::builder()
+        .window(case.window)
+        .batch(case.batch)
+        .state_saving(if case.checkpoint {
             StateSaving::Checkpoint { interval: 4 }
         } else {
             StateSaving::IncrementalUndo
-        },
-        ..TimeWarpConfig::default()
-    };
+        })
+        .build()
+        .expect("valid config");
 
     // Invariant checks forced on regardless of build profile.
     let tw = run_deterministic(

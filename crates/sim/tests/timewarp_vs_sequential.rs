@@ -157,13 +157,13 @@ fn tight_window_still_correct() {
     seq.run(&stim, cycles, &mut NullObserver);
 
     let plan = ClusterPlan::new(&nl, &gb, 2);
-    let cfg = TimeWarpConfig {
-        window: 8,
-        batch: 2,
-        gvt_interval: 1,
-        state_saving: StateSaving::IncrementalUndo,
-        ..TimeWarpConfig::default()
-    };
+    let cfg = TimeWarpConfig::builder()
+        .window(8)
+        .batch(2)
+        .gvt_interval(1)
+        .state_saving(StateSaving::IncrementalUndo)
+        .build()
+        .expect("valid config");
     let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
     for (ni, net) in nl.nets.iter().enumerate() {
         if net.driver.is_some() {
@@ -228,10 +228,10 @@ fn checkpoint_state_saving_matches_incremental() {
     seq.run(&stim, cycles, &mut NullObserver);
 
     for interval in [1u32, 4, 32, 1000] {
-        let cfg = TimeWarpConfig {
-            state_saving: StateSaving::Checkpoint { interval },
-            ..TimeWarpConfig::default()
-        };
+        let cfg = TimeWarpConfig::builder()
+            .state_saving(StateSaving::Checkpoint { interval })
+            .build()
+            .expect("valid config");
         let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
         for (ni, net) in nl.nets.iter().enumerate() {
             if net.driver.is_some() {
@@ -261,10 +261,10 @@ fn checkpoint_mode_with_reset_circuit() {
         },
     );
     seq.run(&stim, cycles, &mut NullObserver);
-    let cfg = TimeWarpConfig {
-        state_saving: StateSaving::Checkpoint { interval: 8 },
-        ..TimeWarpConfig::default()
-    };
+    let cfg = TimeWarpConfig::builder()
+        .state_saving(StateSaving::Checkpoint { interval: 8 })
+        .build()
+        .expect("valid config");
     let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
     for (ni, net) in nl.nets.iter().enumerate() {
         if net.driver.is_some() {
@@ -300,10 +300,10 @@ fn threads_mode_recovers_from_injected_panic() {
     seq.run(&stim, cycles, &mut NullObserver);
 
     for (victim, quantum) in [(0u32, 1u64), (1, 3), (0, 20)] {
-        let cfg = TimeWarpConfig {
-            fault: FaultPlan::crash(victim, quantum),
-            ..TimeWarpConfig::default()
-        };
+        let cfg = TimeWarpConfig::builder()
+            .fault(FaultPlan::crash(victim, quantum))
+            .build()
+            .expect("valid config");
         let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
         assert_eq!(tw.recovery.crashes, 1, "injected panic did not fire");
         assert_eq!(tw.recovery.restarts, 1, "supervisor did not restart");
@@ -342,14 +342,14 @@ fn threads_mode_degrades_after_budget_exhaustion() {
 
     // The worker dies at quantum 1 on every incarnation: with a budget of
     // `max_restarts` crashes already spent, one more exhausts it.
-    let cfg = TimeWarpConfig {
-        fault: FaultPlan {
+    let cfg = TimeWarpConfig::builder()
+        .fault(FaultPlan {
             crash_at: Some((1, 1)),
             crashes: 3,
             max_restarts: 2,
-        },
-        ..TimeWarpConfig::default()
-    };
+        })
+        .build()
+        .expect("valid config");
     let tw = run_timewarp(&nl, &plan, &stim, cycles, &cfg).expect("run stalled");
     assert!(tw.recovery.degraded, "budget exhaustion must degrade");
     assert_eq!(tw.recovery.crashes, 3);

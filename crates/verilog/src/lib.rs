@@ -54,6 +54,7 @@
 //! assert_eq!(netlist.primary_inputs.len(), 2);
 //! ```
 
+pub mod artifact;
 pub mod ast;
 pub mod design;
 pub mod error;

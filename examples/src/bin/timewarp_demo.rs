@@ -1,23 +1,63 @@
-//! Threaded Clustered Time Warp demo: partition a circuit, run it
-//! optimistically on worker threads, validate bit-exact agreement with the
-//! sequential simulator, and report protocol statistics.
+//! Clustered Time Warp demo: partition a circuit, run it optimistically,
+//! validate bit-exact agreement with the sequential simulator, and report
+//! protocol statistics.
 //!
 //! ```text
-//! cargo run --release -p dvs-examples --bin timewarp_demo [machines] [vectors]
+//! cargo run --release -p dvs-examples --bin timewarp_demo -- \
+//!     [machines] [vectors] [--transport threads|inproc|process]
 //! ```
+//!
+//! `--transport threads` (the default) runs one OS thread per cluster.
+//! `--transport inproc` runs the deterministic single-threaded executor.
+//! `--transport process` spawns one `tw_worker` OS process per cluster;
+//! build it first (`cargo build --release -p dvs-bench --bin tw_worker`) so
+//! the binary sits next to this demo, or point `DVS_TW_WORKER` at it.
 
 use dvs_core::multiway::{partition_multiway, MultiwayConfig};
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, TimeWarpConfig};
+use dvs_sim::timewarp::{run_timewarp, SchedulePolicy, TimeWarpConfig, Transport};
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
 use std::time::Instant;
 
+/// Demo seed for the deterministic transports, so repeated runs are
+/// byte-for-byte reproducible.
+const SCHED_SEED: u64 = 2008;
+
+fn parse_transport(name: &str) -> Transport {
+    match name {
+        "threads" => Transport::Threads,
+        "inproc" => Transport::in_proc(SCHED_SEED, SchedulePolicy::RoundRobin),
+        "process" => Transport::process(SCHED_SEED, SchedulePolicy::RoundRobin),
+        other => {
+            eprintln!("unknown transport `{other}` (expected threads|inproc|process)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let mut machines: usize = 4;
+    let mut vectors: u64 = 300;
+    let mut transport = Transport::Threads;
+    let mut positional = 0usize;
     let mut args = std::env::args().skip(1);
-    let machines: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
-    let vectors: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    while let Some(arg) = args.next() {
+        if arg == "--transport" {
+            let Some(name) = args.next() else {
+                eprintln!("--transport needs a value (threads|inproc|process)");
+                std::process::exit(2);
+            };
+            transport = parse_transport(&name);
+        } else {
+            match positional {
+                0 => machines = arg.parse().unwrap_or(machines),
+                _ => vectors = arg.parse().unwrap_or(vectors),
+            }
+            positional += 1;
+        }
+    }
 
     let params = ViterbiParams {
         constraint_len: 6,
@@ -61,14 +101,20 @@ fn main() {
         seq.stats().gate_evals
     );
 
-    // Optimistic parallel run.
+    // Optimistic parallel run over the selected transport.
+    let mut twcfg = TimeWarpConfig::default();
+    twcfg.transport = transport;
     let t0 = Instant::now();
-    let tw = run_timewarp(&nl, &plan, &stim, vectors, &TimeWarpConfig::default())
-        .expect("time warp run stalled");
+    let tw = run_timewarp(&nl, &plan, &stim, vectors, &twcfg).unwrap_or_else(|e| {
+        eprintln!("time warp run failed: {e}");
+        std::process::exit(1);
+    });
     let tw_time = t0.elapsed();
     println!(
-        "time warp  : {:.2?} ({} events incl. re-execution)",
-        tw_time, tw.stats.events
+        "time warp  : {:.2?} over `{}` transport ({} events incl. re-execution)",
+        tw_time,
+        twcfg.transport.name(),
+        tw.stats.events
     );
     println!("  messages      : {}", tw.stats.messages);
     println!("  anti-messages : {}", tw.stats.anti_messages);

@@ -13,7 +13,7 @@ use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::dst::first_cut_channel;
 use dvs_sim::timewarp::proc::ClusterProcess;
 use dvs_sim::timewarp::{
-    run_timewarp, Checkpoint, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode,
+    run_timewarp, Checkpoint, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, Transport,
     TwMessage,
 };
 use dvs_verilog::Netlist;
@@ -174,22 +174,24 @@ fn mid_run_restore_is_invisible_for_sixteen_seeds_and_all_policies() {
     ];
     for policy in policies {
         for seed in 0..16u64 {
-            let base = TimeWarpConfig {
-                mode: TimeWarpMode::Deterministic {
-                    seed,
-                    schedule: policy,
-                },
-                window: 8,
-                batch: 2,
-                gvt_interval: 1,
-                state_saving: StateSaving::IncrementalUndo,
-                ..TimeWarpConfig::default()
-            };
+            let base = TimeWarpConfig::builder()
+                .transport(Transport::in_proc(seed, policy))
+                .window(8)
+                .batch(2)
+                .gvt_interval(1)
+                .state_saving(StateSaving::IncrementalUndo)
+                .build()
+                .expect("valid config");
             let clean = run_timewarp(&nl, &plan, &stim, 20, &base).expect("clean run stalled");
-            let cfg = TimeWarpConfig {
-                fault: FaultPlan::crash((seed % 3) as u32, 20 + seed * 9),
-                ..base
-            };
+            let cfg = TimeWarpConfig::builder()
+                .transport(Transport::in_proc(seed, policy))
+                .window(8)
+                .batch(2)
+                .gvt_interval(1)
+                .state_saving(StateSaving::IncrementalUndo)
+                .fault(FaultPlan::crash((seed % 3) as u32, 20 + seed * 9))
+                .build()
+                .expect("valid config");
             let tw = run_timewarp(&nl, &plan, &stim, 20, &cfg).expect("crash run stalled");
             let label = format!("{} seed {seed}", policy.name());
             assert_eq!(tw.recovery.crashes, 1, "{label}: fault did not fire");

@@ -8,7 +8,7 @@ use dvs_integration_tests::elaborate;
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode};
+use dvs_sim::timewarp::{run_timewarp, SchedulePolicy, StateSaving, TimeWarpConfig, Transport};
 use dvs_workloads::random_hier::{generate_random_hier, RandomHierParams};
 use dvs_workloads::seqcirc::generate_counter;
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
@@ -85,7 +85,7 @@ fn random_hierarchies_bit_exact() {
 
 #[test]
 fn deterministic_mode_matches_golden_counters() {
-    // Under `TimeWarpMode::Deterministic` the rollback machinery is exactly
+    // Under `Transport::InProc` the rollback machinery is exactly
     // reproducible, so we can pin the counters to golden values: any kernel
     // change that alters scheduling, annihilation, GVT sampling or fossil
     // collection shows up here as an exact diff, not a flaky tolerance.
@@ -109,17 +109,14 @@ fn deterministic_mode_matches_golden_counters() {
         ),
     ];
     for (policy, events, rollbacks, anti, messages, fossil, gvt_rounds) in golden {
-        let cfg = TimeWarpConfig {
-            mode: TimeWarpMode::Deterministic {
-                seed: 2008,
-                schedule: policy,
-            },
-            window: 8,
-            batch: 2,
-            gvt_interval: 1,
-            state_saving: StateSaving::IncrementalUndo,
-            ..TimeWarpConfig::default()
-        };
+        let cfg = TimeWarpConfig::builder()
+            .transport(Transport::in_proc(2008, policy))
+            .window(8)
+            .batch(2)
+            .gvt_interval(1)
+            .state_saving(StateSaving::IncrementalUndo)
+            .build()
+            .expect("valid config");
         let tw = run_timewarp(&nl, &plan, &stim, 40, &cfg).expect("time warp run stalled");
         let got = (
             policy,

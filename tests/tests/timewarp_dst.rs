@@ -12,7 +12,7 @@ use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::dst::first_cut_channel;
 use dvs_sim::timewarp::{
-    run_timewarp, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, TimeWarpMode, TwRunResult,
+    run_timewarp, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, Transport, TwRunResult,
 };
 use dvs_verilog::Netlist;
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
@@ -32,14 +32,14 @@ fn fixture() -> (Netlist, ClusterPlan, VectorStimulus) {
 }
 
 fn dst_config(seed: u64, schedule: SchedulePolicy) -> TimeWarpConfig {
-    TimeWarpConfig {
-        mode: TimeWarpMode::Deterministic { seed, schedule },
-        window: 8,
-        batch: 2,
-        gvt_interval: 1,
-        state_saving: StateSaving::IncrementalUndo,
-        ..TimeWarpConfig::default()
-    }
+    TimeWarpConfig::builder()
+        .transport(Transport::in_proc(seed, schedule))
+        .window(8)
+        .batch(2)
+        .gvt_interval(1)
+        .state_saving(StateSaving::IncrementalUndo)
+        .build()
+        .expect("valid config")
 }
 
 fn run(
@@ -167,10 +167,8 @@ fn crash_at_any_decision_index_yields_byte_identical_canonical_artifact() {
         // sweep exercised real crashes at several depths.
         let mut fired = 0u32;
         for (victim, at) in [(0u32, 0u64), (1, 7), (2, 100), (0, 400), (1, 900)] {
-            let cfg = TimeWarpConfig {
-                fault: FaultPlan::crash(victim, at),
-                ..clean_cfg.clone()
-            };
+            let mut cfg = clean_cfg.clone();
+            cfg.fault = FaultPlan::crash(victim, at);
             let tw = run(&nl, &plan, &stim, &cfg);
             let label = format!("{} crash=({victim},{at})", policy.name());
             assert_matches_sequential(&nl, &stim, &tw, &label);
@@ -206,13 +204,11 @@ fn repeated_crashes_within_budget_still_converge() {
         .emit()
         .expect("emit");
 
-    let cfg = TimeWarpConfig {
-        fault: FaultPlan {
-            crash_at: Some((2, 40)),
-            crashes: 3,
-            max_restarts: 3,
-        },
-        ..clean_cfg
+    let mut cfg = clean_cfg;
+    cfg.fault = FaultPlan {
+        crash_at: Some((2, 40)),
+        crashes: 3,
+        max_restarts: 3,
     };
     let tw = run(&nl, &plan, &stim, &cfg);
     assert_eq!(tw.recovery.crashes, 3);
@@ -229,13 +225,11 @@ fn repeated_crashes_within_budget_still_converge() {
 #[test]
 fn exhausted_restart_budget_degrades_to_sequential() {
     let (nl, plan, stim) = fixture();
-    let cfg = TimeWarpConfig {
-        fault: FaultPlan {
-            crash_at: Some((1, 10)),
-            crashes: 3,
-            max_restarts: 2,
-        },
-        ..dst_config(5, SchedulePolicy::RoundRobin)
+    let mut cfg = dst_config(5, SchedulePolicy::RoundRobin);
+    cfg.fault = FaultPlan {
+        crash_at: Some((1, 10)),
+        crashes: 3,
+        max_restarts: 2,
     };
     let tw = run(&nl, &plan, &stim, &cfg);
     assert!(tw.recovery.degraded, "restart budget was not exhausted");
@@ -250,10 +244,8 @@ fn exhausted_restart_budget_degrades_to_sequential() {
 #[test]
 fn recovery_provenance_is_serialized_but_not_canonical() {
     let (nl, plan, stim) = fixture();
-    let cfg = TimeWarpConfig {
-        fault: FaultPlan::crash(0, 25),
-        ..dst_config(8, SchedulePolicy::RoundRobin)
-    };
+    let mut cfg = dst_config(8, SchedulePolicy::RoundRobin);
+    cfg.fault = FaultPlan::crash(0, 25);
     let tw = run(&nl, &plan, &stim, &cfg);
     let full = tw.to_json().emit().expect("emit");
     assert!(
