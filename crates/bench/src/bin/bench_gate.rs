@@ -3,15 +3,25 @@
 //!
 //! ```text
 //! bench_gate [--label NAME] [--baseline PATH] [--out PATH] [--write-baseline]
+//!            [--case all|large]
 //! ```
 //!
-//! Runs the fixed smoke grid (see `dvs_bench::gate::smoke_grid`), once
-//! serial and once on 4 threads per case, asserts the canonical artifacts
-//! of the two legs are byte-identical, then runs the process-transport leg
-//! (`dvs_bench::gate::process_case` — real `tw_worker` OS processes, one
-//! `SIGKILL`ed and recovered, byte-compared against the in-process run),
-//! writes `BENCH_<label>.json`, and compares against the checked-in
-//! baseline. Exit status:
+//! With `--case all` (the default): runs the fixed smoke grid (see
+//! `dvs_bench::gate::smoke_grid`), once serial and once on 4 threads per
+//! case, asserts the canonical artifacts of the two legs are
+//! byte-identical, then runs the process- and TCP-transport legs
+//! (`dvs_bench::gate::{process_case, tcp_case}` — real `tw_worker` OS
+//! processes over a Unix socket and over localhost TCP, one worker
+//! `SIGKILL`ed and recovered per leg, byte-compared against the
+//! in-process run), writes `BENCH_<label>.json`, and compares against the
+//! checked-in baseline.
+//!
+//! With `--case large`: runs only the paper-scale nightly case
+//! (`dvs_bench::gate::large_case`). The serial-vs-threaded determinism
+//! check still gates the run, but no baseline comparison happens — the
+//! artifact is a nightly tracking record, not a per-push pin.
+//!
+//! Exit status:
 //!
 //! * `0` — gate passed (or `--write-baseline` refreshed the baseline);
 //! * `1` — determinism broken, a counter drifted, or a time left its
@@ -19,7 +29,9 @@
 //! * `2` — usage or I/O error (unreadable baseline, unwritable artifact,
 //!   missing `tw_worker` binary).
 
-use dvs_bench::gate::{bench_artifact, compare, process_case, run_case, smoke_grid, Tolerances};
+use dvs_bench::gate::{
+    bench_artifact, compare, large_case, process_case, run_case, smoke_grid, tcp_case, Tolerances,
+};
 use dvs_core::json::Json;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -29,6 +41,7 @@ fn main() {
     let mut baseline_path = "results/bench_baseline.json".to_string();
     let mut out_path: Option<String> = None;
     let mut write_baseline = false;
+    let mut which = "all".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,10 +50,11 @@ fn main() {
             "--baseline" => baseline_path = need(&mut args, "--baseline needs a path"),
             "--out" => out_path = Some(need(&mut args, "--out needs a path")),
             "--write-baseline" => write_baseline = true,
+            "--case" => which = need(&mut args, "--case needs a value (all|large)"),
             "--help" | "-h" => {
                 println!(
                     "usage: bench_gate [--label NAME] [--baseline PATH] [--out PATH] \
-                     [--write-baseline]"
+                     [--write-baseline] [--case all|large]"
                 );
                 return;
             }
@@ -50,18 +64,25 @@ fn main() {
             }
         }
     }
+    if which != "all" && which != "large" {
+        eprintln!("--case must be `all` or `large`, got `{which}`");
+        std::process::exit(2);
+    }
+    if write_baseline && which != "all" {
+        eprintln!("--write-baseline only makes sense with the full `--case all` run");
+        std::process::exit(2);
+    }
     let out_path = out_path.unwrap_or_else(|| format!("BENCH_{label}.json"));
 
     let t0 = Instant::now();
-    let grid = smoke_grid();
     let mut cases = Vec::new();
-    for case in &grid {
+    if which == "large" {
         let t = Instant::now();
-        match run_case(case) {
+        match large_case() {
             Ok(artifact) => {
                 eprintln!(
                     "   case `{}`: serial and threaded legs agree [{:.2?}]",
-                    case.name,
+                    artifact.name,
                     t.elapsed()
                 );
                 cases.push(artifact);
@@ -71,23 +92,46 @@ fn main() {
                 std::process::exit(1);
             }
         }
-    }
-
-    {
-        let worker = find_worker();
-        let t = Instant::now();
-        match process_case(&worker) {
-            Ok(artifact) => {
-                eprintln!(
-                    "   case `process_transport`: in-process, process, and \
-                     crash-recovered legs agree [{:.2?}]",
-                    t.elapsed()
-                );
-                cases.push(artifact);
+    } else {
+        let grid = smoke_grid();
+        for case in &grid {
+            let t = Instant::now();
+            match run_case(case) {
+                Ok(artifact) => {
+                    eprintln!(
+                        "   case `{}`: serial and threaded legs agree [{:.2?}]",
+                        case.name,
+                        t.elapsed()
+                    );
+                    cases.push(artifact);
+                }
+                Err(e) => {
+                    eprintln!("FAIL {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("FAIL {e}");
-                std::process::exit(1);
+        }
+
+        let worker = find_worker();
+        type Leg = fn(&std::path::Path) -> Result<dvs_bench::gate::CaseArtifact, String>;
+        for (name, leg) in [
+            ("process_transport", process_case as Leg),
+            ("tcp_transport", tcp_case as Leg),
+        ] {
+            let t = Instant::now();
+            match leg(&worker) {
+                Ok(artifact) => {
+                    eprintln!(
+                        "   case `{name}`: in-process, wire-transport, and \
+                         crash-recovered legs agree [{:.2?}]",
+                        t.elapsed()
+                    );
+                    cases.push(artifact);
+                }
+                Err(e) => {
+                    eprintln!("FAIL {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }
@@ -99,6 +143,15 @@ fn main() {
     });
     write_file(&out_path, &pretty);
     eprintln!("   wrote {out_path}");
+
+    if which == "large" {
+        eprintln!(
+            "OK nightly tracking run: {} case(s), no baseline comparison [{:.2?}]",
+            cases.len(),
+            t0.elapsed()
+        );
+        return;
+    }
 
     if write_baseline {
         // The baseline is the same artifact under a fixed label, so runs

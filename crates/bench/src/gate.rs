@@ -89,8 +89,35 @@ pub const PROCESS_CLUSTERS: u32 = 3;
 /// checkpoint/replay machinery, or the supervisor's decision sequence
 /// fails the gate rather than passing silently.
 pub fn process_case(worker: &Path) -> Result<CaseArtifact, String> {
-    const NAME: &str = "process_transport";
-    let ctx = |e: String| format!("case `{NAME}`: {e}");
+    let worker = worker.to_path_buf();
+    wire_transport_case("process_transport", move |policy| {
+        Transport::process_with_worker(DST_SEED, policy, worker.clone())
+    })
+}
+
+/// The TCP-transport leg of the gate: the same three-run byte-identity
+/// protocol as [`process_case`], but each `tw_worker` dials a localhost
+/// TCP listener (`tw_worker --connect`) instead of accepting a Unix
+/// socket, and the injected fault is observed as a dropped connection
+/// rather than a reaped child. Pins the recovery counters and the FNV-1a
+/// artifact hash exactly, so drift anywhere in the TCP wire path — hello
+/// negotiation, the connection broker, reconnect matching, crash-stop
+/// recovery — fails the gate.
+pub fn tcp_case(worker: &Path) -> Result<CaseArtifact, String> {
+    let worker = worker.to_path_buf();
+    wire_transport_case("tcp_transport", move |policy| {
+        Transport::tcp_with_worker(DST_SEED, policy, worker.clone())
+    })
+}
+
+/// Shared body of [`process_case`] and [`tcp_case`]: clean in-process run,
+/// clean wire-transport run, crash-injected wire-transport run — all three
+/// canonical artifacts byte-identical, counters and artifact hash pinned.
+fn wire_transport_case(
+    name: &'static str,
+    transport: impl Fn(SchedulePolicy) -> Transport,
+) -> Result<CaseArtifact, String> {
+    let ctx = |e: String| format!("case `{name}`: {e}");
     let src = generate_viterbi(&ViterbiParams::tiny());
     let nl = dvs_verilog::parse_and_elaborate(&src)
         .map_err(|e| ctx(e.to_string()))?
@@ -119,22 +146,21 @@ pub fn process_case(worker: &Path) -> Result<CaseArtifact, String> {
     };
     let policy = SchedulePolicy::SeededRandom;
     let in_proc = || Transport::in_proc(DST_SEED, policy);
-    let process = || Transport::process_with_worker(DST_SEED, policy, worker.to_path_buf());
 
     let (_, clean, inproc_seconds) = run(in_proc(), FaultPlan::default())?;
-    let (_, clean_process, process_seconds) = run(process(), FaultPlan::default())?;
-    if clean_process != clean {
+    let (_, clean_wire, transport_seconds) = run(transport(policy), FaultPlan::default())?;
+    if clean_wire != clean {
         return Err(ctx(
-            "clean process run diverged from the in-process run — the transport \
-             leaked into the canonical artifact"
+            "clean wire-transport run diverged from the in-process run — the \
+             transport leaked into the canonical artifact"
                 .to_string(),
         ));
     }
     let (crashed, crashed_bytes, crash_seconds) =
-        run(process(), FaultPlan::crash(CRASH_AT.0, CRASH_AT.1))?;
+        run(transport(policy), FaultPlan::crash(CRASH_AT.0, CRASH_AT.1))?;
     if crashed_bytes != clean {
         return Err(ctx(
-            "crash-recovered process run diverged from the undisturbed artifact".to_string(),
+            "crash-recovered wire-transport run diverged from the undisturbed artifact".to_string(),
         ));
     }
     if crashed.recovery.crashes == 0 {
@@ -144,7 +170,7 @@ pub fn process_case(worker: &Path) -> Result<CaseArtifact, String> {
     }
 
     Ok(CaseArtifact {
-        name: NAME.to_string(),
+        name: name.to_string(),
         report: ObjBuilder::new()
             .str(
                 "artifact_fnv1a",
@@ -156,9 +182,27 @@ pub fn process_case(worker: &Path) -> Result<CaseArtifact, String> {
             .build(),
         host: ObjBuilder::new()
             .float("inproc_seconds", inproc_seconds)
-            .float("process_seconds", process_seconds)
+            .float("transport_seconds", transport_seconds)
             .float("crash_recovery_seconds", crash_seconds)
             .build(),
+    })
+}
+
+/// The nightly paper-scale case (`bench_gate --case large`): the
+/// [`ViterbiParams::paper_class`] decoder (~14 k gates, 459 module
+/// instances — the shape of the paper's 388-module netlist) swept over a
+/// small (k, b) grid with the same serial-vs-threaded byte-identity check
+/// as the smoke grid. Too slow for the per-push gate, so it runs from the
+/// cron workflow as a tracking artifact (`BENCH_nightly.json`) rather
+/// than against the checked-in baseline.
+pub fn large_case() -> Result<CaseArtifact, String> {
+    run_case(&BenchCase {
+        name: "viterbi_paper_class",
+        source: generate_viterbi(&ViterbiParams::paper_class()),
+        ks: vec![4, 8],
+        bs: vec![10.0, 20.0],
+        presim_vectors: 40,
+        full_vectors: 100,
     })
 }
 

@@ -297,11 +297,14 @@ impl<'a> FlowBuilder<'a> {
 
     /// Select the transport for the deterministic Time Warp presim legs
     /// (see [`Transport`]). [`Transport::Process`] runs each cluster as a
-    /// separate `tw_worker` OS process; the counters recorded in the
-    /// artifacts are byte-identical to the in-process executor's, which is
-    /// exactly what the kill-harness tests assert. When no
-    /// [`FlowBuilder::timewarp_presim`] configuration was supplied, a
-    /// default deterministic leg is enabled to carry the transport.
+    /// separate `tw_worker` OS process over a Unix socket;
+    /// [`Transport::Tcp`] has the workers dial a supervisor-bound TCP
+    /// listener instead (localhost or remote). In both cases the counters
+    /// recorded in the artifacts are byte-identical to the in-process
+    /// executor's, which is exactly what the kill-harness tests assert.
+    /// When no [`FlowBuilder::timewarp_presim`] configuration was
+    /// supplied, a default deterministic leg is enabled to carry the
+    /// transport.
     pub fn transport(mut self, transport: Transport) -> Self {
         self.transport = Some(transport);
         self

@@ -250,13 +250,21 @@ pub fn evaluate_partition(
         let mut twcfg = t.kernel.clone();
         // The presim leg is always deterministic, whatever the kernel
         // config says: Threads maps to the in-process executor; Process
-        // keeps its worker binary but runs under the presim's own seed
-        // and schedule.
+        // and Tcp keep their worker/listener settings but run under the
+        // presim's own seed and schedule.
         twcfg.transport = match twcfg.transport {
             Transport::Process { worker, .. } => Transport::Process {
                 seed: t.seed,
                 schedule: t.schedule,
                 worker,
+            },
+            Transport::Tcp {
+                listen, workers, ..
+            } => Transport::Tcp {
+                seed: t.seed,
+                schedule: t.schedule,
+                listen,
+                workers,
             },
             _ => Transport::in_proc(t.seed, t.schedule),
         };

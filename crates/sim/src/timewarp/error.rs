@@ -37,9 +37,9 @@ pub enum TimeWarpError {
         /// The panic payload, when it was a string.
         message: String,
     },
-    /// The process transport failed at the protocol level: a malformed or
-    /// oversized frame, an unexpected response kind, or a worker that could
-    /// not be spawned or connected.
+    /// The process or TCP transport failed at the protocol level: a
+    /// malformed or oversized frame, an unexpected response kind, or a
+    /// worker that could not be spawned or connected.
     Transport {
         /// The cluster whose link failed.
         cluster: u32,
@@ -47,9 +47,14 @@ pub enum TimeWarpError {
         detail: String,
     },
     /// A worker stopped responding: no frame arrived within the read
-    /// timeout. A wedged worker is not crash-stop (its state may still
-    /// mutate), so the run fails instead of attempting recovery — this is
-    /// the process-transport arm of the stall watchdog.
+    /// timeout (`DVS_TW_TIMEOUT_MS`). On the Unix transport a wedged local
+    /// worker is not crash-stop (its state may still mutate), so the run
+    /// fails instead of attempting recovery — this is the
+    /// process-transport arm of the stall watchdog. Over TCP this error is
+    /// reserved for the spawn/handshake phase (before the first checkpoint
+    /// exists); once a run is underway, a silent TCP peer is
+    /// indistinguishable from a vanished host, so the supervisor drops the
+    /// connection and *recovers* it like a crash instead of failing.
     WorkerTimeout {
         /// The cluster whose worker went silent.
         cluster: u32,

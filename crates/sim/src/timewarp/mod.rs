@@ -35,11 +35,12 @@
 //! Determinism: the final circuit state equals the sequential simulator's
 //! (asserted in tests) under every transport. Under [`Transport::Threads`]
 //! the message/rollback *counts* depend on thread timing; under
-//! [`Transport::InProc`] and [`Transport::Process`] the same cluster state
-//! machines are driven by the single-threaded deterministic supervisor
-//! (see [`dst`] and [`transport`]) and every counter is an exact,
-//! seed-reproducible value — byte-identical between the two, whether the
-//! workers are in-process state machines or `SIGKILL`-able OS processes.
+//! [`Transport::InProc`], [`Transport::Process`] and [`Transport::Tcp`]
+//! the same cluster state machines are driven by the single-threaded
+//! deterministic supervisor (see [`dst`] and [`transport`]) and every
+//! counter is an exact, seed-reproducible value — byte-identical between
+//! them, whether the workers are in-process state machines, `SIGKILL`-able
+//! OS processes on Unix sockets, or processes dialing in over TCP.
 //! ([`crate::cluster_model`] remains as the fast *modeled* estimate of
 //! those counts for pre-simulation sweeps.)
 
@@ -50,12 +51,13 @@ pub mod gvt;
 pub mod proc;
 pub mod recovery;
 pub mod transport;
+pub mod wire;
 
 pub use checkpoint::{Checkpoint, CkptEvent, CkptSource, CHECKPOINT_SCHEMA};
 pub use dst::{DstAction, DstView, Schedule, SchedulePolicy};
 pub use error::TimeWarpError;
 pub use recovery::{FaultPlan, RecoveryOutcome};
-pub use transport::{serve_worker, Transport};
+pub use transport::{serve_worker, serve_worker_tcp, TcpWorkers, Transport};
 
 use crate::cluster::ClusterPlan;
 use crate::logic::Logic;
@@ -237,6 +239,11 @@ impl TimeWarpBuilder {
         if let StateSaving::Checkpoint { interval: 0 } = self.cfg.state_saving {
             return Err(invalid("checkpoint interval must be at least 1"));
         }
+        if let Transport::Tcp { listen, .. } = &self.cfg.transport {
+            if listen.is_empty() {
+                return Err(invalid("Transport::Tcp listen address must not be empty"));
+            }
+        }
         Ok(self.cfg)
     }
 }
@@ -259,14 +266,15 @@ pub struct TwRunResult {
 /// Run the Time Warp kernel over the clusters of `plan`, simulating
 /// `cycles` vectors of `stim`. `cfg.transport` selects threaded execution
 /// (one worker thread per cluster), the deterministic in-process executor,
-/// or one OS process per cluster driven over Unix-domain sockets; final net
-/// values are identical in all three, and the two deterministic transports
-/// produce byte-identical artifacts. Crash faults — injected via
-/// `cfg.fault`, or (under [`Transport::Process`]) genuine worker deaths —
-/// are recovered transparently from the last GVT checkpoint; once the
-/// restart budget is exhausted, the run degrades to the sequential
-/// simulator (flagged in [`TwRunResult::recovery`]). Errors are reserved
-/// for conditions no retry can fix (see [`TimeWarpError`]).
+/// one OS process per cluster driven over Unix-domain sockets, or workers
+/// dialing in over TCP; final net values are identical in all of them, and
+/// the deterministic transports produce byte-identical artifacts. Crash
+/// faults — injected via `cfg.fault`, or genuine worker deaths and dropped
+/// connections under [`Transport::Process`] / [`Transport::Tcp`] — are
+/// recovered transparently from the last GVT checkpoint; once the restart
+/// budget is exhausted, the run degrades to the sequential simulator
+/// (flagged in [`TwRunResult::recovery`]). Errors are reserved for
+/// conditions no retry can fix (see [`TimeWarpError`]).
 pub fn run_timewarp(
     nl: &Netlist,
     plan: &ClusterPlan,
@@ -299,6 +307,14 @@ pub fn run_timewarp(
             *seed,
             schedule,
             worker.as_deref(),
+        ),
+        Transport::Tcp {
+            seed,
+            schedule,
+            listen,
+            workers,
+        } => transport::run_tcp(
+            nl, plan, stim, cycles, cfg, *seed, schedule, listen, workers,
         ),
     }
 }

@@ -6,8 +6,11 @@
 //! — they left the node. Under [`super::Transport::InProc`] the crash is
 //! simulated by discarding the cluster state machine; under
 //! [`super::Transport::Process`] it is an OS process dying for real (a
-//! `SIGKILL`'d worker, detected by the supervisor as a socket EOF).
-//! Recovery is identical either way and follows classic log-based rollback
+//! `SIGKILL`'d worker, detected by the supervisor as a socket EOF); under
+//! [`super::Transport::Tcp`] any dropped connection — EOF, reset, or a
+//! read that times out — is folded into the same event, because over a
+//! network a silent peer and a dead one cannot be told apart. Recovery is
+//! identical every way and follows classic log-based rollback
 //! recovery, built on two retention rules that piggyback on the existing
 //! GVT machinery:
 //!

@@ -10,37 +10,50 @@
 //!   deterministic executor of [`Transport::InProc`], unchanged in
 //!   behaviour from its pre-transport form.
 //! * `ProcessWorker` — the worker is a separate OS process (the
-//!   `tw_worker` binary) on a Unix-domain socket, commands are
-//!   length-prefixed JSON frames. A `SIGKILL`'d worker surfaces as a
-//!   socket EOF, which the supervisor treats exactly like an injected
-//!   crash fault: restore from the last GVT-coordinated checkpoint, replay
-//!   the input log, re-fill the lost channels (see [`super::recovery`]).
+//!   `tw_worker` binary) on a `WireStream`: either a Unix-domain socket
+//!   ([`Transport::Process`], the supervisor spawns the child and owns the
+//!   per-cluster socket) or a TCP connection ([`Transport::Tcp`], the
+//!   supervisor binds one shared listener and each worker *dials in* with
+//!   `tw_worker --connect host:port`). Commands are length-prefixed JSON
+//!   frames either way. A `SIGKILL`'d worker surfaces as a socket EOF; a
+//!   dropped TCP connection (EOF, reset, or a read that times out)
+//!   surfaces the same way — and the supervisor treats every one of them
+//!   exactly like an injected crash fault: restore from the last
+//!   GVT-coordinated checkpoint, replay the input log, re-fill the lost
+//!   channels (see [`super::recovery`]).
 //!
 //! The supervisor loop (`run_supervisor`) is transport-generic and
-//! *identical* for both, which is what makes the canonical run artifact of
-//! a process-transport run — crashed and recovered or not — byte-identical
-//! to the same-seed in-proc run: both transports execute the same decision
-//! sequence against the same deterministic cluster state machines.
+//! *identical* for all of them, which is what makes the canonical run
+//! artifact of a process- or TCP-transport run — crashed and recovered or
+//! not — byte-identical to the same-seed in-proc run: every transport
+//! executes the same decision sequence against the same deterministic
+//! cluster state machines.
 //!
 //! # Wire protocol
 //!
 //! Frames are `u32` little-endian length prefixes followed by that many
-//! bytes of compact JSON, capped at [`MAX_FRAME`]. The supervisor connects
-//! the conversation with a `hello` carrying [`WIRE_VERSION`] and
-//! [`CHECKPOINT_SCHEMA`]; the worker answers with its own `hello` and both
-//! sides reject a mismatch ([`TimeWarpError::VersionMismatch`]) — the
-//! checkpoint serialization *is* the restore payload, so mixed-version
-//! pairs must never exchange state. An `init` frame ships the reduced
-//! netlist (gate structure only — names, hierarchy and declared delays do
-//! not affect simulation), the partition assignment and the stimulus
-//! parameters; the worker rebuilds its [`ClusterPlan`] locally, which is
-//! deterministic, so both sides agree on every cut channel. Each command
-//! frame is written with a single buffered syscall per quantum and the
-//! response is read back under a timeout ([`TimeWarpError::WorkerTimeout`]
-//! when it elapses — a hung worker is *not* crash-stop, so it is fatal
-//! rather than recovered). Worker-side panics are caught and shipped back
-//! as a typed `panic` frame ([`TimeWarpError::WorkerPanic`]) instead of an
-//! opaque exit code.
+//! bytes of compact JSON, capped at [`MAX_FRAME`] (framing lives in
+//! [`super::wire`]). The supervisor opens the conversation with a `hello`
+//! carrying [`WIRE_VERSION`] and [`CHECKPOINT_SCHEMA`] plus — over TCP — a
+//! per-run token; the worker answers with its own `hello` (over TCP also
+//! echoing the token and declaring which cluster it serves, so the shared
+//! listener can match a reconnecting worker back to its cluster) and both
+//! sides reject a version mismatch ([`TimeWarpError::VersionMismatch`]) —
+//! the checkpoint serialization *is* the restore payload, so
+//! mixed-version pairs must never exchange state. An `init` frame ships
+//! the reduced netlist (gate structure only — names, hierarchy and
+//! declared delays do not affect simulation), the partition assignment and
+//! the stimulus parameters; the worker rebuilds its [`ClusterPlan`]
+//! locally, which is deterministic, so both sides agree on every cut
+//! channel. Each command frame is written with a single buffered syscall
+//! per quantum and the response is read back under a timeout. On the Unix
+//! transport a hung worker is *not* crash-stop, so the timeout is fatal
+//! ([`TimeWarpError::WorkerTimeout`]); over TCP a silent peer is
+//! indistinguishable from a vanished host, so the supervisor drops the
+//! connection and recovers it like a crash — only the spawn/handshake
+//! phase (before the first checkpoint exists) keeps the fatal timeout.
+//! Worker-side panics are caught and shipped back as a typed `panic` frame
+//! ([`TimeWarpError::WorkerPanic`]) instead of an opaque exit code.
 
 use super::checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 use super::dst::{DstAction, DstView, Schedule, SchedulePolicy};
@@ -48,6 +61,9 @@ use super::error::TimeWarpError;
 use super::gvt::GvtState;
 use super::proc::ClusterProcess;
 use super::recovery::{degrade_sequential, replay_ops, RecoveryLog, RecoveryOutcome, ReplayOp};
+use super::wire::{
+    hello_json, hello_parse, json_kind, parse_json, read_frame, run_token, send_json, WireStream,
+};
 use super::{merge_results, StateSaving, TimeWarpConfig, TwMessage, TwRunResult};
 use crate::artifact::{logic_str, logic_vec};
 use crate::cluster::ClusterPlan;
@@ -57,13 +73,18 @@ use crate::stimulus::VectorStimulus;
 use crate::wheel::VTime;
 use dvs_json::{uint_array, uint_vec, FromJson, Json, ObjBuilder, ToJson};
 use dvs_verilog::netlist::{Gate, GateId, GateKind, InstId, Net, NetId, Netlist};
-use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+pub use super::wire::{MAX_FRAME, WIRE_VERSION};
 
 /// Where the Time Warp workers execute. Selecting a transport also selects
 /// the execution discipline: `Threads` is free-running (wall-clock fast,
@@ -101,6 +122,46 @@ pub enum Transport {
         /// next to (or one directory above) the current executable.
         worker: Option<PathBuf>,
     },
+    /// The same deterministic scheduler, but the workers dial in over TCP:
+    /// the supervisor binds one listener at `listen`, mints a per-run
+    /// token, and each `tw_worker --connect host:port` identifies itself
+    /// with that token plus the cluster it serves. A dropped connection
+    /// (EOF, reset, or read timeout) is crash-stop — checkpoint-restore
+    /// recovery, exactly like a `SIGKILL` on [`Transport::Process`] — and
+    /// the canonical artifact stays byte-identical to the same-seed
+    /// [`Transport::InProc`] run.
+    Tcp {
+        /// Seed for the schedule policy.
+        seed: u64,
+        /// The scheduling policy driving the executor.
+        schedule: SchedulePolicy,
+        /// Address the supervisor listens on, e.g. `"127.0.0.1:0"` (port 0
+        /// picks a free port; useful with [`TcpWorkers::Spawn`], where the
+        /// supervisor tells the workers where to dial).
+        listen: String,
+        /// Where the dialing workers come from.
+        workers: TcpWorkers,
+    },
+}
+
+/// How [`Transport::Tcp`] obtains its workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TcpWorkers {
+    /// The supervisor spawns one local `tw_worker --connect` child per
+    /// cluster (localhost only, but exercising the full TCP path — this is
+    /// what the kill-harness CI runs). Crashed workers are respawned.
+    Spawn {
+        /// Explicit path to the worker binary; `None` resolves like
+        /// [`Transport::Process`] (`DVS_TW_WORKER`, then a sibling).
+        worker: Option<PathBuf>,
+    },
+    /// Workers are started externally (possibly on other hosts) and dial
+    /// the supervisor themselves; the supervisor prints the listen address
+    /// and run token on stderr and *waits* for reconnections instead of
+    /// respawning — a worker that never comes back exhausts the restart
+    /// budget and degrades the run to the sequential simulator.
+    External,
 }
 
 impl Transport {
@@ -134,12 +195,53 @@ impl Transport {
         }
     }
 
+    /// Deterministic TCP execution on localhost: the supervisor binds an
+    /// ephemeral `127.0.0.1` port and spawns one local `tw_worker
+    /// --connect` child per cluster.
+    pub fn tcp(seed: u64, schedule: SchedulePolicy) -> Self {
+        Transport::Tcp {
+            seed,
+            schedule,
+            listen: "127.0.0.1:0".to_string(),
+            workers: TcpWorkers::Spawn { worker: None },
+        }
+    }
+
+    /// Like [`Transport::tcp`] with an explicit worker binary.
+    pub fn tcp_with_worker(
+        seed: u64,
+        schedule: SchedulePolicy,
+        worker: impl Into<PathBuf>,
+    ) -> Self {
+        Transport::Tcp {
+            seed,
+            schedule,
+            listen: "127.0.0.1:0".to_string(),
+            workers: TcpWorkers::Spawn {
+                worker: Some(worker.into()),
+            },
+        }
+    }
+
+    /// Deterministic TCP execution with externally started workers: the
+    /// supervisor listens on `listen` and waits for `k` dial-ins carrying
+    /// the run token it prints on stderr.
+    pub fn tcp_external(seed: u64, schedule: SchedulePolicy, listen: impl Into<String>) -> Self {
+        Transport::Tcp {
+            seed,
+            schedule,
+            listen: listen.into(),
+            workers: TcpWorkers::External,
+        }
+    }
+
     /// Stable name for logs and artifacts.
     pub fn name(&self) -> &'static str {
         match self {
             Transport::Threads => "threads",
             Transport::InProc { .. } => "in_proc",
             Transport::Process { .. } => "process",
+            Transport::Tcp { .. } => "tcp",
         }
     }
 }
@@ -887,88 +989,8 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
 }
 
 // ---------------------------------------------------------------------------
-// Wire protocol: framing and frame vocabulary
+// Wire protocol: frame vocabulary (framing itself lives in super::wire)
 // ---------------------------------------------------------------------------
-
-/// Version of the framing and command vocabulary. Negotiated in the
-/// `hello` exchange together with [`CHECKPOINT_SCHEMA`] (the restore
-/// payload is a serialized [`Checkpoint`], so both must match).
-pub const WIRE_VERSION: u32 = 1;
-
-/// Upper bound on a frame payload (64 MiB). A length prefix above this is
-/// a protocol error, not an allocation request.
-pub const MAX_FRAME: usize = 64 << 20;
-
-/// Write one `u32`-LE length-prefixed frame. Header and payload are
-/// assembled into a single buffer first, so each frame costs one write
-/// syscall and a reader never observes a torn header from a live peer.
-fn write_frame<Wr: Write>(w: &mut Wr, payload: &[u8]) -> io::Result<()> {
-    if payload.len() > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
-                payload.len()
-            ),
-        ));
-    }
-    let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(payload);
-    w.write_all(&buf)?;
-    w.flush()
-}
-
-/// Read one frame. `Ok(None)` is a clean EOF *at a frame boundary* (the
-/// peer closed deliberately); EOF inside a header or payload is an
-/// `UnexpectedEof` error — the signature of a killed worker.
-fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut header = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        match r.read(&mut header[got..]) {
-            Ok(0) => {
-                if got == 0 {
-                    return Ok(None);
-                }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed inside a frame header",
-                ));
-            }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
-}
-
-/// Serialize and send one JSON frame.
-fn send_json<Wr: Write>(w: &mut Wr, j: &Json) -> io::Result<()> {
-    let text = j
-        .emit()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.msg))?;
-    write_frame(w, text.as_bytes())
-}
-
-fn parse_json(bytes: &[u8]) -> Result<Json, String> {
-    let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
-    Json::parse(text).map_err(|e| format!("frame is not JSON: {}", e.msg))
-}
-
-fn json_kind(j: &Json) -> Result<&str, String> {
-    j.field("kind").and_then(Json::as_str).map_err(|e| e.msg)
-}
 
 /// Virtual times go on the wire as integers, with the idle sentinel
 /// `VTime::MAX` as `null` (it does not fit a JSON int).
@@ -993,28 +1015,6 @@ fn vtime_from(v: &Json) -> Result<VTime, String> {
             .map_err(|e| format!("bad vtime string {s:?}: {e}")),
         other => other.as_u64().map_err(|e| e.msg),
     }
-}
-
-fn hello_json() -> Json {
-    ObjBuilder::new()
-        .str("kind", "hello")
-        .uint("wire", WIRE_VERSION as u64)
-        .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
-        .build()
-}
-
-/// Parse a `hello` and return the peer's `(wire, checkpoint_schema)`.
-fn hello_versions(j: &Json) -> Result<(u32, u32), String> {
-    if json_kind(j)? != "hello" {
-        return Err(format!("expected a hello frame, got {j:?}"));
-    }
-    let err = |e: dvs_json::JsonError| e.msg;
-    let wire = j.field("wire").and_then(Json::as_u64).map_err(err)? as u32;
-    let ckpt = j
-        .field("checkpoint_schema")
-        .and_then(Json::as_u64)
-        .map_err(err)? as u32;
-    Ok((wire, ckpt))
 }
 
 fn ready_json(lvt: VTime) -> Json {
@@ -1306,13 +1306,26 @@ const SPAWN_TIMEOUT: Duration = Duration::from_secs(10);
 /// Default per-response read timeout (overridable via `DVS_TW_TIMEOUT_MS`).
 const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(30_000);
 
-fn read_timeout() -> Duration {
-    std::env::var("DVS_TW_TIMEOUT_MS")
+/// Default connect/reconnect window for the TCP transport (overridable via
+/// `DVS_TW_CONNECT_MS`): how long the supervisor waits for a worker to
+/// dial in, and how long a dialing worker retries a refused connection.
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_millis(10_000);
+
+fn env_timeout(var: &str, default: Duration) -> Duration {
+    std::env::var(var)
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
         .filter(|&ms| ms > 0)
         .map(Duration::from_millis)
-        .unwrap_or(DEFAULT_READ_TIMEOUT)
+        .unwrap_or(default)
+}
+
+fn read_timeout() -> Duration {
+    env_timeout("DVS_TW_TIMEOUT_MS", DEFAULT_READ_TIMEOUT)
+}
+
+fn connect_timeout() -> Duration {
+    env_timeout("DVS_TW_CONNECT_MS", DEFAULT_CONNECT_TIMEOUT)
 }
 
 /// Locate the worker binary: explicit path, then `DVS_TW_WORKER`, then a
@@ -1364,20 +1377,168 @@ fn next_socket_path(cluster: u32) -> PathBuf {
     ))
 }
 
+/// Supervisor side of [`Transport::Tcp`]: the single shared listener every
+/// worker dials, plus the per-run token and the parking lot for dial-ins
+/// that arrive while the supervisor is waiting on a *different* cluster
+/// (TCP gives no ordering across connections, and after a network fault a
+/// reconnecting worker can race a respawned one).
+pub(crate) struct TcpBroker {
+    listener: TcpListener,
+    addr: SocketAddr,
+    token: String,
+    /// Read timeout applied to the hello exchange on a fresh connection —
+    /// a dial-in that never completes its hello must not wedge the accept
+    /// loop.
+    hello_timeout: Duration,
+    pending: RefCell<HashMap<u32, WireStream>>,
+}
+
+impl TcpBroker {
+    fn bind(listen: &str, token: String, hello_timeout: Duration) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("bind TCP listener {listen}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("TCP listener address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("TCP listener nonblocking: {e}"))?;
+        Ok(TcpBroker {
+            listener,
+            addr,
+            token,
+            hello_timeout,
+            pending: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Wait until a hello-negotiated connection for `cluster` is available:
+    /// either already parked from an earlier accept, or a fresh dial-in.
+    /// `child` (spawn mode) lets the wait fail fast when the local worker
+    /// process died instead of connecting. Dial-ins carrying the wrong
+    /// token — strays from another run, port scanners — are dropped
+    /// without disturbing the run; a correct-token peer with mismatched
+    /// versions is fatal (mixed versions must never exchange state).
+    fn accept_for(
+        &self,
+        cluster: u32,
+        deadline: Instant,
+        mut child: Option<&mut Child>,
+    ) -> Result<WireStream, WorkerFailure> {
+        loop {
+            if let Some(s) = self.pending.borrow_mut().remove(&cluster) {
+                return Ok(s);
+            }
+            match self.listener.accept() {
+                // greet() returns None for stray peers, dropped quietly.
+                Ok((conn, _)) => {
+                    if let Some((who, stream)) = self.greet(conn)? {
+                        if who == cluster {
+                            return Ok(stream);
+                        }
+                        // Another cluster's worker arrived first; park it
+                        // for that cluster's next accept (latest wins — a
+                        // re-dial supersedes a stale parked connection).
+                        self.pending.borrow_mut().insert(who, stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Some(c) = child.as_deref_mut() {
+                        if let Some(status) = c.try_wait().ok().flatten() {
+                            return Err(WorkerFailure::Lost {
+                                detail: format!("worker exited during startup: {status}"),
+                            });
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(WorkerFailure::Timeout {
+                            after_ms: connect_timeout().as_millis() as u64,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    return Err(WorkerFailure::Protocol {
+                        detail: format!("accept: {e}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Hello exchange on a fresh dial-in. `Ok(Some((cluster, stream)))` is
+    /// a negotiated worker; `Ok(None)` a stray to drop (wrong token,
+    /// malformed hello, vanished mid-handshake).
+    fn greet(&self, conn: TcpStream) -> Result<Option<(u32, WireStream)>, WorkerFailure> {
+        let setup = conn
+            .set_nodelay(true)
+            .and_then(|()| conn.set_nonblocking(false))
+            .and_then(|()| conn.set_read_timeout(Some(self.hello_timeout)));
+        if setup.is_err() {
+            return Ok(None);
+        }
+        let mut stream = WireStream::Tcp(conn);
+        let Ok(mut writer) = stream.try_clone() else {
+            return Ok(None);
+        };
+        // The supervisor speaks first, exactly as on the Unix transport;
+        // the worker validates our token before revealing anything.
+        if send_json(&mut writer, &hello_json(&self.token, None)).is_err() {
+            return Ok(None);
+        }
+        let Ok(Some(bytes)) = read_frame(&mut stream) else {
+            return Ok(None);
+        };
+        let Ok(theirs) = parse_json(&bytes).and_then(|j| hello_parse(&j)) else {
+            return Ok(None);
+        };
+        if theirs.token != self.token {
+            return Ok(None);
+        }
+        if theirs.versions() != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
+            return Err(WorkerFailure::Version {
+                theirs: theirs.versions(),
+            });
+        }
+        let Some(who) = theirs.cluster else {
+            return Err(WorkerFailure::Protocol {
+                detail: "TCP worker hello did not declare a cluster".to_string(),
+            });
+        };
+        Ok(Some((who, stream)))
+    }
+}
+
+/// Where a [`ProcessWorker`]'s byte stream comes from.
+#[derive(Clone)]
+enum Link {
+    /// Supervisor-owned per-cluster Unix socket; the supervisor spawns the
+    /// child with `--socket`.
+    Unix { bin: PathBuf },
+    /// Shared TCP listener; the worker dials in. `spawn` is the local
+    /// binary to launch with `--connect` (None = externally started
+    /// workers, the supervisor only waits).
+    Tcp {
+        broker: Rc<TcpBroker>,
+        spawn: Option<PathBuf>,
+    },
+}
+
 /// A cluster worker living in a separate OS process, driven over a
-/// Unix-domain socket. The supervisor owns the listening socket and the
-/// child's lifetime; a dead child surfaces as [`WorkerFailure::Lost`] on
-/// the next exchange, which is precisely the crash-stop signal the
-/// recovery supervisor consumes.
+/// [`WireStream`] — a Unix-domain socket ([`Transport::Process`]) or a TCP
+/// connection ([`Transport::Tcp`]). A dead child, a reset connection, or
+/// (over TCP) a silent peer surfaces as [`WorkerFailure::Lost`] on the
+/// next exchange, which is precisely the crash-stop signal the recovery
+/// supervisor consumes.
 pub(crate) struct ProcessWorker {
     cluster: u32,
-    bin: PathBuf,
+    link: Link,
     init: Json,
     timeout: Duration,
     socket_path: Option<PathBuf>,
     child: Option<Child>,
-    reader: Option<io::BufReader<UnixStream>>,
-    writer: Option<UnixStream>,
+    reader: Option<io::BufReader<WireStream>>,
+    writer: Option<WireStream>,
     last_lvt: VTime,
 }
 
@@ -1385,7 +1546,7 @@ impl ProcessWorker {
     pub fn new(cluster: u32, bin: PathBuf, init: Json, timeout: Duration) -> Self {
         ProcessWorker {
             cluster,
-            bin,
+            link: Link::Unix { bin },
             init,
             timeout,
             socket_path: None,
@@ -1396,52 +1557,113 @@ impl ProcessWorker {
         }
     }
 
-    /// Spawn (or respawn) the child, negotiate versions, and initialize it.
-    /// On success `last_lvt` holds the worker's fresh LVT.
+    pub fn tcp(
+        cluster: u32,
+        broker: Rc<TcpBroker>,
+        spawn: Option<PathBuf>,
+        init: Json,
+        timeout: Duration,
+    ) -> Self {
+        ProcessWorker {
+            cluster,
+            link: Link::Tcp { broker, spawn },
+            init,
+            timeout,
+            socket_path: None,
+            child: None,
+            reader: None,
+            writer: None,
+            last_lvt: 0,
+        }
+    }
+
+    fn is_tcp(&self) -> bool {
+        matches!(self.link, Link::Tcp { .. })
+    }
+
+    /// Tear down the byte stream (both directions) without touching the
+    /// process. Over TCP this is how the supervisor declares a silent peer
+    /// dead, and how a supervisor-side connection reset is injected.
+    fn drop_connection(&mut self) {
+        if let Some(w) = self.writer.as_ref() {
+            w.shutdown_both();
+        }
+        self.reader = None;
+        self.writer = None;
+    }
+
+    /// Spawn (or respawn / await reconnection of) the worker, negotiate
+    /// versions, and initialize it. On success `last_lvt` holds the
+    /// worker's fresh LVT.
     fn spawn(&mut self) -> Result<(), WorkerFailure> {
         self.kill_child();
-        let path = next_socket_path(self.cluster);
-        let _ = std::fs::remove_file(&path);
         let proto = |detail: String| WorkerFailure::Protocol { detail };
-        let listener = UnixListener::bind(&path)
-            .map_err(|e| proto(format!("bind {}: {e}", path.display())))?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| proto(format!("listener nonblocking: {e}")))?;
-        let child = Command::new(&self.bin)
-            .arg("--socket")
-            .arg(&path)
-            .spawn()
-            .map_err(|e| proto(format!("spawn {}: {e}", self.bin.display())))?;
-        self.child = Some(child);
-        self.socket_path = Some(path);
-        let deadline = Instant::now() + SPAWN_TIMEOUT;
-        let stream = loop {
-            match listener.accept() {
-                Ok((s, _)) => break s,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if let Some(status) = self
-                        .child
-                        .as_mut()
-                        .and_then(|c| c.try_wait().ok().flatten())
-                    {
-                        return Err(WorkerFailure::Lost {
-                            detail: format!("worker exited during startup: {status}"),
-                        });
+        let link = self.link.clone();
+        // `greeted` marks streams whose hello exchange the broker already
+        // completed (TCP); the Unix path negotiates below.
+        let (stream, greeted) = match &link {
+            Link::Unix { bin } => {
+                let path = next_socket_path(self.cluster);
+                let _ = std::fs::remove_file(&path);
+                let listener = UnixListener::bind(&path)
+                    .map_err(|e| proto(format!("bind {}: {e}", path.display())))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| proto(format!("listener nonblocking: {e}")))?;
+                let child = Command::new(bin)
+                    .arg("--socket")
+                    .arg(&path)
+                    .spawn()
+                    .map_err(|e| proto(format!("spawn {}: {e}", bin.display())))?;
+                self.child = Some(child);
+                self.socket_path = Some(path);
+                let deadline = Instant::now() + SPAWN_TIMEOUT;
+                let stream = loop {
+                    match listener.accept() {
+                        Ok((s, _)) => break s,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if let Some(status) = self
+                                .child
+                                .as_mut()
+                                .and_then(|c| c.try_wait().ok().flatten())
+                            {
+                                return Err(WorkerFailure::Lost {
+                                    detail: format!("worker exited during startup: {status}"),
+                                });
+                            }
+                            if Instant::now() >= deadline {
+                                return Err(WorkerFailure::Timeout {
+                                    after_ms: SPAWN_TIMEOUT.as_millis() as u64,
+                                });
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(e) => return Err(proto(format!("accept: {e}"))),
                     }
-                    if Instant::now() >= deadline {
-                        return Err(WorkerFailure::Timeout {
-                            after_ms: SPAWN_TIMEOUT.as_millis() as u64,
-                        });
-                    }
-                    std::thread::sleep(Duration::from_millis(2));
+                };
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| proto(format!("stream blocking: {e}")))?;
+                (WireStream::Unix(stream), false)
+            }
+            Link::Tcp { broker, spawn } => {
+                if let Some(bin) = spawn {
+                    let child = Command::new(bin)
+                        .arg("--connect")
+                        .arg(broker.addr.to_string())
+                        .arg("--cluster")
+                        .arg(self.cluster.to_string())
+                        .arg("--token")
+                        .arg(&broker.token)
+                        .spawn()
+                        .map_err(|e| proto(format!("spawn {}: {e}", bin.display())))?;
+                    self.child = Some(child);
                 }
-                Err(e) => return Err(proto(format!("accept: {e}"))),
+                let deadline = Instant::now() + connect_timeout();
+                let stream = broker.accept_for(self.cluster, deadline, self.child.as_mut())?;
+                (stream, true)
             }
         };
-        stream
-            .set_nonblocking(false)
-            .map_err(|e| proto(format!("stream blocking: {e}")))?;
         stream
             .set_read_timeout(Some(self.timeout))
             .map_err(|e| proto(format!("read timeout: {e}")))?;
@@ -1451,14 +1673,21 @@ impl ProcessWorker {
         self.reader = Some(io::BufReader::new(stream));
         self.writer = Some(writer);
 
-        // Version negotiation: the supervisor speaks first; the worker
-        // always answers with its own versions so a mismatch is
-        // diagnosable on both sides.
-        self.send(&hello_json())?;
-        let reply = self.read_response()?;
-        let theirs = hello_versions(&reply).map_err(|detail| WorkerFailure::Protocol { detail })?;
-        if theirs != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
-            return Err(WorkerFailure::Version { theirs });
+        if !greeted {
+            // Version negotiation: the supervisor speaks first; the worker
+            // always answers with its own versions so a mismatch is
+            // diagnosable on both sides. (The Unix transport carries no
+            // token — the per-cluster socket path already scopes the
+            // conversation.)
+            self.send(&hello_json("", None))?;
+            let reply = self.read_response()?;
+            let theirs =
+                hello_parse(&reply).map_err(|detail| WorkerFailure::Protocol { detail })?;
+            if theirs.versions() != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
+                return Err(WorkerFailure::Version {
+                    theirs: theirs.versions(),
+                });
+            }
         }
         let init = self.init.clone();
         let ready = self.call(&init)?;
@@ -1530,6 +1759,26 @@ impl ProcessWorker {
         self.read_response()
     }
 
+    /// One *supervised* command round-trip. Over TCP a read timeout is
+    /// converted to a crash-stop loss: a silent remote peer is
+    /// indistinguishable from a vanished host (no RST ever arrives from a
+    /// powered-off machine), so the supervisor drops the connection and
+    /// lets the recovery path respawn-or-await-reconnect. Over Unix a hung
+    /// local child is *not* crash-stop, so the timeout stays fatal.
+    fn command(&mut self, j: &Json) -> Result<Json, WorkerFailure> {
+        match self.call(j) {
+            Err(WorkerFailure::Timeout { after_ms }) if self.is_tcp() => {
+                self.drop_connection();
+                Err(WorkerFailure::Lost {
+                    detail: format!(
+                        "TCP peer silent for {after_ms} ms; connection dropped (crash-stop)"
+                    ),
+                })
+            }
+            other => other,
+        }
+    }
+
     fn expect_kind(&self, j: &Json, want: &str) -> Result<(), WorkerFailure> {
         let kind = json_kind(j).map_err(|detail| WorkerFailure::Protocol { detail })?;
         if kind == want {
@@ -1586,7 +1835,7 @@ impl ClusterWorker for ProcessWorker {
             .str("kind", "step")
             .field("limit", vtime_json(limit))
             .build();
-        let r = self.call(&cmd)?;
+        let r = self.command(&cmd)?;
         self.expect_done(&r, sends)
     }
 
@@ -1599,7 +1848,7 @@ impl ClusterWorker for ProcessWorker {
             .str("kind", "deliver")
             .field("msg", m.to_json())
             .build();
-        let r = self.call(&cmd)?;
+        let r = self.command(&cmd)?;
         self.expect_done(&r, sends)
     }
 
@@ -1608,7 +1857,7 @@ impl ClusterWorker for ProcessWorker {
             .str("kind", "fossil")
             .field("gvt", vtime_json(gvt))
             .build();
-        let r = self.call(&cmd)?;
+        let r = self.command(&cmd)?;
         self.expect_kind(&r, "ok")
     }
 
@@ -1617,7 +1866,7 @@ impl ClusterWorker for ProcessWorker {
             .str("kind", "ckpt")
             .field("gvt", vtime_json(gvt))
             .build();
-        let r = self.call(&cmd)?;
+        let r = self.command(&cmd)?;
         self.expect_kind(&r, "ckpt")?;
         let ck = r
             .field("ck")
@@ -1626,24 +1875,36 @@ impl ClusterWorker for ProcessWorker {
     }
 
     fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure> {
-        self.spawn()?;
+        // Over TCP a respawn that times out (the replacement never dials
+        // in, or a remote worker never reconnects) is itself a crash-stop
+        // loss: each failed attempt burns one unit of the restart budget,
+        // so a vanished remote degrades the run to the sequential
+        // simulator instead of hanging or erroring out.
+        let tcp = self.is_tcp();
+        let remap = |f: WorkerFailure| match f {
+            WorkerFailure::Timeout { after_ms } if tcp => WorkerFailure::Lost {
+                detail: format!("worker did not (re)connect within {after_ms} ms"),
+            },
+            other => other,
+        };
+        self.spawn().map_err(remap)?;
         let cmd = ObjBuilder::new()
             .str("kind", "restore")
             .field("ck", ck.to_json())
             .array("ops", ops.iter().map(replay_op_json).collect())
             .build();
-        let r = self.call(&cmd)?;
+        let r = self.command(&cmd)?;
         self.last_lvt = self.expect_ready(&r)?;
         Ok(self.last_lvt)
     }
 
     fn check_quiescence(&mut self) -> Result<(), WorkerFailure> {
-        let r = self.call(&ok_json_cmd("quiesce"))?;
+        let r = self.command(&ok_json_cmd("quiesce"))?;
         self.expect_kind(&r, "ok")
     }
 
     fn finish(&mut self) -> Result<(SimStats, Vec<Logic>), WorkerFailure> {
-        let r = self.call(&ok_json_cmd("finish"))?;
+        let r = self.command(&ok_json_cmd("finish"))?;
         self.expect_kind(&r, "finished")?;
         let proto = |detail: String| WorkerFailure::Protocol { detail };
         let stats = SimStats::from_json(r.field("stats").map_err(|e| proto(e.msg))?)
@@ -1654,6 +1915,18 @@ impl ClusterWorker for ProcessWorker {
     }
 
     fn inject_crash(&mut self) {
+        // Over TCP, `DVS_TW_TCP_FAULT=reset` injects a supervisor-side
+        // connection reset instead of a process kill: the stream is shut
+        // down in both directions and dropped while the worker process
+        // stays up. The worker observes EOF and exits (crash-stop from its
+        // side); the supervisor's next exchange fails as `Lost` and the
+        // stale incarnation is reaped by the next spawn. This is the
+        // network-partition shape of a fault, as opposed to the host-death
+        // shape below.
+        if self.is_tcp() && std::env::var("DVS_TW_TCP_FAULT").as_deref() == Ok("reset") {
+            self.drop_connection();
+            return;
+        }
         // A real SIGKILL, then observe the death the way a genuine crash
         // would surface: drain the socket to EOF before dropping it.
         if let Some(child) = self.child.as_mut() {
@@ -1745,6 +2018,84 @@ pub(crate) fn run_process(
     )
 }
 
+/// Run the Time Warp kernel with workers dialing in over TCP. The
+/// supervisor binds `listen`, mints a per-run token, and either spawns
+/// local `tw_worker --connect` children ([`TcpWorkers::Spawn`]) or waits
+/// for externally started ones ([`TcpWorkers::External`], printing the
+/// address + token on stderr so the operator can start them).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_tcp(
+    nl: &Netlist,
+    plan: &ClusterPlan,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+    seed: u64,
+    policy: &SchedulePolicy,
+    listen: &str,
+    tcp_workers: &TcpWorkers,
+) -> Result<TwRunResult, TimeWarpError> {
+    let check = cfg!(debug_assertions);
+    // Same label as the in-proc executor: assertions and artifacts must
+    // not depend on the transport.
+    let label = format!("seed {seed}, schedule {policy:?}");
+    let invalid = |reason: String| TimeWarpError::InvalidConfig { reason };
+    let spawn_bin = match tcp_workers {
+        TcpWorkers::Spawn { worker } => Some(resolve_worker(worker.as_deref()).map_err(invalid)?),
+        TcpWorkers::External => None,
+    };
+    let timeout = read_timeout();
+    let broker = Rc::new(TcpBroker::bind(listen, run_token(), timeout).map_err(invalid)?);
+    if spawn_bin.is_none() {
+        // Externally started workers need the resolved address (port 0
+        // picks one at bind time) and the run token.
+        eprintln!(
+            "tw supervisor listening on {addr}; start {k} workers with: \
+             tw_worker --connect {addr} --cluster <0..{k}> --token {token}",
+            addr = broker.addr,
+            k = plan.k,
+            token = broker.token,
+        );
+    }
+    let mut schedule = policy.build(seed);
+    let mut workers: Vec<ProcessWorker> = (0..plan.k)
+        .map(|me| {
+            ProcessWorker::tcp(
+                me as u32,
+                Rc::clone(&broker),
+                spawn_bin.clone(),
+                init_json(
+                    nl,
+                    plan,
+                    stim,
+                    cycles,
+                    cfg.state_saving,
+                    check,
+                    me as u32,
+                    &label,
+                ),
+                timeout,
+            )
+        })
+        .collect();
+    for w in &mut workers {
+        let cluster = w.cluster;
+        w.spawn().map_err(|f| fatal(cluster, f))?;
+    }
+    run_supervisor(
+        nl,
+        plan,
+        stim,
+        cycles,
+        cfg,
+        schedule.as_mut(),
+        check,
+        &label,
+        &mut workers,
+        true,
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Process transport: worker side
 // ---------------------------------------------------------------------------
@@ -1768,27 +2119,60 @@ pub(crate) fn run_process(
 /// [`TimeWarpError::WorkerPanic`] instead of seeing an opaque dead socket.
 pub fn serve_worker(socket: &Path) -> io::Result<()> {
     let stream = UnixStream::connect(socket)?;
-    serve_stream(stream)
+    // The Unix transport carries no token: the per-cluster socket path
+    // already scopes the conversation, and the supervisor sends "".
+    serve_wire(WireStream::Unix(stream), None, "")
 }
 
-fn serve_stream(stream: UnixStream) -> io::Result<()> {
+/// TCP entry point for the `tw_worker` binary: dial the supervisor at
+/// `addr` (retrying refused connections with bounded backoff until
+/// `DVS_TW_CONNECT_MS` elapses — the supervisor may not have reached this
+/// cluster's accept yet, or the worker may be reconnecting after a network
+/// fault) and serve `cluster` until `finish` or EOF. The hello exchange
+/// presents `token`; a supervisor with a different token (another run) is
+/// abandoned quietly.
+pub fn serve_worker_tcp(addr: &str, cluster: u32, token: &str) -> io::Result<()> {
+    let deadline = Instant::now() + connect_timeout();
+    let mut delay = Duration::from_millis(10);
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+        }
+    };
+    stream.set_nodelay(true)?;
+    serve_wire(WireStream::Tcp(stream), Some(cluster), token)
+}
+
+fn serve_wire(stream: WireStream, identity: Option<u32>, token: &str) -> io::Result<()> {
     // Frames are built whole in `write_frame`'s buffer, so the raw stream
     // needs no write-side buffering of its own.
     let mut writer = stream.try_clone()?;
     let mut reader = io::BufReader::new(stream);
 
-    // Version negotiation: read the supervisor's hello, always answer with
-    // ours (both sides can then diagnose a mismatch), bail quietly if the
-    // versions differ — the supervisor raises the typed error.
+    // Version + token negotiation: read the supervisor's hello, always
+    // answer with ours (both sides can then diagnose a mismatch), bail
+    // quietly if the versions or tokens differ — on a version mismatch the
+    // supervisor raises the typed error; on a token mismatch this worker
+    // simply dialed the wrong run and must not disturb it.
     let hello = match read_frame(&mut reader)? {
         Some(bytes) => bytes,
         None => return Ok(()),
     };
-    send_json(&mut writer, &hello_json())?;
+    send_json(&mut writer, &hello_json(token, identity))?;
     let theirs = parse_json(&hello)
-        .and_then(|j| hello_versions(&j))
+        .and_then(|j| hello_parse(&j))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    if theirs != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
+    if theirs.versions() != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
+        return Ok(());
+    }
+    if theirs.token != token {
         return Ok(());
     }
 
@@ -1827,8 +2211,8 @@ fn selfkill_budget(cluster: u32) -> Option<u64> {
 
 fn serve_cluster(
     init: WorkerInit,
-    mut reader: io::BufReader<UnixStream>,
-    mut writer: UnixStream,
+    mut reader: io::BufReader<WireStream>,
+    mut writer: WireStream,
 ) -> io::Result<()> {
     let WorkerInit {
         netlist,
@@ -2081,72 +2465,6 @@ fn send_reply_and_stop(reply: Json) -> Result<Option<Json>, String> {
 mod tests {
     use super::*;
 
-    /// A reader that yields at most one byte per `read` call — models a
-    /// socket delivering frames in arbitrarily small pieces.
-    struct Trickle<R>(R);
-
-    impl<R: io::Read> io::Read for Trickle<R> {
-        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            let n = buf.len().min(1);
-            self.0.read(&mut buf[..n])
-        }
-    }
-
-    #[test]
-    fn frame_round_trip() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello frames").expect("write");
-        write_frame(&mut buf, b"").expect("write empty");
-        let mut r = io::Cursor::new(buf);
-        assert_eq!(
-            read_frame(&mut r).expect("read").as_deref(),
-            Some(&b"hello frames"[..])
-        );
-        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
-        assert_eq!(read_frame(&mut r).expect("eof"), None);
-    }
-
-    #[test]
-    fn frame_survives_split_reads() {
-        let mut buf = Vec::new();
-        let payload = vec![0xAB_u8; 1000];
-        write_frame(&mut buf, &payload).expect("write");
-        let mut r = Trickle(io::Cursor::new(buf));
-        assert_eq!(read_frame(&mut r).expect("read"), Some(payload));
-        assert_eq!(read_frame(&mut r).expect("eof"), None);
-    }
-
-    #[test]
-    fn eof_inside_header_is_an_error() {
-        // Two bytes of a four-byte header, then EOF.
-        let mut r = io::Cursor::new(vec![7u8, 0]);
-        let err = read_frame(&mut r).expect_err("partial header must error");
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    #[test]
-    fn eof_inside_payload_is_an_error() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"full payload").expect("write");
-        buf.truncate(buf.len() - 3);
-        let mut r = io::Cursor::new(buf);
-        let err = read_frame(&mut r).expect_err("partial payload must error");
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-    }
-
-    #[test]
-    fn oversized_frame_is_rejected_before_allocation() {
-        let mut buf = (u32::MAX).to_le_bytes().to_vec();
-        buf.extend_from_slice(b"junk");
-        let mut r = io::Cursor::new(buf);
-        let err = read_frame(&mut r).expect_err("oversized header must error");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-
-        let too_big = vec![0u8; MAX_FRAME + 1];
-        let err = write_frame(&mut Vec::new(), &too_big).expect_err("oversized write");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-    }
-
     #[test]
     fn vtime_sentinel_round_trips() {
         for t in [0, 1, 42, VTime::MAX - 1, VTime::MAX] {
@@ -2194,7 +2512,7 @@ mod tests {
     #[test]
     fn hello_mismatch_shuts_the_worker_down_quietly() {
         let (sup, worker) = UnixStream::pair().expect("socketpair");
-        let handle = std::thread::spawn(move || serve_stream(worker));
+        let handle = std::thread::spawn(move || serve_wire(WireStream::Unix(worker), None, ""));
 
         let mut writer = sup.try_clone().expect("clone");
         let mut reader = io::BufReader::new(sup);
@@ -2210,14 +2528,238 @@ mod tests {
         let reply = read_frame(&mut reader)
             .expect("read")
             .expect("worker hello");
-        let reply = parse_json(&reply).expect("parse");
-        assert_eq!(
-            hello_versions(&reply).expect("versions"),
-            (WIRE_VERSION, CHECKPOINT_SCHEMA)
-        );
+        let reply = hello_parse(&parse_json(&reply).expect("parse")).expect("hello");
+        assert_eq!(reply.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
         // …then hangs up instead of serving commands.
         assert_eq!(read_frame(&mut reader).expect("clean eof"), None);
-        handle.join().expect("join").expect("serve_stream exits Ok");
+        handle.join().expect("join").expect("serve_wire exits Ok");
+    }
+
+    /// A worker dialed into the wrong run (the supervisor's hello carries
+    /// a different token) answers the hello, then exits quietly instead of
+    /// serving — it must not disturb a run it does not belong to.
+    #[test]
+    fn token_mismatch_shuts_the_worker_down_quietly() {
+        let (sup, worker) = UnixStream::pair().expect("socketpair");
+        let handle =
+            std::thread::spawn(move || serve_wire(WireStream::Unix(worker), Some(0), "right"));
+
+        let mut writer = sup.try_clone().expect("clone");
+        let mut reader = io::BufReader::new(sup);
+        send_json(&mut writer, &hello_json("wrong", None)).expect("send hello");
+
+        let reply = read_frame(&mut reader)
+            .expect("read")
+            .expect("worker hello");
+        let reply = hello_parse(&parse_json(&reply).expect("parse")).expect("hello");
+        assert_eq!(reply.token, "right");
+        assert_eq!(reply.cluster, Some(0));
+        assert_eq!(read_frame(&mut reader).expect("clean eof"), None);
+        handle.join().expect("join").expect("serve_wire exits Ok");
+    }
+
+    /// A worker dials the broker presenting `token` for `cluster`, speaking
+    /// the protocol (read supervisor hello first, then answer).
+    fn dial(addr: SocketAddr, token: &str, cluster: u32) -> std::thread::JoinHandle<WireStream> {
+        let token = token.to_string();
+        std::thread::spawn(move || {
+            let conn = TcpStream::connect(addr).expect("connect");
+            let mut stream = WireStream::Tcp(conn);
+            let mut writer = stream.try_clone().expect("clone");
+            let _sup_hello = read_frame(&mut stream).expect("read").expect("sup hello");
+            send_json(&mut writer, &hello_json(&token, Some(cluster))).expect("send hello");
+            stream
+        })
+    }
+
+    /// The broker drops a wrong-token dial-in without disturbing the run,
+    /// then matches the correct-token worker to its cluster.
+    #[test]
+    fn broker_ignores_strays_and_matches_by_cluster() {
+        let broker = TcpBroker::bind(
+            "127.0.0.1:0",
+            "good-token".to_string(),
+            Duration::from_millis(2_000),
+        )
+        .expect("bind");
+        let stray = dial(broker.addr, "evil-token", 0);
+        // Give the stray a head start so the broker meets it first. (The
+        // dialers block reading the supervisor hello, so they are joined
+        // only after accept_for has greeted them.)
+        std::thread::sleep(Duration::from_millis(50));
+        let genuine = dial(broker.addr, "good-token", 0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let got = broker.accept_for(0, deadline, None).expect("accept");
+        // The genuine worker's connection is the one handed back: prove it
+        // by round-tripping a frame (the stray's socket was dropped, so
+        // writing to it would fail or go nowhere).
+        let mut sup_side = got;
+        send_json(&mut sup_side, &ok_json_cmd("ping")).expect("send");
+        let mut worker_side = genuine.join().expect("worker thread");
+        let bytes = read_frame(&mut worker_side).expect("read").expect("frame");
+        let j = parse_json(&bytes).expect("parse");
+        assert_eq!(json_kind(&j).expect("kind"), "ping");
+        drop(stray.join().expect("stray thread"));
+    }
+
+    /// Out-of-order dial-ins: cluster 1's worker connects while the broker
+    /// is waiting on cluster 0. The broker parks it and hands it back
+    /// instantly on the next `accept_for(1)` — this is also the reconnect
+    /// path: after a reset, a re-dialing worker is matched back to its
+    /// cluster by the identity in its hello, whatever order it arrives in.
+    #[test]
+    fn broker_parks_out_of_order_dialins() {
+        let broker = TcpBroker::bind(
+            "127.0.0.1:0",
+            "tok".to_string(),
+            Duration::from_millis(2_000),
+        )
+        .expect("bind");
+        let w1 = dial(broker.addr, "tok", 1);
+        std::thread::sleep(Duration::from_millis(50));
+        let w0 = dial(broker.addr, "tok", 0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let s0 = broker.accept_for(0, deadline, None).expect("accept 0");
+        // Cluster 1 is already parked: no new dial-in needed.
+        let s1 = broker
+            .accept_for(1, Instant::now() + Duration::from_millis(200), None)
+            .expect("accept 1 from pending");
+        drop(s0);
+        drop(s1);
+        drop(w0.join().expect("w0 thread"));
+        drop(w1.join().expect("w1 thread"));
+    }
+
+    /// A correct-token peer with a mismatched wire version is fatal — the
+    /// checkpoint payload must never cross a mixed-version pair.
+    #[test]
+    fn broker_rejects_version_mismatch_as_fatal() {
+        let broker = TcpBroker::bind(
+            "127.0.0.1:0",
+            "tok".to_string(),
+            Duration::from_millis(2_000),
+        )
+        .expect("bind");
+        let addr = broker.addr;
+        let old = std::thread::spawn(move || {
+            let conn = TcpStream::connect(addr).expect("connect");
+            let mut stream = WireStream::Tcp(conn);
+            let mut writer = stream.try_clone().expect("clone");
+            let _ = read_frame(&mut stream).expect("read").expect("sup hello");
+            let stale = ObjBuilder::new()
+                .str("kind", "hello")
+                .uint("wire", (WIRE_VERSION - 1) as u64)
+                .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
+                .str("token", "tok")
+                .uint("cluster", 0)
+                .build();
+            send_json(&mut writer, &stale).expect("send hello");
+            stream
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = broker
+            .accept_for(0, deadline, None)
+            .expect_err("version mismatch must be fatal");
+        assert_eq!(
+            err,
+            WorkerFailure::Version {
+                theirs: (WIRE_VERSION - 1, CHECKPOINT_SCHEMA)
+            }
+        );
+        assert!(matches!(
+            fatal(0, err),
+            TimeWarpError::VersionMismatch { .. }
+        ));
+        drop(old.join().expect("old peer thread"));
+    }
+
+    /// A TCP worker that completes the hello but goes silent during the
+    /// handshake (never answers `init`) surfaces as a read timeout, which
+    /// the spawn path keeps *fatal*: [`TimeWarpError::WorkerTimeout`].
+    /// (Only post-handshake silence, once a checkpoint exists to restore
+    /// from, is converted to a recoverable loss.)
+    #[test]
+    fn handshake_read_timeout_is_worker_timeout() {
+        let broker = Rc::new(
+            TcpBroker::bind(
+                "127.0.0.1:0",
+                "tok".to_string(),
+                Duration::from_millis(2_000),
+            )
+            .expect("bind"),
+        );
+        let addr = broker.addr;
+        let token = broker.token.clone();
+        let mute = std::thread::spawn(move || {
+            let conn = TcpStream::connect(addr).expect("connect");
+            let mut stream = WireStream::Tcp(conn);
+            let mut writer = stream.try_clone().expect("clone");
+            let _ = read_frame(&mut stream).expect("read").expect("sup hello");
+            send_json(&mut writer, &hello_json(&token, Some(0))).expect("send hello");
+            // Swallow the init frame, then go silent until the supervisor
+            // gives up (keep the socket open so no EOF arrives).
+            let _init = read_frame(&mut stream).expect("read init");
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let timeout = Duration::from_millis(50);
+        let mut w = ProcessWorker::tcp(0, broker, None, ok_json_cmd("init"), timeout);
+        let err = w.spawn().expect_err("silent worker must time out");
+        assert_eq!(err, WorkerFailure::Timeout { after_ms: 50 });
+        assert!(matches!(
+            fatal(0, err),
+            TimeWarpError::WorkerTimeout {
+                cluster: 0,
+                after_ms: 50
+            }
+        ));
+        mute.join().expect("mute thread");
+    }
+
+    /// Post-handshake silence over TCP is crash-stop: `command()` converts
+    /// the read timeout into `Lost` and tears the connection down, which
+    /// is what routes it into checkpoint-restore recovery instead of a
+    /// fatal error.
+    #[test]
+    fn command_timeout_over_tcp_becomes_lost() {
+        let broker = Rc::new(
+            TcpBroker::bind(
+                "127.0.0.1:0",
+                "tok".to_string(),
+                Duration::from_millis(2_000),
+            )
+            .expect("bind"),
+        );
+        let addr = broker.addr;
+        let token = broker.token.clone();
+        let mute = std::thread::spawn(move || {
+            let conn = TcpStream::connect(addr).expect("connect");
+            let mut stream = WireStream::Tcp(conn);
+            let mut writer = stream.try_clone().expect("clone");
+            let _ = read_frame(&mut stream).expect("read").expect("sup hello");
+            send_json(&mut writer, &hello_json(&token, Some(0))).expect("send hello");
+            // Acknowledge init like a real worker, then never answer again.
+            let _init = read_frame(&mut stream).expect("read init");
+            send_json(&mut writer, &ready_json(0)).expect("send ready");
+            // Hold the socket open; the supervisor's shutdown will EOF us.
+            let _ = read_frame(&mut stream);
+        });
+        let timeout = Duration::from_millis(50);
+        let mut w = ProcessWorker::tcp(0, broker, None, ok_json_cmd("init"), timeout);
+        w.spawn().expect("handshake completes");
+        let err = w
+            .command(&ok_json_cmd("quiesce"))
+            .expect_err("silent peer must be declared lost");
+        assert!(
+            matches!(err, WorkerFailure::Lost { .. }),
+            "expected Lost, got {err:?}"
+        );
+        // The connection was dropped with it: the next command fails
+        // immediately, without waiting out another timeout.
+        let t0 = Instant::now();
+        let err = w.command(&ok_json_cmd("quiesce")).expect_err("no stream");
+        assert!(matches!(err, WorkerFailure::Lost { .. }));
+        assert!(t0.elapsed() < timeout, "second failure should be instant");
+        mute.join().expect("mute thread");
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Transport-generic byte stream and framing for the Time Warp wire
+//! protocol.
+//!
+//! The process and TCP transports speak the same protocol: `u32`-LE
+//! length-prefixed compact-JSON frames, capped at [`MAX_FRAME`], opened by
+//! a `hello` exchange that negotiates [`WIRE_VERSION`] and the checkpoint
+//! schema and — over TCP — authenticates the peer with a per-run token and
+//! identifies which cluster a dialing worker serves. `WireStream` is the
+//! small abstraction that lets one supervisor/worker implementation run
+//! over either a Unix-domain socket (same-host, per-cluster socket paths)
+//! or a TCP connection (any host, one shared listener the workers dial).
+//!
+//! Nothing here depends on *what* the frames say — the command vocabulary
+//! lives in [`super::transport`]; this module owns how bytes move and how
+//! a conversation is opened.
+
+use super::checkpoint::CHECKPOINT_SCHEMA;
+use dvs_json::{Json, ObjBuilder};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Version of the framing and command vocabulary. Negotiated in the
+/// `hello` exchange together with [`CHECKPOINT_SCHEMA`] (the restore
+/// payload is a serialized checkpoint, so both must match). Version 2
+/// added the per-run `token` and the worker `cluster` identity to the
+/// hello frame for the TCP transport.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Upper bound on a frame payload (64 MiB). A length prefix above this is
+/// a protocol error, not an allocation request.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A duplex byte stream the wire protocol can run over. Both variants are
+/// used identically: blocking reads under a read timeout, whole-frame
+/// buffered writes. TCP additionally disables Nagle's algorithm — every
+/// frame is a full command or response, so coalescing only adds latency
+/// to the supervisor's round-trips.
+#[derive(Debug)]
+pub(crate) enum WireStream {
+    /// Same-host stream: one Unix-domain socket per cluster.
+    Unix(UnixStream),
+    /// Cross-host stream: a connection accepted from (or dialed to) the
+    /// supervisor's shared TCP listener.
+    Tcp(TcpStream),
+}
+
+impl WireStream {
+    pub fn try_clone(&self) -> io::Result<WireStream> {
+        match self {
+            WireStream::Unix(s) => s.try_clone().map(WireStream::Unix),
+            WireStream::Tcp(s) => s.try_clone().map(WireStream::Tcp),
+        }
+    }
+
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            WireStream::Unix(s) => s.set_read_timeout(d),
+            WireStream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Abruptly tear the connection down in both directions. Used when the
+    /// supervisor declares a silent or reset peer dead: any bytes still in
+    /// flight are discarded and the peer observes EOF/EPIPE — the same
+    /// crash-stop signal a killed process produces.
+    pub fn shutdown_both(&self) {
+        match self {
+            WireStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            WireStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Unix(s) => s.read(buf),
+            WireStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Unix(s) => s.write(buf),
+            WireStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Unix(s) => s.flush(),
+            WireStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Write one `u32`-LE length-prefixed frame. Header and payload are
+/// assembled into a single buffer first, so each frame costs one write
+/// syscall and a reader never observes a torn header from a live peer.
+pub(crate) fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *at a frame boundary* (the
+/// peer closed deliberately); EOF inside a header or payload is an
+/// `UnexpectedEof` error — the signature of a killed worker or a reset
+/// connection.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serialize and send one JSON frame.
+pub(crate) fn send_json<W: Write>(w: &mut W, j: &Json) -> io::Result<()> {
+    let text = j
+        .emit()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.msg))?;
+    write_frame(w, text.as_bytes())
+}
+
+pub(crate) fn parse_json(bytes: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    Json::parse(text).map_err(|e| format!("frame is not JSON: {}", e.msg))
+}
+
+pub(crate) fn json_kind(j: &Json) -> Result<&str, String> {
+    j.field("kind").and_then(Json::as_str).map_err(|e| e.msg)
+}
+
+/// The decoded contents of a `hello` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Hello {
+    /// Peer's wire-protocol version.
+    pub wire: u32,
+    /// Peer's checkpoint schema version.
+    pub checkpoint_schema: u32,
+    /// Per-run token. The supervisor mints one per TCP run and hands it to
+    /// the workers it spawns (or the operator exports it to remote ones);
+    /// a dial-in whose hello carries a different token is a stray from
+    /// another run — or another program entirely — and is dropped without
+    /// disturbing the run. Empty on the Unix transport, where the
+    /// per-cluster socket path already scopes the conversation.
+    pub token: String,
+    /// The cluster this worker serves. Carried by worker hellos over TCP
+    /// so the shared listener can match a (re)connecting worker back to
+    /// its cluster; `None` in supervisor hellos and on the Unix transport,
+    /// where the socket path identifies the cluster.
+    pub cluster: Option<u32>,
+}
+
+impl Hello {
+    pub fn versions(&self) -> (u32, u32) {
+        (self.wire, self.checkpoint_schema)
+    }
+}
+
+/// Build a `hello` frame carrying our versions, the run token, and — from
+/// a TCP worker — its cluster identity.
+pub(crate) fn hello_json(token: &str, cluster: Option<u32>) -> Json {
+    let mut b = ObjBuilder::new()
+        .str("kind", "hello")
+        .uint("wire", WIRE_VERSION as u64)
+        .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
+        .str("token", token);
+    if let Some(c) = cluster {
+        b = b.uint("cluster", c as u64);
+    }
+    b.build()
+}
+
+/// Parse a `hello` frame. The `token` and `cluster` fields are optional on
+/// the wire (a version-1 peer sends neither), defaulting to empty/absent —
+/// version negotiation, not parsing, is what rejects such a peer.
+pub(crate) fn hello_parse(j: &Json) -> Result<Hello, String> {
+    if json_kind(j)? != "hello" {
+        return Err(format!("expected a hello frame, got {j:?}"));
+    }
+    let err = |e: dvs_json::JsonError| e.msg;
+    let wire = j.field("wire").and_then(Json::as_u64).map_err(err)? as u32;
+    let checkpoint_schema = j
+        .field("checkpoint_schema")
+        .and_then(Json::as_u64)
+        .map_err(err)? as u32;
+    let token = match j.field("token") {
+        Ok(v) => v.as_str().map_err(err)?.to_string(),
+        Err(_) => String::new(),
+    };
+    let cluster = match j.field("cluster") {
+        Ok(v) => Some(v.as_u64().map_err(err)? as u32),
+        Err(_) => None,
+    };
+    Ok(Hello {
+        wire,
+        checkpoint_schema,
+        token,
+        cluster,
+    })
+}
+
+/// Mint a fresh per-run token: unique across concurrent runs on one
+/// machine and unguessable enough to keep strays from other runs out of
+/// this one's listener. Not a cryptographic credential — the TCP transport
+/// is meant for trusted cluster networks (see EXPERIMENTS.md).
+pub(crate) fn run_token() -> String {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let serial = SERIAL.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("{:08x}-{:x}-{:x}", std::process::id(), nanos, serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A reader that yields at most one byte per `read` call — models a
+    /// socket delivering frames in arbitrarily small pieces.
+    struct Trickle<R>(R);
+
+    impl<R: io::Read> io::Read for Trickle<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some(&b"hello frames"[..])
+        );
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn frame_survives_split_reads() {
+        let mut buf = Vec::new();
+        let payload = vec![0xAB_u8; 1000];
+        write_frame(&mut buf, &payload).expect("write");
+        let mut r = Trickle(io::Cursor::new(buf));
+        assert_eq!(read_frame(&mut r).expect("read"), Some(payload));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn eof_inside_header_is_an_error() {
+        // Two bytes of a four-byte header, then EOF.
+        let mut r = io::Cursor::new(vec![7u8, 0]);
+        let err = read_frame(&mut r).expect_err("partial header must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn eof_inside_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").expect("write");
+        buf.truncate(buf.len() - 3);
+        let mut r = io::Cursor::new(buf);
+        let err = read_frame(&mut r).expect_err("partial payload must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut r = io::Cursor::new(buf);
+        let err = read_frame(&mut r).expect_err("oversized header must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let too_big = vec![0u8; MAX_FRAME + 1];
+        let err = write_frame(&mut Vec::new(), &too_big).expect_err("oversized write");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// An oversized length prefix arriving over a real TCP connection is
+    /// rejected as a protocol error before any allocation — a malicious or
+    /// corrupted remote peer cannot make the supervisor allocate 4 GiB.
+    #[test]
+    fn oversized_frame_over_tcp_is_a_protocol_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sender = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut evil = ((MAX_FRAME as u32) + 1).to_le_bytes().to_vec();
+            evil.extend_from_slice(b"payload never arrives");
+            s.write_all(&evil).expect("write");
+        });
+        let (conn, _) = listener.accept().expect("accept");
+        let mut r = io::BufReader::new(WireStream::Tcp(conn));
+        let err = read_frame(&mut r).expect_err("oversized TCP frame must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        sender.join().expect("sender");
+    }
+
+    /// Frames round-trip over a `WireStream::Tcp` pair exactly as over the
+    /// in-memory cursor used by the tests above.
+    #[test]
+    fn frames_cross_a_real_tcp_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sender = std::thread::spawn(move || {
+            let mut s = WireStream::Tcp(TcpStream::connect(addr).expect("connect"));
+            send_json(&mut s, &hello_json("tok-1", Some(3))).expect("send");
+        });
+        let (conn, _) = listener.accept().expect("accept");
+        let mut r = io::BufReader::new(WireStream::Tcp(conn));
+        let bytes = read_frame(&mut r).expect("read").expect("one frame");
+        let hello = hello_parse(&parse_json(&bytes).expect("parse")).expect("hello");
+        assert_eq!(hello.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
+        assert_eq!(hello.token, "tok-1");
+        assert_eq!(hello.cluster, Some(3));
+        sender.join().expect("sender");
+    }
+
+    #[test]
+    fn hello_round_trips_with_and_without_identity() {
+        for (token, cluster) in [("", None), ("run-abc", Some(0)), ("t", Some(7))] {
+            let j = hello_json(token, cluster);
+            let h = hello_parse(&j).expect("parse");
+            assert_eq!(h.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
+            assert_eq!(h.token, token);
+            assert_eq!(h.cluster, cluster);
+        }
+        // A version-1 hello (no token, no cluster) still parses; version
+        // negotiation is what rejects it.
+        let v1 = ObjBuilder::new()
+            .str("kind", "hello")
+            .uint("wire", 1)
+            .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
+            .build();
+        let h = hello_parse(&v1).expect("v1 parses");
+        assert_eq!(h.wire, 1);
+        assert_eq!(h.token, "");
+        assert_eq!(h.cluster, None);
+    }
+
+    #[test]
+    fn run_tokens_are_unique() {
+        let a = run_token();
+        let b = run_token();
+        assert_ne!(a, b);
+        assert!(!a.is_empty());
+    }
+}

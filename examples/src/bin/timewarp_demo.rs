@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dvs-examples --bin timewarp_demo -- \
-//!     [machines] [vectors] [--transport threads|inproc|process]
+//!     [machines] [vectors] [--transport threads|inproc|process|tcp]
 //! ```
 //!
 //! `--transport threads` (the default) runs one OS thread per cluster.
@@ -12,6 +12,9 @@
 //! `--transport process` spawns one `tw_worker` OS process per cluster;
 //! build it first (`cargo build --release -p dvs-bench --bin tw_worker`) so
 //! the binary sits next to this demo, or point `DVS_TW_WORKER` at it.
+//! `--transport tcp` binds a localhost listener and has each spawned
+//! `tw_worker` dial back in over TCP (`tw_worker --connect`), exercising
+//! the remote-worker wire path end to end on one machine.
 
 use dvs_core::multiway::{partition_multiway, MultiwayConfig};
 use dvs_sim::cluster::ClusterPlan;
@@ -30,8 +33,9 @@ fn parse_transport(name: &str) -> Transport {
         "threads" => Transport::Threads,
         "inproc" => Transport::in_proc(SCHED_SEED, SchedulePolicy::RoundRobin),
         "process" => Transport::process(SCHED_SEED, SchedulePolicy::RoundRobin),
+        "tcp" => Transport::tcp(SCHED_SEED, SchedulePolicy::RoundRobin),
         other => {
-            eprintln!("unknown transport `{other}` (expected threads|inproc|process)");
+            eprintln!("unknown transport `{other}` (expected threads|inproc|process|tcp)");
             std::process::exit(2);
         }
     }
@@ -46,7 +50,7 @@ fn main() {
     while let Some(arg) = args.next() {
         if arg == "--transport" {
             let Some(name) = args.next() else {
-                eprintln!("--transport needs a value (threads|inproc|process)");
+                eprintln!("--transport needs a value (threads|inproc|process|tcp)");
                 std::process::exit(2);
             };
             transport = parse_transport(&name);
