@@ -9,7 +9,10 @@
 //! With `--case all` (the default): runs the fixed smoke grid (see
 //! `dvs_bench::gate::smoke_grid`), once serial and once on 4 threads per
 //! case, asserts the canonical artifacts of the two legs are
-//! byte-identical, then runs the process- and TCP-transport legs
+//! byte-identical, then runs the incremental-checkpoint leg
+//! (`dvs_bench::gate::delta_checkpoint_case` — the same run under base
+//! cadence 1 vs 4, exact checkpoint byte counters pinned) and the
+//! process- and TCP-transport legs
 //! (`dvs_bench::gate::{process_case, tcp_case}` — real `tw_worker` OS
 //! processes over a Unix socket and over localhost TCP, one worker
 //! `SIGKILL`ed and recovered per leg, byte-compared against the
@@ -30,7 +33,8 @@
 //!   missing `tw_worker` binary).
 
 use dvs_bench::gate::{
-    bench_artifact, compare, large_case, process_case, run_case, smoke_grid, tcp_case, Tolerances,
+    bench_artifact, compare, delta_checkpoint_case, large_case, process_case, run_case, smoke_grid,
+    tcp_case, Tolerances,
 };
 use dvs_core::json::Json;
 use std::path::PathBuf;
@@ -109,6 +113,22 @@ fn main() {
                     eprintln!("FAIL {e}");
                     std::process::exit(1);
                 }
+            }
+        }
+
+        let t = Instant::now();
+        match delta_checkpoint_case() {
+            Ok(artifact) => {
+                eprintln!(
+                    "   case `{}`: clean, all-bases, and delta-cadence legs agree [{:.2?}]",
+                    artifact.name,
+                    t.elapsed()
+                );
+                cases.push(artifact);
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                std::process::exit(1);
             }
         }
 

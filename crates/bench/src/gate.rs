@@ -28,7 +28,7 @@ use dvs_core::{
 };
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, TimeWarpConfig, Transport};
+use dvs_sim::timewarp::{run_timewarp, CheckpointCadence, TimeWarpConfig, Transport};
 use dvs_sim::{FaultPlan, SchedulePolicy};
 use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
 use dvs_workloads::{generate_viterbi, ViterbiParams};
@@ -188,6 +188,133 @@ fn wire_transport_case(
     })
 }
 
+/// Base-checkpoint cadence of the delta-compaction legs: full images every
+/// 4th GVT round, deltas in between. Fixed, like the seeds — changing it
+/// changes the pinned byte counters.
+pub const DELTA_CADENCE: u32 = 4;
+
+/// The incremental-checkpoint leg of the gate (`delta_checkpoint` case):
+/// the same deterministic in-process Time Warp run three times — clean,
+/// crash-injected with bases every round (cadence 1), and crash-injected
+/// with bases every [`DELTA_CADENCE`]th round and deltas in between. All
+/// three canonical artifacts must be byte-identical (neither the capture
+/// cadence nor the recovery is allowed to leak into results), and the
+/// exact checkpoint byte counters of both captured runs are pinned in the
+/// baseline, so any drift in the delta encoder shows up as a counter diff.
+pub fn delta_checkpoint_case() -> Result<CaseArtifact, String> {
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let (report, host) = compaction_probe("delta_checkpoint", &src, PROCESS_CLUSTERS, 20)?;
+    Ok(CaseArtifact {
+        name: "delta_checkpoint".to_string(),
+        report,
+        host,
+    })
+}
+
+/// Shared body of [`delta_checkpoint_case`] and the `large` compaction leg:
+/// measure checkpoint bytes under cadence 1 vs [`DELTA_CADENCE`] on one
+/// workload and enforce the compaction contract — the delta bytes of the
+/// cadenced run must be under half the all-bases run's bytes, and its
+/// total checkpoint traffic must be below the all-bases run's. The margin
+/// comes from the delta artifact's compact event encoding plus run-encoded
+/// values and elided no-change fields; the exact counters are additionally
+/// pinned by the baseline on the smoke leg.
+fn compaction_probe(
+    name: &str,
+    source: &str,
+    k: u32,
+    vectors: u64,
+) -> Result<(Json, Json), String> {
+    let ctx = |e: String| format!("case `{name}`: {e}");
+    let nl = dvs_verilog::parse_and_elaborate(source)
+        .map_err(|e| ctx(e.to_string()))?
+        .into_netlist();
+    let part = partition_multiway(&nl, &MultiwayConfig::new(k, 20.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, k as usize);
+    let stim = VectorStimulus::from_netlist(&nl, 10, STIM_SEED);
+    let run = |cadence: u32, fault: FaultPlan| {
+        let cfg = TimeWarpConfig::builder()
+            .transport(Transport::in_proc(DST_SEED, SchedulePolicy::SeededRandom))
+            .window(8)
+            .batch(2)
+            .gvt_interval(1)
+            .checkpoint_cadence(CheckpointCadence::every_n_rounds(cadence))
+            .fault(fault)
+            .build()
+            .map_err(|e| ctx(e.to_string()))?;
+        let t = Instant::now();
+        let tw = run_timewarp(&nl, &plan, &stim, vectors, &cfg).map_err(|e| ctx(e.to_string()))?;
+        let seconds = t.elapsed().as_secs_f64();
+        let canonical = tw_run_canonical_json(&tw)
+            .emit()
+            .map_err(|e| ctx(e.to_string()))?;
+        Ok::<_, String>((tw, canonical, seconds))
+    };
+    // The clean cadence-1 run does not arm recovery tracking, so its byte
+    // counters are zero — it exists purely as the byte-identity reference.
+    let (_, clean, clean_seconds) = run(1, FaultPlan::default())?;
+    let fault = FaultPlan::crash(CRASH_AT.0, CRASH_AT.1);
+    let (full, full_bytes, full_seconds) = run(1, fault)?;
+    if full_bytes != clean {
+        return Err(ctx(
+            "cadence-1 crash run diverged from the clean run".to_string()
+        ));
+    }
+    let (delta, delta_bytes, delta_seconds) = run(DELTA_CADENCE, fault)?;
+    if delta_bytes != clean {
+        return Err(ctx(format!(
+            "cadence-{DELTA_CADENCE} crash run diverged from the clean run"
+        )));
+    }
+    if full.recovery.crashes == 0 || delta.recovery.crashes == 0 {
+        return Err(ctx(
+            "the injected crash never fired — move CRASH_AT earlier".to_string(),
+        ));
+    }
+    let full1 = full.recovery.checkpoint_bytes_full;
+    let base4 = delta.recovery.checkpoint_bytes_full;
+    let inc4 = delta.recovery.checkpoint_bytes_delta;
+    if full.recovery.checkpoint_bytes_delta != 0 {
+        return Err(ctx("cadence-1 run captured deltas".to_string()));
+    }
+    if full1 == 0 || base4 == 0 || inc4 == 0 {
+        return Err(ctx(format!(
+            "degenerate byte counters (full1 {full1}, base4 {base4}, delta4 {inc4}) — \
+             the run is too short to exercise the cadence"
+        )));
+    }
+    // The compaction contract of this leg (also the PR's acceptance bar):
+    // deltas must be cheap relative to the full images they replace.
+    if inc4 * 2 >= full1 {
+        return Err(ctx(format!(
+            "delta bytes {inc4} are not under half the all-bases bytes {full1} — \
+             the incremental encoding is not compacting"
+        )));
+    }
+    if base4 + inc4 >= full1 {
+        return Err(ctx(format!(
+            "cadence-{DELTA_CADENCE} total {} is not below the all-bases total {full1}",
+            base4 + inc4
+        )));
+    }
+    let report = ObjBuilder::new()
+        .uint("delta_cadence", DELTA_CADENCE as u64)
+        .uint("checkpoint_bytes_full", full1)
+        .uint("checkpoint_bytes_delta", inc4)
+        .uint("cadenced_base_bytes", base4)
+        .float("compaction_ratio", (base4 + inc4) as f64 / full1 as f64)
+        .field("stats", delta.stats.to_json())
+        .uint("gvt_rounds", delta.gvt_rounds)
+        .field("recovery", delta.recovery.to_json())
+        .build();
+    let host = ObjBuilder::new()
+        .float("clean_seconds", clean_seconds)
+        .float("full_cadence_seconds", full_seconds)
+        .float("delta_cadence_seconds", delta_seconds)
+        .build();
+    Ok((report, host))
+}
+
 /// The nightly paper-scale case (`bench_gate --case large`): the
 /// [`ViterbiParams::paper_class`] decoder (~14 k gates, 459 module
 /// instances — the shape of the paper's 388-module netlist) swept over a
@@ -196,14 +323,28 @@ fn wire_transport_case(
 /// cron workflow as a tracking artifact (`BENCH_nightly.json`) rather
 /// than against the checked-in baseline.
 pub fn large_case() -> Result<CaseArtifact, String> {
-    run_case(&BenchCase {
+    let source = generate_viterbi(&ViterbiParams::paper_class());
+    let mut artifact = run_case(&BenchCase {
         name: "viterbi_paper_class",
-        source: generate_viterbi(&ViterbiParams::paper_class()),
+        source: source.clone(),
         ks: vec![4, 8],
         bs: vec![10.0, 20.0],
         presim_vectors: 40,
         full_vectors: 100,
-    })
+    })?;
+    // The nightly compaction leg: the same paper-class netlist under
+    // cadence 1 vs DELTA_CADENCE, with the measured byte counters and the
+    // compaction ratio folded into the tracking artifact. The probe itself
+    // enforces the acceptance bar (delta bytes < 50 % of full bytes).
+    let (compaction, compaction_host) =
+        compaction_probe("viterbi_paper_class", &source, 4, PROCESS_VECTORS)?;
+    if let Json::Object(members) = &mut artifact.report {
+        members.push(("compaction".to_string(), compaction));
+    }
+    if let Json::Object(members) = &mut artifact.host {
+        members.push(("compaction".to_string(), compaction_host));
+    }
+    Ok(artifact)
 }
 
 /// 64-bit FNV-1a over the canonical artifact bytes: a compact exact pin of

@@ -20,7 +20,8 @@ use dvs_core::{partition_multiway, MultiwayConfig};
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::{
-    run_timewarp, FaultPlan, SchedulePolicy, TimeWarpConfig, Transport, TwRunResult,
+    run_timewarp, CheckpointCadence, FaultPlan, SchedulePolicy, TimeWarpConfig, Transport,
+    TwRunResult,
 };
 use dvs_verilog::Netlist;
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
@@ -55,11 +56,16 @@ fn fixture() -> (Netlist, Vec<u32>, VectorStimulus) {
 }
 
 fn config(transport: Transport, fault: FaultPlan) -> TimeWarpConfig {
+    config_cadenced(transport, fault, 1)
+}
+
+fn config_cadenced(transport: Transport, fault: FaultPlan, cadence: u32) -> TimeWarpConfig {
     TimeWarpConfig::builder()
         .transport(transport)
         .window(8)
         .batch(2)
         .gvt_interval(1)
+        .checkpoint_cadence(CheckpointCadence::every_n_rounds(cadence))
         .fault(fault)
         .build()
         .expect("valid config")
@@ -235,6 +241,58 @@ fn killed_and_reset_mid_run_still_byte_identical() {
     std::env::remove_var("DVS_TW_TCP_FAULT");
     assert!(reset.recovery.crashes >= 1, "reset leg fired no fault");
     assert_identical(&clean, &canonical(&reset), "acceptance reset leg");
+}
+
+/// The delta-cadence leg over TCP: bases every 4th GVT round, one
+/// `SIGKILL` and one connection reset landing *between* bases — each
+/// recovery restores from base + replayed delta chain shipped over the
+/// socket, and the artifact stays byte-identical to the undisturbed
+/// in-proc run.
+#[test]
+fn faults_between_bases_restore_from_delta_chain() {
+    let _g = lock();
+    let (nl, gb, stim) = fixture();
+    let policy = SchedulePolicy::SeededRandom;
+    let clean = canonical(&run(
+        &nl,
+        &gb,
+        &stim,
+        &config(in_proc(policy), FaultPlan::default()),
+    ));
+    // Kill leg: SIGKILL mid-chain.
+    let killed = run(
+        &nl,
+        &gb,
+        &stim,
+        &config_cadenced(tcp(policy), FaultPlan::crash(1, 83), 4),
+    );
+    assert!(
+        killed.recovery.crashes >= 1,
+        "cadence kill leg fired no fault"
+    );
+    assert!(
+        killed.recovery.checkpoint_bytes_delta > 0,
+        "cadence kill leg counted no delta bytes"
+    );
+    assert_identical(&clean, &canonical(&killed), "cadence kill cluster 1 at 83");
+    // Reset leg: connection torn down mid-chain while the process lives.
+    std::env::set_var("DVS_TW_TCP_FAULT", "reset");
+    let reset = run(
+        &nl,
+        &gb,
+        &stim,
+        &config_cadenced(tcp(policy), FaultPlan::crash(2, 211), 4),
+    );
+    std::env::remove_var("DVS_TW_TCP_FAULT");
+    assert!(
+        reset.recovery.crashes >= 1,
+        "cadence reset leg fired no fault"
+    );
+    assert!(
+        reset.recovery.checkpoint_bytes_delta > 0,
+        "cadence reset leg counted no delta bytes"
+    );
+    assert_identical(&clean, &canonical(&reset), "cadence reset cluster 2 at 211");
 }
 
 /// Asynchronous death over TCP: the worker aborts *itself*

@@ -16,9 +16,11 @@
 use crate::cluster_model::{ClusterRun, RunTiming};
 use crate::stats::SimStats;
 use crate::timewarp::{
-    Checkpoint, CkptEvent, CkptSource, RecoveryOutcome, TwMessage, TwRunResult, CHECKPOINT_SCHEMA,
+    Checkpoint, CheckpointDelta, CkptEvent, CkptSource, LogDelta, RecoveryOutcome, TwMessage,
+    TwRunResult, ValuesDelta, CHECKPOINT_SCHEMA,
 };
 use crate::wheel::NetEvent;
+use crate::wheel::VTime;
 use crate::Logic;
 use dvs_json::{
     uint_array, uint_vec, FromJson, Json, JsonError, ObjBuilder, ToJson, SCHEMA_VERSION,
@@ -158,6 +160,8 @@ impl ToJson for RecoveryOutcome {
                 "victims",
                 uint_array(&self.victims.iter().map(|&c| c as u64).collect::<Vec<_>>()),
             )
+            .uint("checkpoint_bytes_full", self.checkpoint_bytes_full)
+            .uint("checkpoint_bytes_delta", self.checkpoint_bytes_delta)
             .bool("degraded", self.degraded)
             .build()
     }
@@ -165,15 +169,20 @@ impl ToJson for RecoveryOutcome {
 
 impl FromJson for RecoveryOutcome {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Byte counters (and the victim list) are absent in artifacts
+        // written before they existed; they read back as zero/empty.
+        let opt_uint =
+            |key: &str| -> Result<u64, JsonError> { v.get(key).map_or(Ok(0), |f| f.as_u64()) };
         Ok(RecoveryOutcome {
             crashes: v.field("crashes")?.as_u64()? as u32,
             restarts: v.field("restarts")?.as_u64()? as u32,
             replayed_ops: v.field("replayed_ops")?.as_u64()?,
-            // Absent in artifacts written before the victim list existed.
             victims: match v.get("victims") {
                 Some(a) => uint_vec(a)?.into_iter().map(|c| c as u32).collect(),
                 None => Vec::new(),
             },
+            checkpoint_bytes_full: opt_uint("checkpoint_bytes_full")?,
+            checkpoint_bytes_delta: opt_uint("checkpoint_bytes_delta")?,
             degraded: v.field("degraded")?.as_bool()?,
         })
     }
@@ -489,6 +498,381 @@ impl FromJson for Checkpoint {
     }
 }
 
+// --- delta checkpoint codec -------------------------------------------------
+
+fn undo_entry_json(&(t, net, val): &(VTime, u32, Logic)) -> Json {
+    Json::Array(vec![
+        Json::Int(t as i64),
+        Json::Int(net as i64),
+        Json::Str(val.display_char().to_string()),
+    ])
+}
+
+fn undo_entry_from(u: &Json) -> Result<(VTime, u32, Logic), JsonError> {
+    match u.as_array()? {
+        [t, net, val] => Ok((t.as_u64()?, net.as_u64()? as u32, logic_from_json(val)?)),
+        _ => Err(JsonError::new("undo entry must be [time, net, value]")),
+    }
+}
+
+fn snapshot_entry_json((t, vals): &(VTime, Vec<Logic>)) -> Json {
+    Json::Array(vec![Json::Int(*t as i64), Json::Str(logic_str(vals))])
+}
+
+fn snapshot_entry_from(s: &Json) -> Result<(VTime, Vec<Logic>), JsonError> {
+    match s.as_array()? {
+        [t, vals] => Ok((t.as_u64()?, logic_vec(vals)?)),
+        _ => Err(JsonError::new("snapshot entry must be [time, values]")),
+    }
+}
+
+/// Compact array form of a [`CkptEvent`] used only inside delta artifacts,
+/// where events are the bulk of the payload: `[time, net, "v", order]` for
+/// stimulus events, plus a `"l", created_at, lseq` or `"r", src, seq` tail
+/// for local and remote ones. The full-image codec keeps the verbose
+/// object form — images are shipped rarely, deltas every round.
+fn ckpt_event_compact_json(e: &CkptEvent) -> Json {
+    let mut a = vec![
+        Json::Int(e.time as i64),
+        Json::Int(e.net as i64),
+        Json::Str(e.value.display_char().to_string()),
+        Json::Int(e.order as i64),
+    ];
+    match e.source {
+        CkptSource::Stimulus => {}
+        CkptSource::Local { created_at, lseq } => {
+            a.push(Json::Str("l".into()));
+            a.push(Json::Int(created_at as i64));
+            a.push(Json::Int(lseq as i64));
+        }
+        CkptSource::Remote { src, seq } => {
+            a.push(Json::Str("r".into()));
+            a.push(Json::Int(src as i64));
+            a.push(Json::Int(seq as i64));
+        }
+    }
+    Json::Array(a)
+}
+
+fn ckpt_event_compact_from(v: &Json) -> Result<CkptEvent, JsonError> {
+    let a = v.as_array()?;
+    let source = match a {
+        [_, _, _, _] => CkptSource::Stimulus,
+        [_, _, _, _, tag, x, y] => match tag.as_str()? {
+            "l" => CkptSource::Local {
+                created_at: x.as_u64()?,
+                lseq: y.as_u64()?,
+            },
+            "r" => CkptSource::Remote {
+                src: x.as_u64()? as u32,
+                seq: y.as_u64()?,
+            },
+            t => return Err(JsonError::new(format!("unknown event source tag `{t}`"))),
+        },
+        _ => {
+            return Err(JsonError::new(
+                "compact event must be [time, net, value, order, source...]",
+            ))
+        }
+    };
+    Ok(CkptEvent {
+        time: a[0].as_u64()?,
+        net: a[1].as_u64()? as u32,
+        value: logic_from_json(&a[2])?,
+        source,
+        order: a[3].as_u64()?,
+    })
+}
+
+/// Compact output-log entry for delta artifacts:
+/// `[log_time, src, dst, seq, ev_time, net, "v", anti]`.
+fn outlog_compact_json((t, m): &(VTime, TwMessage)) -> Json {
+    Json::Array(vec![
+        Json::Int(*t as i64),
+        Json::Int(m.src as i64),
+        Json::Int(m.dst as i64),
+        Json::Int(m.seq as i64),
+        Json::Int(m.ev.time as i64),
+        Json::Int(m.ev.net.0 as i64),
+        Json::Str(m.ev.value.display_char().to_string()),
+        Json::Bool(m.anti),
+    ])
+}
+
+fn outlog_compact_from(v: &Json) -> Result<(VTime, TwMessage), JsonError> {
+    match v.as_array()? {
+        [t, src, dst, seq, time, net, value, anti] => Ok((
+            t.as_u64()?,
+            TwMessage {
+                src: src.as_u64()? as u32,
+                dst: dst.as_u64()? as u32,
+                seq: seq.as_u64()?,
+                ev: NetEvent {
+                    time: time.as_u64()?,
+                    net: NetId(net.as_u64()? as u32),
+                    value: logic_from_json(value)?,
+                },
+                anti: anti.as_bool()?,
+            },
+        )),
+        _ => Err(JsonError::new(
+            "compact outlog entry must be [t, src, dst, seq, time, net, value, anti]",
+        )),
+    }
+}
+
+fn log_delta_json<T>(d: &LogDelta<T>, enc: impl Fn(&T) -> Json) -> Json {
+    ObjBuilder::new()
+        .uint("drop", d.drop_front as u64)
+        .uint("keep", d.keep as u64)
+        .array("append", d.append.iter().map(enc).collect())
+        .build()
+}
+
+fn log_delta_from<T>(
+    v: &Json,
+    dec: impl Fn(&Json) -> Result<T, JsonError>,
+) -> Result<LogDelta<T>, JsonError> {
+    Ok(LogDelta {
+        drop_front: v.field("drop")?.as_u64()? as u32,
+        keep: v.field("keep")?.as_u64()? as u32,
+        append: v
+            .field("append")?
+            .as_array()?
+            .iter()
+            .map(dec)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn values_delta_json(d: &ValuesDelta) -> Json {
+    match d {
+        ValuesDelta::Full(vals) => ObjBuilder::new().str("full", &logic_str(vals)).build(),
+        ValuesDelta::Runs(runs) => ObjBuilder::new()
+            .array(
+                "runs",
+                runs.iter()
+                    .map(|(start, vals)| {
+                        Json::Array(vec![Json::Int(*start as i64), Json::Str(logic_str(vals))])
+                    })
+                    .collect(),
+            )
+            .build(),
+    }
+}
+
+fn values_delta_from(v: &Json) -> Result<ValuesDelta, JsonError> {
+    if let Some(full) = v.get("full") {
+        return Ok(ValuesDelta::Full(logic_vec(full)?));
+    }
+    let runs = v
+        .field("runs")?
+        .as_array()?
+        .iter()
+        .map(|r| match r.as_array()? {
+            [start, vals] => Ok((start.as_u64()? as u32, logic_vec(vals)?)),
+            _ => Err(JsonError::new("values run must be [start, values]")),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(ValuesDelta::Runs(runs))
+}
+
+impl ToJson for CheckpointDelta {
+    /// Schema-versioned delta artifact (`kind: "tw_checkpoint_delta"`) —
+    /// the edits against the previous round's image. Like the full image,
+    /// the encoding is deterministic and lossless, and it doubles as the
+    /// wire format: the process transport ships delta chains in `restore`
+    /// frames and individual deltas in `ckpt_delta` replies.
+    fn to_json(&self) -> Json {
+        // No-change fields are omitted entirely — a delta's cost should
+        // track what actually changed, not the number of fields in the
+        // image. Absent set edits mean empty, an absent `values` field
+        // means no net changed, and an absent log field is the `KEEP_ALL`
+        // identity edit. The emission is still a deterministic function of
+        // the delta, so byte-identity comparisons stay valid.
+        let mut b = ObjBuilder::new()
+            .int("schema_version", SCHEMA_VERSION)
+            .str("kind", "tw_checkpoint_delta")
+            .uint("checkpoint_schema", self.schema as u64)
+            .uint("cluster", self.cluster as u64)
+            .uint("base_gvt", self.base_gvt)
+            .uint("gvt", self.gvt);
+        let identity_values = matches!(&self.values, ValuesDelta::Runs(runs) if runs.is_empty());
+        if !identity_values {
+            b = b.field("values", values_delta_json(&self.values));
+        }
+        if !self.pending_removed.is_empty() {
+            b = b.array(
+                "pending_removed",
+                self.pending_removed
+                    .iter()
+                    .map(|&(t, order)| uint_array(&[t, order]))
+                    .collect(),
+            );
+        }
+        if !self.pending_added.is_empty() {
+            b = b.array(
+                "pending_added",
+                self.pending_added
+                    .iter()
+                    .map(ckpt_event_compact_json)
+                    .collect(),
+            );
+        }
+        if !self.tomb_remote_removed.is_empty() {
+            b = b.array(
+                "tomb_remote_removed",
+                self.tomb_remote_removed
+                    .iter()
+                    .map(|&(src, seq)| uint_array(&[src as u64, seq]))
+                    .collect(),
+            );
+        }
+        if !self.tomb_remote_added.is_empty() {
+            b = b.array(
+                "tomb_remote_added",
+                self.tomb_remote_added
+                    .iter()
+                    .map(|&(src, seq)| uint_array(&[src as u64, seq]))
+                    .collect(),
+            );
+        }
+        if !self.tomb_local_removed.is_empty() {
+            b = b.field("tomb_local_removed", uint_array(&self.tomb_local_removed));
+        }
+        if !self.tomb_local_added.is_empty() {
+            b = b.field("tomb_local_added", uint_array(&self.tomb_local_added));
+        }
+        if !self.processed.is_keep_all() {
+            b = b.field(
+                "processed",
+                log_delta_json(&self.processed, ckpt_event_compact_json),
+            );
+        }
+        if !self.undo.is_keep_all() {
+            b = b.field("undo", log_delta_json(&self.undo, undo_entry_json));
+        }
+        if !self.snapshots.is_keep_all() {
+            b = b.field(
+                "snapshots",
+                log_delta_json(&self.snapshots, snapshot_entry_json),
+            );
+        }
+        if !self.outlog.is_keep_all() {
+            b = b.field("outlog", log_delta_json(&self.outlog, outlog_compact_json));
+        }
+        if !self.sched_log.is_keep_all() {
+            b = b.field(
+                "sched_log",
+                log_delta_json(&self.sched_log, |&(t, lseq)| uint_array(&[t, lseq])),
+            );
+        }
+        b.uint("epochs_since_snapshot", self.epochs_since_snapshot as u64)
+            .uint("stim_cycle", self.stim_cycle)
+            .uint("last_time", self.last_time)
+            .bool("settled", self.settled)
+            .uint("order", self.order)
+            .uint("lseq", self.lseq)
+            .uint("mseq", self.mseq)
+            .field("stats", self.stats.to_json())
+            .build()
+    }
+}
+
+impl FromJson for CheckpointDelta {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let version = v.field("schema_version")?.as_i64()?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let kind = v.field("kind")?.as_str()?;
+        if kind != "tw_checkpoint_delta" {
+            return Err(JsonError::new(format!(
+                "expected kind `tw_checkpoint_delta`, got `{kind}`"
+            )));
+        }
+        let schema = v.field("checkpoint_schema")?.as_u64()? as u32;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(JsonError::new(format!(
+                "unsupported checkpoint_schema {schema} (expected {CHECKPOINT_SCHEMA})"
+            )));
+        }
+        // Absent fields are the no-change defaults the serializer elided:
+        // empty set edits, the empty-runs values edit, `KEEP_ALL` log edits.
+        let tomb_remote = |key: &str| -> Result<Vec<(u32, u64)>, JsonError> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(a) => a
+                    .as_array()?
+                    .iter()
+                    .map(|p| uint_pair(p).map(|(src, seq)| (src as u32, seq)))
+                    .collect(),
+            }
+        };
+        let tomb_local = |key: &str| -> Result<Vec<u64>, JsonError> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(a) => uint_vec(a),
+            }
+        };
+        fn log_opt<T>(
+            v: &Json,
+            key: &str,
+            dec: impl Fn(&Json) -> Result<T, JsonError>,
+        ) -> Result<LogDelta<T>, JsonError> {
+            match v.get(key) {
+                None => Ok(LogDelta::keep_all()),
+                Some(d) => log_delta_from(d, dec),
+            }
+        }
+        Ok(CheckpointDelta {
+            schema,
+            cluster: v.field("cluster")?.as_u64()? as u32,
+            base_gvt: v.field("base_gvt")?.as_u64()?,
+            gvt: v.field("gvt")?.as_u64()?,
+            values: match v.get("values") {
+                None => ValuesDelta::Runs(Vec::new()),
+                Some(d) => values_delta_from(d)?,
+            },
+            pending_removed: match v.get("pending_removed") {
+                None => Vec::new(),
+                Some(a) => a
+                    .as_array()?
+                    .iter()
+                    .map(uint_pair)
+                    .collect::<Result<_, _>>()?,
+            },
+            pending_added: match v.get("pending_added") {
+                None => Vec::new(),
+                Some(a) => a
+                    .as_array()?
+                    .iter()
+                    .map(ckpt_event_compact_from)
+                    .collect::<Result<_, _>>()?,
+            },
+            tomb_remote_removed: tomb_remote("tomb_remote_removed")?,
+            tomb_remote_added: tomb_remote("tomb_remote_added")?,
+            tomb_local_removed: tomb_local("tomb_local_removed")?,
+            tomb_local_added: tomb_local("tomb_local_added")?,
+            processed: log_opt(v, "processed", ckpt_event_compact_from)?,
+            undo: log_opt(v, "undo", undo_entry_from)?,
+            snapshots: log_opt(v, "snapshots", snapshot_entry_from)?,
+            epochs_since_snapshot: v.field("epochs_since_snapshot")?.as_u64()? as u32,
+            outlog: log_opt(v, "outlog", outlog_compact_from)?,
+            sched_log: log_opt(v, "sched_log", uint_pair)?,
+            stim_cycle: v.field("stim_cycle")?.as_u64()?,
+            last_time: v.field("last_time")?.as_u64()?,
+            settled: v.field("settled")?.as_bool()?,
+            order: v.field("order")?.as_u64()?,
+            lseq: v.field("lseq")?.as_u64()?,
+            mseq: v.field("mseq")?.as_u64()?,
+            stats: SimStats::from_json(v.field("stats")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +918,8 @@ mod tests {
             restarts: 2,
             replayed_ops: 17,
             victims: vec![1, 1, 0],
+            checkpoint_bytes_full: 4096,
+            checkpoint_bytes_delta: 512,
             degraded: false,
         };
         let text = r.to_json().emit().unwrap();
@@ -549,5 +935,168 @@ mod tests {
         let back = RecoveryOutcome::from_json(&v).unwrap();
         assert!(back.victims.is_empty());
         assert_eq!(back.crashes, 3);
+    }
+
+    fn sample_delta() -> CheckpointDelta {
+        CheckpointDelta {
+            schema: CHECKPOINT_SCHEMA,
+            cluster: 2,
+            base_gvt: 120,
+            gvt: 140,
+            values: ValuesDelta::Runs(vec![
+                (3, vec![Logic::One, Logic::Zero]),
+                (9, vec![Logic::Z]),
+            ]),
+            pending_removed: vec![(121, 11)],
+            pending_added: vec![CkptEvent {
+                time: 144,
+                net: 6,
+                value: Logic::One,
+                source: CkptSource::Remote { src: 1, seq: 9 },
+                order: 31,
+            }],
+            tomb_remote_removed: vec![(0, 5)],
+            tomb_remote_added: vec![(1, 8), (1, 9)],
+            tomb_local_removed: vec![2],
+            tomb_local_added: vec![7, 9],
+            processed: LogDelta {
+                drop_front: 2,
+                keep: 1,
+                append: vec![CkptEvent {
+                    time: 133,
+                    net: 2,
+                    value: Logic::Zero,
+                    source: CkptSource::Local {
+                        created_at: 130,
+                        lseq: 4,
+                    },
+                    order: 19,
+                }],
+            },
+            undo: LogDelta {
+                drop_front: 0,
+                keep: 0,
+                append: vec![(131, 5, Logic::One)],
+            },
+            snapshots: LogDelta {
+                drop_front: 1,
+                keep: 2,
+                append: vec![(140, vec![Logic::Zero, Logic::X])],
+            },
+            epochs_since_snapshot: 3,
+            outlog: LogDelta {
+                drop_front: 4,
+                keep: 0,
+                append: vec![(
+                    139,
+                    TwMessage {
+                        src: 2,
+                        dst: 0,
+                        seq: 77,
+                        ev: NetEvent {
+                            time: 141,
+                            net: NetId(12),
+                            value: Logic::One,
+                        },
+                        anti: false,
+                    },
+                )],
+            },
+            sched_log: LogDelta {
+                drop_front: 0,
+                keep: 3,
+                append: vec![(138, 21)],
+            },
+            stim_cycle: 14,
+            last_time: 151,
+            settled: true,
+            order: 64,
+            lseq: 22,
+            mseq: 78,
+            stats: sample_stats(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_delta_round_trip_is_exact() {
+        let d = sample_delta();
+        let text = d.to_json().emit().unwrap();
+        let back = CheckpointDelta::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+
+        // A dense edit serialises as a full-vector replacement and must
+        // round-trip through the `full` arm too.
+        let mut dense = d;
+        dense.values = ValuesDelta::Full(vec![Logic::One, Logic::Z, Logic::X]);
+        let text = dense.to_json().emit().unwrap();
+        let back = CheckpointDelta::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn checkpoint_delta_elides_no_change_fields() {
+        // A quiet round — nothing changed except the scalar cursors. The
+        // emission must omit every set, values, and log field, and read
+        // back as the same identity edits.
+        let mut d = sample_delta();
+        d.values = ValuesDelta::Runs(Vec::new());
+        d.pending_removed.clear();
+        d.pending_added.clear();
+        d.tomb_remote_removed.clear();
+        d.tomb_remote_added.clear();
+        d.tomb_local_removed.clear();
+        d.tomb_local_added.clear();
+        d.processed = LogDelta::keep_all();
+        d.undo = LogDelta::keep_all();
+        d.snapshots = LogDelta::keep_all();
+        d.outlog = LogDelta::keep_all();
+        d.sched_log = LogDelta::keep_all();
+        let v = d.to_json();
+        for elided in [
+            "values",
+            "pending_removed",
+            "pending_added",
+            "tomb_remote_removed",
+            "tomb_remote_added",
+            "tomb_local_removed",
+            "tomb_local_added",
+            "processed",
+            "undo",
+            "snapshots",
+            "outlog",
+            "sched_log",
+        ] {
+            assert!(v.get(elided).is_none(), "`{elided}` should be elided");
+        }
+        let text = v.emit().unwrap();
+        let back = CheckpointDelta::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn checkpoint_delta_rejects_wrong_kind_and_schema() {
+        let d = sample_delta();
+
+        let mut v = d.to_json();
+        if let Json::Object(members) = &mut v {
+            for (k, val) in members.iter_mut() {
+                if k == "kind" {
+                    *val = Json::Str("tw_checkpoint".into());
+                }
+            }
+        }
+        let err = CheckpointDelta::from_json(&v).unwrap_err();
+        assert!(err.msg.contains("tw_checkpoint_delta"), "{err}");
+
+        let mut v = d.to_json();
+        if let Json::Object(members) = &mut v {
+            for (k, val) in members.iter_mut() {
+                if k == "checkpoint_schema" {
+                    *val = Json::Int(999);
+                }
+            }
+        }
+        let err = CheckpointDelta::from_json(&v).unwrap_err();
+        assert!(err.msg.contains("checkpoint_schema"), "{err}");
     }
 }

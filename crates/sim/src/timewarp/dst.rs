@@ -364,9 +364,11 @@ pub fn run_with_schedule(
             )
         })
         .collect();
-    // Recovery bookkeeping is only paid for when a crash fault is armed;
+    // Recovery bookkeeping is only paid for when a crash fault is armed or
+    // a delta cadence is in effect (capture is side-effect-free, so clean
+    // cadence>1 runs stay byte-identical while exercising the delta path);
     // the process transport always tracks (workers can genuinely die).
-    let track = cfg.fault.crash_at.is_some();
+    let track = cfg.fault.crash_at.is_some() || cfg.checkpoint_cadence.every_n_rounds > 1;
     run_supervisor(
         nl,
         plan,

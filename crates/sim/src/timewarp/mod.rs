@@ -53,7 +53,10 @@ pub mod recovery;
 pub mod transport;
 pub mod wire;
 
-pub use checkpoint::{Checkpoint, CkptEvent, CkptSource, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    Checkpoint, CheckpointCadence, CheckpointDelta, CkptEvent, CkptSource, DeltaError, LogDelta,
+    ValuesDelta, CHECKPOINT_SCHEMA,
+};
 pub use dst::{DstAction, DstView, Schedule, SchedulePolicy};
 pub use error::TimeWarpError;
 pub use recovery::{FaultPlan, RecoveryOutcome};
@@ -108,6 +111,19 @@ pub struct TimeWarpConfig {
     /// default injects nothing; recovery machinery is only engaged when a
     /// crash is armed.
     pub fault: FaultPlan,
+    /// Checkpoint cadence for the deterministic transports: a full base
+    /// image every Nth GVT round with delta images in between (see
+    /// [`CheckpointCadence`]). The default captures a full image every
+    /// round. Sender-side channel retention stretches to match, so crash
+    /// restore stays exact at any cadence.
+    pub checkpoint_cadence: CheckpointCadence,
+    /// Scheduler-noise injection for [`Transport::Threads`]: when set, each
+    /// worker derives a seeded RNG from this value and sprinkles
+    /// `yield_now` / short sleeps between scheduling quanta. Final state is
+    /// unaffected (that is what the threads fuzz suite asserts); only
+    /// thread interleaving — and therefore rollback/message counts —
+    /// varies. `None` (the default) injects nothing.
+    pub thread_jitter: Option<u64>,
     /// Livelock watchdog: if GVT makes no progress for this many scheduling
     /// decisions (deterministic executor) or idle scheduling quanta
     /// (threaded executor), the run fails with
@@ -141,6 +157,8 @@ impl Default for TimeWarpConfig {
             window: 16,
             state_saving: StateSaving::IncrementalUndo,
             fault: FaultPlan::default(),
+            checkpoint_cadence: CheckpointCadence::default(),
+            thread_jitter: None,
             stall_limit: 5_000_000,
         }
     }
@@ -219,6 +237,18 @@ impl TimeWarpBuilder {
         self
     }
 
+    /// Checkpoint cadence: full bases every Nth GVT round, deltas between.
+    pub fn checkpoint_cadence(mut self, cadence: CheckpointCadence) -> Self {
+        self.cfg.checkpoint_cadence = cadence;
+        self
+    }
+
+    /// Inject seeded scheduler noise into the threaded transport.
+    pub fn thread_jitter(mut self, seed: u64) -> Self {
+        self.cfg.thread_jitter = Some(seed);
+        self
+    }
+
     /// Livelock watchdog threshold (`0` disables it).
     pub fn stall_limit(mut self, stall_limit: u64) -> Self {
         self.cfg.stall_limit = stall_limit;
@@ -238,6 +268,9 @@ impl TimeWarpBuilder {
         }
         if let StateSaving::Checkpoint { interval: 0 } = self.cfg.state_saving {
             return Err(invalid("checkpoint interval must be at least 1"));
+        }
+        if self.cfg.checkpoint_cadence.every_n_rounds == 0 {
+            return Err(invalid("checkpoint cadence must be at least 1 round"));
         }
         if let Transport::Tcp { listen, .. } = &self.cfg.transport {
             if listen.is_empty() {
@@ -505,11 +538,29 @@ fn worker_loop(
     injector: Option<&PanicInjector>,
 ) {
     let mut quantum = 0u64;
+    // Scheduler-noise injection: a per-worker seeded RNG (the shared seed
+    // xor'd with the cluster id, so workers de-correlate) decides between
+    // quanta whether to yield the OS slice or sleep a few tens of
+    // microseconds. This perturbs interleavings the way a loaded host
+    // would, without touching the protocol itself.
+    let mut jitter = cfg.thread_jitter.map(|seed| {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    });
     // Livelock watchdog: consecutive quanta without local work and without
     // a GVT advance. Any progress — own epochs or a moving GVT — resets it.
     let mut idle_spins = 0u64;
     let mut seen_gvt: VTime = 0;
     loop {
+        if let Some(rng) = jitter.as_mut() {
+            use rand::Rng;
+            let roll: u32 = rng.gen_range(0..100);
+            if roll < 10 {
+                std::thread::sleep(std::time::Duration::from_micros(u64::from(roll) * 10));
+            } else if roll < 35 {
+                std::thread::yield_now();
+            }
+        }
         // A peer crashed or stalled; this attempt is abandoned.
         if shared.abort.load(Ordering::SeqCst) {
             break;

@@ -16,21 +16,27 @@
 //!
 //! * **coordinated checkpoints at GVT rounds** — a valid GVT sample requires
 //!   `in_transit == 0`, i.e. empty channels, so the set of per-cluster
-//!   [`Checkpoint`]s taken right after a GVT advance is a consistent global
-//!   cut with no channel state (see [`super::checkpoint`]);
-//! * **sender-side retention until acked** — every message sent since the
-//!   last GVT round is retained by its sender (the supervisor's `sent_log`);
-//!   a GVT advance doubles as the acknowledgement that all of them were
-//!   incorporated (the sample is only valid once every channel drained), so
-//!   the retention window is exactly one GVT round.
+//!   images taken right after a GVT advance is a consistent global cut with
+//!   no channel state (see [`super::checkpoint`]). On a
+//!   [`super::CheckpointCadence`] of N, a full [`Checkpoint`] base is
+//!   captured every Nth round and a
+//!   [`super::checkpoint::CheckpointDelta`] on the rounds in between; the
+//!   victim's restore image is `base + delta chain`;
+//! * **sender-side retention until the base round** — every message sent
+//!   since the last *base* round is retained by its sender (the
+//!   supervisor's `sent_log`); the Nth GVT advance doubles as the group
+//!   acknowledgement (every intermediate sample was only valid once every
+//!   channel drained), so the retention window is exactly one cadence — N
+//!   GVT rounds, the classic single-round window when N = 1.
 //!
-//! On a crash the supervisor rebuilds the victim from its last checkpoint,
-//! **replays its input log** (the exact sequence of step/deliver/fossil
-//! operations applied since that checkpoint — the cluster state machine is
-//! deterministic, so replay reproduces the pre-crash state bit-for-bit,
-//! counters included, with re-sends suppressed because the originals are
-//! already on the wire or delivered), and re-fills its incoming channels
-//! with the undelivered suffix of each neighbour's retained output history.
+//! On a crash the supervisor rebuilds the victim from its last base plus
+//! replayed deltas, **replays its input log** (the exact sequence of
+//! step/deliver/fossil operations applied since the last captured image —
+//! the cluster state machine is deterministic, so replay reproduces the
+//! pre-crash state bit-for-bit, counters included, with re-sends
+//! suppressed because the originals are already on the wire or delivered),
+//! and re-fills its incoming channels with the undelivered suffix of each
+//! neighbour's retained output history.
 //! The global state after recovery is therefore *exactly* the pre-crash
 //! state, which is what makes crash runs byte-identical to no-crash runs
 //! under the deterministic transports — determinism is the correctness
@@ -42,7 +48,7 @@
 //! correct final state with `degraded = true` in the result instead of an
 //! error.
 
-use super::checkpoint::Checkpoint;
+use super::checkpoint::{Checkpoint, CheckpointDelta};
 use super::proc::ClusterProcess;
 use super::{TwMessage, TwRunResult};
 use crate::seq::{NullObserver, SeqSim, SimConfig};
@@ -117,6 +123,13 @@ pub struct RecoveryOutcome {
     pub replayed_ops: u64,
     /// The cluster that died, once per crash, in crash order.
     pub victims: Vec<u32>,
+    /// Canonical-JSON bytes of every full base image captured during the
+    /// run (including the initial GVT-0 bases). Counted identically on all
+    /// deterministic transports, so it is exact and seed-reproducible.
+    pub checkpoint_bytes_full: u64,
+    /// Canonical-JSON bytes of every delta image captured during the run
+    /// (zero on the default every-round cadence).
+    pub checkpoint_bytes_delta: u64,
     /// The restart budget ran out and the run fell back to the sequential
     /// simulator; `values`/`stats` are the sequential run's.
     pub degraded: bool,
@@ -161,30 +174,44 @@ pub(crate) fn replay_ops(p: &mut ClusterProcess<'_, '_>, ops: &[ReplayOp]) {
 }
 
 /// Recovery bookkeeping for the transport-generic supervisor: per-cluster
-/// checkpoints and input logs, per-channel sender-side retention. All state
-/// is scoped to "since the last GVT round" — a successful GVT sample
-/// implies every channel drained, so logs truncate at each round. Unlike
-/// the worker state it protects, this lives supervisor-side on **both**
+/// base images with their delta chains and input logs, per-channel
+/// sender-side retention. Input logs are scoped to "since the last captured
+/// image" (an image — base or delta — is captured at every GVT round);
+/// channel retention is scoped to "since the last *base* round", because a
+/// restore from an older base must be able to rebuild every channel suffix
+/// a replayed delta round could have left in flight. A successful GVT
+/// sample implies every channel drained, so the accumulated `delivered`
+/// counters stay exact across the whole window. Unlike the worker state it
+/// protects, this lives supervisor-side on **all** deterministic
 /// transports, which is what keeps the recovery protocol identical whether
 /// the worker is a struct in this process or an OS process on a socket.
 pub(crate) struct RecoveryLog {
     k: usize,
-    checkpoints: Vec<Checkpoint>,
+    /// Base cadence: a full image every this many GVT rounds.
+    cadence: u32,
+    /// Delta rounds since the last base (0 right after a base round).
+    rounds_since_base: u32,
+    bases: Vec<Checkpoint>,
+    deltas: Vec<Vec<CheckpointDelta>>,
     input_log: Vec<Vec<ReplayOp>>,
-    /// Messages sent on channel `src * k + dst` since the last GVT round
+    /// Messages sent on channel `src * k + dst` since the last base round
     /// (positives *and* anti-messages, in send order — FIFO per channel).
     sent_log: Vec<Vec<TwMessage>>,
-    /// Deliveries consumed from each channel since the last GVT round.
+    /// Deliveries consumed from each channel since the last base round.
     delivered: Vec<usize>,
 }
 
 impl RecoveryLog {
-    /// Start from the initial coordinated checkpoints (GVT 0, fresh state).
-    pub fn from_checkpoints(checkpoints: Vec<Checkpoint>) -> Self {
-        let k = checkpoints.len();
+    /// Start from the initial coordinated checkpoints (GVT 0, fresh state),
+    /// taking a full base every `cadence` GVT rounds thereafter.
+    pub fn from_checkpoints(bases: Vec<Checkpoint>, cadence: u32) -> Self {
+        let k = bases.len();
         RecoveryLog {
             k,
-            checkpoints,
+            cadence: cadence.max(1),
+            rounds_since_base: 0,
+            bases,
+            deltas: vec![Vec::new(); k],
             input_log: vec![Vec::new(); k],
             sent_log: vec![Vec::new(); k * k],
             delivered: vec![0; k * k],
@@ -208,29 +235,59 @@ impl RecoveryLog {
         self.input_log[c].push(ReplayOp::Fossil(gvt));
     }
 
-    /// A fresh coordinated checkpoint of cluster `i` was captured at a GVT
-    /// round; its input log restarts from this image.
-    pub fn set_checkpoint(&mut self, i: usize, ck: Checkpoint) {
-        self.checkpoints[i] = ck;
+    /// Should the upcoming GVT round capture full bases (as opposed to
+    /// deltas)? Round counting is global — all clusters share one cadence
+    /// phase, so the coordinated cut is all-bases or all-deltas.
+    pub fn next_is_base(&self) -> bool {
+        self.rounds_since_base + 1 >= self.cadence
+    }
+
+    /// A fresh full base of cluster `i` was captured at a GVT round; its
+    /// delta chain and input log restart from this image.
+    pub fn set_base(&mut self, i: usize, ck: Checkpoint) {
+        self.bases[i] = ck;
+        self.deltas[i].clear();
         self.input_log[i].clear();
     }
 
-    /// A GVT advance is the group acknowledgement: every channel drained,
-    /// so the sender-side retention windows reset. Called once per round,
-    /// after every cluster's checkpoint was captured.
-    pub fn clear_channels(&mut self) {
-        for l in &mut self.sent_log {
-            l.clear();
+    /// A delta of cluster `i` against the previous round's image was
+    /// captured; the input log restarts from the image the delta encodes
+    /// (replay of logged ops resumes from `base + all deltas`).
+    pub fn push_delta(&mut self, i: usize, d: CheckpointDelta) {
+        debug_assert_eq!(d.cluster, i as u32);
+        self.deltas[i].push(d);
+        self.input_log[i].clear();
+    }
+
+    /// Close a GVT round after every cluster's image was captured. The
+    /// *base* round is the group acknowledgement: a restore will never
+    /// reach behind the new bases, so the sender-side retention windows
+    /// reset. Delta rounds keep accumulating — a restore from the older
+    /// base replays through them, so their channel suffixes must survive.
+    pub fn round_complete(&mut self, base: bool) {
+        if base {
+            self.rounds_since_base = 0;
+            for l in &mut self.sent_log {
+                l.clear();
+            }
+            self.delivered.fill(0);
+        } else {
+            self.rounds_since_base += 1;
         }
-        self.delivered.fill(0);
     }
 
-    /// The victim's last coordinated checkpoint.
-    pub fn checkpoint(&self, victim: usize) -> &Checkpoint {
-        &self.checkpoints[victim]
+    /// The victim's last full base image.
+    pub fn base(&self, victim: usize) -> &Checkpoint {
+        &self.bases[victim]
     }
 
-    /// The victim's input log since that checkpoint — the replay sequence.
+    /// The victim's delta chain on top of that base, oldest first.
+    pub fn deltas(&self, victim: usize) -> &[CheckpointDelta] {
+        &self.deltas[victim]
+    }
+
+    /// The victim's input log since its last captured image — the replay
+    /// sequence applied after the base+delta reconstruction.
     pub fn ops(&self, victim: usize) -> &[ReplayOp] {
         &self.input_log[victim]
     }

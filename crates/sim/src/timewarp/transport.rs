@@ -55,7 +55,7 @@
 //! Worker-side panics are caught and shipped back as a typed `panic` frame
 //! ([`TimeWarpError::WorkerPanic`]) instead of an opaque exit code.
 
-use super::checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+use super::checkpoint::{Checkpoint, CheckpointDelta, CHECKPOINT_SCHEMA};
 use super::dst::{DstAction, DstView, Schedule, SchedulePolicy};
 use super::error::TimeWarpError;
 use super::gvt::GvtState;
@@ -297,11 +297,21 @@ pub(crate) trait ClusterWorker {
         -> Result<VTime, WorkerFailure>;
     /// Fossil-collect history strictly below `gvt`.
     fn fossil(&mut self, gvt: VTime) -> Result<(), WorkerFailure>;
-    /// Capture a checkpoint image at `gvt`.
+    /// Capture a full base checkpoint image at `gvt`. The worker retains
+    /// the image as the reference for subsequent delta captures.
     fn checkpoint(&mut self, gvt: VTime) -> Result<Checkpoint, WorkerFailure>;
-    /// Rebuild the worker from `ck` and replay `ops` (re-sends
-    /// suppressed). Returns the restored LVT.
-    fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure>;
+    /// Capture this round's image as a delta against the previous round's
+    /// (base or delta-reconstructed) image, advancing the worker's
+    /// reference image. Only legal after an initial [`Self::checkpoint`].
+    fn checkpoint_delta(&mut self, gvt: VTime) -> Result<CheckpointDelta, WorkerFailure>;
+    /// Rebuild the worker from `base` plus its delta chain and replay
+    /// `ops` (re-sends suppressed). Returns the restored LVT.
+    fn respawn(
+        &mut self,
+        base: &Checkpoint,
+        deltas: &[CheckpointDelta],
+        ops: &[ReplayOp],
+    ) -> Result<VTime, WorkerFailure>;
     /// Assert the quiescence invariants (check mode only): idle LVT, no
     /// orphan tombstones, no pending events.
     fn check_quiescence(&mut self) -> Result<(), WorkerFailure>;
@@ -331,6 +341,9 @@ pub(crate) struct InProcWorker<'nl, 'p> {
     label: String,
     me: u32,
     proc: Option<ClusterProcess<'nl, 'p>>,
+    /// The previous round's image — the reference for delta captures.
+    /// `None` until the first full checkpoint is taken.
+    prev: Option<Checkpoint>,
 }
 
 impl<'nl, 'p> InProcWorker<'nl, 'p> {
@@ -356,6 +369,7 @@ impl<'nl, 'p> InProcWorker<'nl, 'p> {
             label: label.to_string(),
             me,
             proc: Some(proc),
+            prev: None,
         }
     }
 }
@@ -397,25 +411,49 @@ impl ClusterWorker for InProcWorker<'_, '_> {
     }
 
     fn checkpoint(&mut self, gvt: VTime) -> Result<Checkpoint, WorkerFailure> {
-        Ok(self
+        let ck = self
             .proc
             .as_ref()
             .expect("in-proc worker is alive")
-            .checkpoint(gvt))
+            .checkpoint(gvt);
+        self.prev = Some(ck.clone());
+        Ok(ck)
     }
 
-    fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure> {
-        let mut p = ClusterProcess::from_checkpoint(
+    fn checkpoint_delta(&mut self, gvt: VTime) -> Result<CheckpointDelta, WorkerFailure> {
+        let p = self.proc.as_ref().expect("in-proc worker is alive");
+        let prev = self
+            .prev
+            .as_ref()
+            .expect("delta capture requires a prior full checkpoint");
+        let next = p.checkpoint(gvt);
+        let d = CheckpointDelta::between(prev, &next);
+        self.prev = Some(next);
+        Ok(d)
+    }
+
+    fn respawn(
+        &mut self,
+        base: &Checkpoint,
+        deltas: &[CheckpointDelta],
+        ops: &[ReplayOp],
+    ) -> Result<VTime, WorkerFailure> {
+        let (mut p, image) = ClusterProcess::from_chain(
             self.nl,
             self.plan,
             self.stim.clone(),
             self.cycles,
             self.state_saving,
-            ck,
-        );
+            base,
+            deltas,
+        )
+        .map_err(|e| WorkerFailure::Protocol {
+            detail: format!("restore chain rejected: {e}"),
+        })?;
         replay_ops(&mut p, ops);
         let lvt = p.lvt();
         self.proc = Some(p);
+        self.prev = Some(image);
         Ok(lvt)
     }
 
@@ -492,12 +530,18 @@ pub(crate) fn run_supervisor<W: ClusterWorker>(
     // The initial coordinated "checkpoint" is the fresh state at GVT 0. A
     // worker death this early has nothing to restore from, so it is fatal
     // rather than recovered.
+    let mut outcome = RecoveryOutcome::default();
     let log = if track {
         let mut cks = Vec::with_capacity(k);
         for (i, w) in workers.iter_mut().enumerate() {
-            cks.push(w.checkpoint(0).map_err(|f| fatal(i as u32, f))?);
+            let ck = w.checkpoint(0).map_err(|f| fatal(i as u32, f))?;
+            outcome.checkpoint_bytes_full += json_len(&ck.to_json());
+            cks.push(ck);
         }
-        Some(RecoveryLog::from_checkpoints(cks))
+        Some(RecoveryLog::from_checkpoints(
+            cks,
+            cfg.checkpoint_cadence.every_n_rounds,
+        ))
     } else {
         None
     };
@@ -514,7 +558,7 @@ pub(crate) fn run_supervisor<W: ClusterWorker>(
         queues: vec![VecDeque::new(); k * k],
         lvts,
         log,
-        outcome: RecoveryOutcome::default(),
+        outcome,
     };
     let result = sup.run(schedule);
     match result {
@@ -547,6 +591,20 @@ enum OpOutcome {
     Done,
     Degraded(TwRunResult),
     Failed(TimeWarpError),
+}
+
+/// The image captured at one GVT round: a full base or a delta against the
+/// previous round's image, per the configured [`super::CheckpointCadence`].
+enum Captured {
+    Base(Checkpoint),
+    Delta(CheckpointDelta),
+}
+
+/// Canonical serialized size of an image, counted identically on every
+/// deterministic transport (the supervisor re-emits the parsed struct, so
+/// wire formatting differences cannot leak into the exact counters).
+fn json_len(j: &Json) -> u64 {
+    j.emit().map_or(0, |s| s.len() as u64)
 }
 
 struct Supervisor<'a, W: ClusterWorker> {
@@ -859,13 +917,33 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
             }
         }
         if new_gvt != VTime::MAX {
-            if self.log.is_some() {
+            if let Some(log) = self.log.as_ref() {
+                // On an every-N cadence, only every Nth round captures full
+                // bases; the rounds between capture deltas against the
+                // previous round's image. The cadence phase is global, so
+                // the coordinated cut stays all-bases or all-deltas.
+                let base = log.next_is_base();
                 for i in 0..self.k {
                     loop {
-                        match self.workers[i].checkpoint(new_gvt) {
-                            Ok(ck) => {
+                        let captured = if base {
+                            self.workers[i].checkpoint(new_gvt).map(Captured::Base)
+                        } else {
+                            self.workers[i]
+                                .checkpoint_delta(new_gvt)
+                                .map(Captured::Delta)
+                        };
+                        match captured {
+                            Ok(Captured::Base(ck)) => {
+                                self.outcome.checkpoint_bytes_full += json_len(&ck.to_json());
                                 if let Some(log) = self.log.as_mut() {
-                                    log.set_checkpoint(i, ck);
+                                    log.set_base(i, ck);
+                                }
+                                break;
+                            }
+                            Ok(Captured::Delta(d)) => {
+                                self.outcome.checkpoint_bytes_delta += json_len(&d.to_json());
+                                if let Some(log) = self.log.as_mut() {
+                                    log.push_delta(i, d);
                                 }
                                 break;
                             }
@@ -878,7 +956,7 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
                     }
                 }
                 if let Some(log) = self.log.as_mut() {
-                    log.clear_channels();
+                    log.round_complete(base);
                 }
             }
         } else if quiesce && self.check {
@@ -899,8 +977,9 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
     }
 
     /// Crash-stop recovery of cluster `v`: drop its incoming channels,
-    /// respawn from the last coordinated checkpoint, replay the input log,
-    /// re-fill the channels from sender-side retention. Counts every death
+    /// respawn from the last base image plus its delta chain, replay the
+    /// input log, re-fill the channels from sender-side retention (which
+    /// spans the whole cadence window). Counts every death
     /// (including deaths during respawn itself) against the restart budget
     /// and degrades to the sequential simulator when it runs out.
     fn recover(&mut self, v: usize) -> OpOutcome {
@@ -951,14 +1030,14 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
                 return OpOutcome::Degraded(r);
             }
             self.outcome.restarts += 1;
-            match self.workers[v].respawn(log.checkpoint(v), log.ops(v)) {
+            match self.workers[v].respawn(log.base(v), log.deltas(v), log.ops(v)) {
                 Ok(lvt) => {
                     self.outcome.replayed_ops += log.ops(v).len() as u64;
                     self.lvts[v] = lvt;
                     self.shared.publish_lvt(v, lvt);
                     // The lost channels are re-filled from each
                     // neighbour's retained output history (the
-                    // undelivered suffix since the last GVT round).
+                    // undelivered suffix since the last base round).
                     let mut refilled = 0i64;
                     for (src, lost) in dropped.iter().enumerate() {
                         let und = log.undelivered(src, v);
@@ -1874,7 +1953,25 @@ impl ClusterWorker for ProcessWorker {
         Checkpoint::from_json(ck).map_err(|e| WorkerFailure::Protocol { detail: e.msg })
     }
 
-    fn respawn(&mut self, ck: &Checkpoint, ops: &[ReplayOp]) -> Result<VTime, WorkerFailure> {
+    fn checkpoint_delta(&mut self, gvt: VTime) -> Result<CheckpointDelta, WorkerFailure> {
+        let cmd = ObjBuilder::new()
+            .str("kind", "ckpt_delta")
+            .field("gvt", vtime_json(gvt))
+            .build();
+        let r = self.command(&cmd)?;
+        self.expect_kind(&r, "ckpt_delta")?;
+        let d = r
+            .field("delta")
+            .map_err(|e| WorkerFailure::Protocol { detail: e.msg })?;
+        CheckpointDelta::from_json(d).map_err(|e| WorkerFailure::Protocol { detail: e.msg })
+    }
+
+    fn respawn(
+        &mut self,
+        base: &Checkpoint,
+        deltas: &[CheckpointDelta],
+        ops: &[ReplayOp],
+    ) -> Result<VTime, WorkerFailure> {
         // Over TCP a respawn that times out (the replacement never dials
         // in, or a remote worker never reconnects) is itself a crash-stop
         // loss: each failed attempt burns one unit of the restart budget,
@@ -1890,7 +1987,8 @@ impl ClusterWorker for ProcessWorker {
         self.spawn().map_err(remap)?;
         let cmd = ObjBuilder::new()
             .str("kind", "restore")
-            .field("ck", ck.to_json())
+            .field("ck", base.to_json())
+            .array("deltas", deltas.iter().map(|d| d.to_json()).collect())
             .array("ops", ops.iter().map(replay_op_json).collect())
             .build();
         let r = self.command(&cmd)?;
@@ -2236,6 +2334,9 @@ fn serve_cluster(
     ));
     send_json(&mut writer, &ready_json(lvt_of(&mut proc)))?;
     let mut selfkill = selfkill_budget(cluster);
+    // Reference image for delta capture: the last full or reconstructed
+    // checkpoint this incarnation produced or was restored from.
+    let mut prev_ckpt: Option<Checkpoint> = None;
 
     loop {
         let bytes = match read_frame(&mut reader)? {
@@ -2276,6 +2377,7 @@ fn serve_cluster(
                 cluster,
                 &mut proc,
                 &mut selfkill,
+                &mut prev_ckpt,
             )
         }));
         match outcome {
@@ -2346,6 +2448,7 @@ fn dispatch<'nl, 'p>(
     cluster: u32,
     proc: &mut Option<ClusterProcess<'nl, 'p>>,
     selfkill: &mut Option<u64>,
+    prev_ckpt: &mut Option<Checkpoint>,
 ) -> Result<Option<Json>, String>
 where
     'nl: 'p,
@@ -2395,16 +2498,45 @@ where
             live(proc)?;
             let gvt = vtime_from(cmd.field("gvt").map_err(|e| e.msg)?)?;
             let p = proc.as_ref().expect("live() checked presence");
+            let ck = p.checkpoint(gvt);
+            let reply = ObjBuilder::new()
+                .str("kind", "ckpt")
+                .field("ck", ck.to_json())
+                .build();
+            // A base capture resets the delta chain: the next `ckpt_delta`
+            // encodes edits against this image.
+            *prev_ckpt = Some(ck);
+            Ok(Some(reply))
+        }
+        "ckpt_delta" => {
+            live(proc)?;
+            let gvt = vtime_from(cmd.field("gvt").map_err(|e| e.msg)?)?;
+            let prev = prev_ckpt
+                .as_ref()
+                .ok_or_else(|| "ckpt_delta before any base checkpoint".to_string())?;
+            let p = proc.as_ref().expect("live() checked presence");
+            let next = p.checkpoint(gvt);
+            let delta = CheckpointDelta::between(prev, &next);
+            *prev_ckpt = Some(next);
             Ok(Some(
                 ObjBuilder::new()
-                    .str("kind", "ckpt")
-                    .field("ck", p.checkpoint(gvt).to_json())
+                    .str("kind", "ckpt_delta")
+                    .field("delta", delta.to_json())
                     .build(),
             ))
         }
         "restore" => {
-            let ck =
+            let base =
                 Checkpoint::from_json(cmd.field("ck").map_err(|e| e.msg)?).map_err(|e| e.msg)?;
+            // Pre-delta supervisors (schema 1) sent no `deltas` key; the
+            // hello handshake rejects those pairings, but tolerate an
+            // absent key as an empty chain so the frame shape stays simple.
+            let mut deltas = Vec::new();
+            if let Some(list) = cmd.get("deltas") {
+                for d in list.as_array().map_err(|e| e.msg)? {
+                    deltas.push(CheckpointDelta::from_json(d).map_err(|e| e.msg)?);
+                }
+            }
             let mut ops = Vec::new();
             for op in cmd
                 .field("ops")
@@ -2413,11 +2545,20 @@ where
             {
                 ops.push(replay_op_from_json(op)?);
             }
-            let mut p =
-                ClusterProcess::from_checkpoint(nl, plan, stim.clone(), cycles, state_saving, &ck);
+            let (mut p, image) = ClusterProcess::from_chain(
+                nl,
+                plan,
+                stim.clone(),
+                cycles,
+                state_saving,
+                &base,
+                &deltas,
+            )
+            .map_err(|e| format!("restore chain rejected: {e}"))?;
             replay_ops(&mut p, &ops);
             let lvt = p.lvt();
             *proc = Some(p);
+            *prev_ckpt = Some(image);
             // A restored worker is a fresh process as far as the fault
             // model is concerned; it must not re-arm the self-kill hook.
             *selfkill = None;

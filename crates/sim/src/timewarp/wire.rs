@@ -24,7 +24,10 @@ use std::time::Duration;
 
 /// Version of the framing and command vocabulary. Negotiated in the
 /// `hello` exchange together with [`CHECKPOINT_SCHEMA`] (the restore
-/// payload is a serialized checkpoint, so both must match). Version 2
+/// payload is a serialized base checkpoint plus, under checkpoint schema
+/// 2, an optional delta chain to fold onto it, so both must match — a
+/// schema-1 peer is rejected at the handshake rather than failing when a
+/// `ckpt_delta` command or a chained `restore` frame arrives). Version 2
 /// added the per-run `token` and the worker `cluster` identity to the
 /// hello frame for the TCP transport.
 pub const WIRE_VERSION: u32 = 2;

@@ -23,7 +23,9 @@ use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::dst::run_deterministic;
-use dvs_sim::timewarp::{FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, TwRunResult};
+use dvs_sim::timewarp::{
+    CheckpointCadence, FaultPlan, SchedulePolicy, StateSaving, TimeWarpConfig, TwRunResult,
+};
 use dvs_verilog::netlist::Netlist;
 use dvs_verilog::parse_and_elaborate;
 use dvs_workloads::seqcirc::{generate_counter, generate_lfsr};
@@ -46,19 +48,22 @@ struct CrashCase {
     victim: u32,
     crash_at: u64,
     crashes: u32,
+    cadence: u32,
 }
 
 fn case_strategy() -> impl Strategy<Value = CrashCase> {
     let circuit = (any::<bool>(), 2u32..6, 2usize..4, any::<u64>());
     let seeds = (any::<u64>(), any::<u64>(), 0u8..3, any::<bool>());
     // Crash points span immediate (0) through mid-run; points past the end
-    // of the run simply never fire, which is itself a valid case.
-    let fault = (10u64..30, 0u32..4, 0u64..600, 1u32..3);
+    // of the run simply never fire, which is itself a valid case. Cadences
+    // above 1 interleave delta checkpoints between bases, so crashes land
+    // at every chain depth.
+    let fault = ((10u64..30, 0u32..4), (0u64..600, 1u32..3, 1u32..5));
     (circuit, seeds, fault).prop_map(
         |(
             (counter_not_lfsr, bits, k, part_seed),
             (stim_seed, sched_seed, policy_sel, checkpoint),
-            (cycles, victim, crash_at, crashes),
+            ((cycles, victim), (crash_at, crashes, cadence)),
         )| CrashCase {
             counter_not_lfsr,
             bits,
@@ -72,6 +77,7 @@ fn case_strategy() -> impl Strategy<Value = CrashCase> {
             victim: victim % k as u32,
             crash_at,
             crashes,
+            cadence,
         },
     )
 }
@@ -117,6 +123,7 @@ fn run_with_fault(case: &CrashCase, fault: FaultPlan) -> TwRunResult {
     let cfg = TimeWarpConfig::builder()
         .window(8)
         .batch(2)
+        .checkpoint_cadence(CheckpointCadence::every_n_rounds(case.cadence))
         .state_saving(if case.checkpoint {
             StateSaving::Checkpoint { interval: 4 }
         } else {
@@ -256,8 +263,36 @@ fn fixed_cases_per_policy() {
             victim: 1,
             crash_at: 9,
             crashes: 2,
+            cadence: 1,
         };
         with_dump(&case, "fixed", assert_crash_is_invisible);
         with_dump(&case, "fixed_degradation", assert_degradation_is_correct);
+    }
+}
+
+/// Regression pin for the single-round retention assumption this PR
+/// removed: with bases only every 3rd GVT round, crashes at several chain
+/// depths must recover invisibly — which requires the sender-side retention
+/// window and fossil collection (invariant checks forced on) to both honor
+/// the N-round cadence rather than the old one-round ack window.
+#[test]
+fn fixed_cadence_three_retention_is_safe() {
+    for (crash_at, crashes) in [(0u64, 1u32), (9, 2), (40, 2), (120, 1)] {
+        let case = CrashCase {
+            counter_not_lfsr: true,
+            bits: 4,
+            k: 3,
+            part_seed: 11,
+            stim_seed: 22,
+            sched_seed: 33,
+            policy_sel: 1,
+            checkpoint: false,
+            cycles: 25,
+            victim: 1,
+            crash_at,
+            crashes,
+            cadence: 3,
+        };
+        with_dump(&case, "fixed_cadence_three", assert_crash_is_invisible);
     }
 }
