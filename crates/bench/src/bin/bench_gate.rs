@@ -16,8 +16,12 @@
 //! (`dvs_bench::gate::{process_case, tcp_case}` — real `tw_worker` OS
 //! processes over a Unix socket and over localhost TCP, one worker
 //! `SIGKILL`ed and recovered per leg, byte-compared against the
-//! in-process run), writes `BENCH_<label>.json`, and compares against the
-//! checked-in baseline.
+//! in-process run) and the network-chaos leg
+//! (`dvs_bench::gate::tcp_chaos_case` — a bit-flipped frame, a stalled
+//! link caught by the heartbeat prober, and a poisoned restore chain
+//! falling back to the last full base, each recovering byte-identically
+//! with its exact counters pinned), writes `BENCH_<label>.json`, and
+//! compares against the checked-in baseline.
 //!
 //! With `--case large`: runs only the paper-scale nightly case
 //! (`dvs_bench::gate::large_case`). The serial-vs-threaded determinism
@@ -34,7 +38,7 @@
 
 use dvs_bench::gate::{
     bench_artifact, compare, delta_checkpoint_case, large_case, process_case, run_case, smoke_grid,
-    tcp_case, Tolerances,
+    tcp_case, tcp_chaos_case, Tolerances,
 };
 use dvs_core::json::Json;
 use std::path::PathBuf;
@@ -137,6 +141,7 @@ fn main() {
         for (name, leg) in [
             ("process_transport", process_case as Leg),
             ("tcp_transport", tcp_case as Leg),
+            ("tcp_chaos", tcp_chaos_case as Leg),
         ] {
             let t = Instant::now();
             match leg(&worker) {

@@ -7,8 +7,11 @@
 //! * `--socket <path>` — the supervisor spawned this worker and owns the
 //!   per-cluster Unix-domain socket; connect back and serve.
 //! * `--connect <host:port> --cluster <id> [--token <tok>]` — dial a TCP
-//!   supervisor (retrying refused connections with bounded backoff until
-//!   `DVS_TW_CONNECT_MS` elapses) and serve cluster `<id>`. The run token
+//!   supervisor (retrying refused connections with deterministically
+//!   jittered exponential backoff — seeded from the run token and cluster
+//!   id, so retry schedules are reproducible yet decorrelated across
+//!   workers — until `DVS_TW_CONNECT_MS` elapses) and serve cluster
+//!   `<id>`. The run token
 //!   may also come from `DVS_TW_TOKEN`; it scopes the dial-in to one
 //!   supervisor run, so a stray or stale worker cannot disturb somebody
 //!   else's simulation.

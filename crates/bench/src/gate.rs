@@ -28,7 +28,10 @@ use dvs_core::{
 };
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::stimulus::VectorStimulus;
-use dvs_sim::timewarp::{run_timewarp, CheckpointCadence, TimeWarpConfig, Transport};
+use dvs_sim::timewarp::{
+    run_timewarp, CheckpointCadence, NetDir, NetFault, NetFaultKind, NetPlan, TimeWarpConfig,
+    Transport,
+};
 use dvs_sim::{FaultPlan, SchedulePolicy};
 use dvs_workloads::pipeline_soc::{generate_pipeline_soc, PipelineParams};
 use dvs_workloads::{generate_viterbi, ViterbiParams};
@@ -184,6 +187,206 @@ fn wire_transport_case(
             .float("inproc_seconds", inproc_seconds)
             .float("transport_seconds", transport_seconds)
             .float("crash_recovery_seconds", crash_seconds)
+            .build(),
+    })
+}
+
+/// Heartbeat idle interval of the chaos gate's stall leg. Short enough
+/// that half-open detection (2 × 150 ms) dominates neither the gate nor a
+/// CI run, long enough that a briefly preempted worker is not declared
+/// dead spuriously.
+pub const CHAOS_HEARTBEAT_MS: u64 = 150;
+/// Missed-probe budget of the chaos gate's stall leg.
+pub const CHAOS_HEARTBEAT_BUDGET: u32 = 2;
+/// Crash point of the chaos gate's corrupt-restore leg: cluster 0 dies at
+/// a decision that falls *between* [`DELTA_CADENCE`] base rounds, so the
+/// restore ships a non-empty delta chain for the poison to corrupt. Fixed
+/// forever, like [`CRASH_AT`].
+pub const CHAOS_CRASH_AT: (u32, u64) = (0, 47);
+
+/// The network-chaos leg of the gate (`tcp_chaos` case): the TCP transport
+/// under the deterministic fault-injection shim, three disturbed runs —
+///
+/// * **corrupt**: one bit of a worker→supervisor frame is flipped in
+///   flight; the CRC32 check rejects it (`corrupt_frames` = 1) and the
+///   connection is torn down and recovered;
+/// * **stall**: the link goes silent both ways mid-run; the heartbeat
+///   prober detects the half-open connection in
+///   [`CHAOS_HEARTBEAT_BUDGET`] × [`CHAOS_HEARTBEAT_MS`] ms
+///   (`heartbeats_missed` = budget) and recovery replaces it;
+/// * **corrupt restore**: the delta chain shipped with a restore is
+///   poisoned (`FaultPlan::corrupt_restores`); the worker rejects it as
+///   `DeltaError::Corrupt` and the supervisor falls back to re-sending
+///   from the last full base, burning one extra restart-budget unit.
+///
+/// Every disturbed run must emit a canonical artifact **byte-identical**
+/// to the undisturbed in-process run, and the exact recovery counters of
+/// each leg (`corrupt_frames`, `heartbeats_missed`,
+/// `chaos_faults_injected`, crashes, restarts) are pinned in the baseline,
+/// so drift anywhere in the integrity or liveness machinery fails the
+/// gate rather than passing silently.
+pub fn tcp_chaos_case(worker: &Path) -> Result<CaseArtifact, String> {
+    let name = "tcp_chaos";
+    let ctx = |e: String| format!("case `{name}`: {e}");
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = dvs_verilog::parse_and_elaborate(&src)
+        .map_err(|e| ctx(e.to_string()))?
+        .into_netlist();
+    let part = partition_multiway(&nl, &MultiwayConfig::new(PROCESS_CLUSTERS, 20.0));
+    let plan = ClusterPlan::new(&nl, &part.gate_blocks, PROCESS_CLUSTERS as usize);
+    let stim = VectorStimulus::from_netlist(&nl, 10, STIM_SEED);
+    let policy = SchedulePolicy::SeededRandom;
+
+    let run = |transport: Transport,
+               fault: FaultPlan,
+               chaos: Option<NetPlan>,
+               cadence: u32,
+               heartbeat: Option<(u64, u32)>| {
+        let mut b = TimeWarpConfig::builder()
+            .transport(transport)
+            .window(8)
+            .batch(2)
+            .gvt_interval(1)
+            .checkpoint_cadence(CheckpointCadence::every_n_rounds(cadence))
+            .fault(fault);
+        if let Some(plan) = chaos {
+            b = b.chaos(plan);
+        }
+        if let Some((ms, budget)) = heartbeat {
+            b = b
+                .heartbeat_interval(std::time::Duration::from_millis(ms))
+                .heartbeat_budget(budget);
+        }
+        let cfg = b.build().map_err(|e| ctx(e.to_string()))?;
+        let t = Instant::now();
+        let tw = run_timewarp(&nl, &plan, &stim, PROCESS_VECTORS, &cfg)
+            .map_err(|e| ctx(e.to_string()))?;
+        let seconds = t.elapsed().as_secs_f64();
+        let canonical = tw_run_canonical_json(&tw)
+            .emit()
+            .map_err(|e| ctx(e.to_string()))?;
+        Ok::<_, String>((tw, canonical, seconds))
+    };
+    let tcp = || Transport::tcp_with_worker(DST_SEED, policy, worker.to_path_buf());
+
+    let (_, clean, clean_seconds) = run(
+        Transport::in_proc(DST_SEED, policy),
+        FaultPlan::default(),
+        None,
+        1,
+        None,
+    )?;
+    let identical = |leg: &str, bytes: &str| {
+        if bytes != clean {
+            return Err(ctx(format!(
+                "{leg} leg diverged from the undisturbed in-process artifact"
+            )));
+        }
+        Ok(())
+    };
+
+    // Leg 1: a bit flipped in a worker→supervisor frame. The default
+    // heartbeat interval (1 s) never fires on this workload, so the frame
+    // sequence — and with it the pinned counters — is exact.
+    let corrupt_plan = NetPlan::new().fault(NetFault {
+        cluster: 1,
+        dir: NetDir::FromWorker,
+        frame: 8,
+        kind: NetFaultKind::BitFlip { offset: 5 },
+    });
+    let (corrupt, bytes, corrupt_seconds) =
+        run(tcp(), FaultPlan::default(), Some(corrupt_plan), 1, None)?;
+    identical("corrupt", &bytes)?;
+    let r = &corrupt.recovery;
+    if (
+        r.corrupt_frames,
+        r.chaos_faults_injected,
+        r.crashes,
+        r.restarts,
+    ) != (1, 1, 1, 1)
+    {
+        return Err(ctx(format!(
+            "corrupt leg counters (corrupt_frames {}, chaos {}, crashes {}, restarts {}) \
+             are not the expected (1, 1, 1, 1)",
+            r.corrupt_frames, r.chaos_faults_injected, r.crashes, r.restarts
+        )));
+    }
+
+    // Leg 2: the link stalls silently both ways; only the heartbeat
+    // prober can notice. Budget exhaustion is charged exactly once, at
+    // `budget` misses.
+    let stall_plan = NetPlan::new().fault(NetFault {
+        cluster: 2,
+        dir: NetDir::ToWorker,
+        frame: 10,
+        kind: NetFaultKind::Stall,
+    });
+    let (stalled, bytes, stall_seconds) = run(
+        tcp(),
+        FaultPlan::default(),
+        Some(stall_plan),
+        1,
+        Some((CHAOS_HEARTBEAT_MS, CHAOS_HEARTBEAT_BUDGET)),
+    )?;
+    identical("stall", &bytes)?;
+    let r = &stalled.recovery;
+    if r.heartbeats_missed != u64::from(CHAOS_HEARTBEAT_BUDGET)
+        || r.chaos_faults_injected != 1
+        || r.crashes != 1
+        || r.corrupt_frames != 0
+    {
+        return Err(ctx(format!(
+            "stall leg counters (heartbeats_missed {}, chaos {}, crashes {}, corrupt {}) \
+             are not the expected ({CHAOS_HEARTBEAT_BUDGET}, 1, 1, 0)",
+            r.heartbeats_missed, r.chaos_faults_injected, r.crashes, r.corrupt_frames
+        )));
+    }
+
+    // Leg 3: the shipped delta chain is poisoned once; the worker rejects
+    // it and the supervisor retries from the last full base — one crash
+    // for the kill, one more for the rejected restore. The crash lands at
+    // [`CHAOS_CRASH_AT`], chosen *between* base rounds so the victim's
+    // delta chain is non-empty and the poison has something to corrupt
+    // ([`CRASH_AT`] sits right after a full base, where the chain is
+    // empty and the fallback path would never fire).
+    let (fallback, bytes, fallback_seconds) = run(
+        tcp(),
+        FaultPlan {
+            crash_at: Some(CHAOS_CRASH_AT),
+            crashes: 1,
+            max_restarts: 3,
+            corrupt_restores: 1,
+        },
+        None,
+        DELTA_CADENCE,
+        None,
+    )?;
+    identical("corrupt-restore", &bytes)?;
+    let r = &fallback.recovery;
+    if r.degraded || (r.crashes, r.restarts) != (2, 2) {
+        return Err(ctx(format!(
+            "corrupt-restore leg (crashes {}, restarts {}, degraded {}) did not take the \
+             base-fallback path — expected (2, 2, false)",
+            r.crashes, r.restarts, r.degraded
+        )));
+    }
+
+    Ok(CaseArtifact {
+        name: name.to_string(),
+        report: ObjBuilder::new()
+            .str(
+                "artifact_fnv1a",
+                &format!("{:016x}", fnv1a(clean.as_bytes())),
+            )
+            .field("corrupt_recovery", corrupt.recovery.to_json())
+            .field("stall_recovery", stalled.recovery.to_json())
+            .field("corrupt_restore_recovery", fallback.recovery.to_json())
+            .build(),
+        host: ObjBuilder::new()
+            .float("inproc_seconds", clean_seconds)
+            .float("corrupt_seconds", corrupt_seconds)
+            .float("stall_seconds", stall_seconds)
+            .float("corrupt_restore_seconds", fallback_seconds)
             .build(),
     })
 }

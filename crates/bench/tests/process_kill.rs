@@ -260,6 +260,7 @@ fn exhausted_budget_degrades_gracefully() {
         crash_at: Some((2, 30)),
         crashes: 3,
         max_restarts: 2,
+        corrupt_restores: 0,
     };
     let a = run(&nl, &gb, &stim, &config(in_proc(policy), fault));
     let b = run(&nl, &gb, &stim, &config(process(policy), fault));

@@ -162,6 +162,9 @@ impl ToJson for RecoveryOutcome {
             )
             .uint("checkpoint_bytes_full", self.checkpoint_bytes_full)
             .uint("checkpoint_bytes_delta", self.checkpoint_bytes_delta)
+            .uint("corrupt_frames", self.corrupt_frames)
+            .uint("heartbeats_missed", self.heartbeats_missed)
+            .uint("chaos_faults_injected", self.chaos_faults_injected)
             .bool("degraded", self.degraded)
             .build()
     }
@@ -183,6 +186,9 @@ impl FromJson for RecoveryOutcome {
             },
             checkpoint_bytes_full: opt_uint("checkpoint_bytes_full")?,
             checkpoint_bytes_delta: opt_uint("checkpoint_bytes_delta")?,
+            corrupt_frames: opt_uint("corrupt_frames")?,
+            heartbeats_missed: opt_uint("heartbeats_missed")?,
+            chaos_faults_injected: opt_uint("chaos_faults_injected")?,
             degraded: v.field("degraded")?.as_bool()?,
         })
     }
@@ -920,6 +926,9 @@ mod tests {
             victims: vec![1, 1, 0],
             checkpoint_bytes_full: 4096,
             checkpoint_bytes_delta: 512,
+            corrupt_frames: 2,
+            heartbeats_missed: 30,
+            chaos_faults_injected: 1,
             degraded: false,
         };
         let text = r.to_json().emit().unwrap();

@@ -621,6 +621,18 @@ impl CheckpointDelta {
     }
 }
 
+impl CheckpointDelta {
+    /// Test hook for the corrupt-restore fallback: mangle this delta so
+    /// that applying it fails with [`DeltaError::Corrupt`] — an
+    /// out-of-bounds net-value run, the signature of retained state that
+    /// rotted in memory or on disk. The structural envelope (schema,
+    /// cluster, chain link) stays valid, so the corruption is only caught
+    /// where a real one would be: inside [`Checkpoint::apply_delta`].
+    pub(crate) fn poison(&mut self) {
+        self.values = ValuesDelta::Runs(vec![(u32::MAX, vec![Logic::X])]);
+    }
+}
+
 impl Checkpoint {
     /// Reconstruct the next round's image from this one plus its delta.
     /// Exact inverse of [`CheckpointDelta::between`]: `prev.apply_delta(

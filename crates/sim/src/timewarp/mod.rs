@@ -44,6 +44,7 @@
 //! ([`crate::cluster_model`] remains as the fast *modeled* estimate of
 //! those counts for pre-simulation sweeps.)
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod dst;
 pub mod error;
@@ -53,6 +54,7 @@ pub mod recovery;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{NetDir, NetFault, NetFaultKind, NetPlan};
 pub use checkpoint::{
     Checkpoint, CheckpointCadence, CheckpointDelta, CkptEvent, CkptSource, DeltaError, LogDelta,
     ValuesDelta, CHECKPOINT_SCHEMA,
@@ -130,6 +132,33 @@ pub struct TimeWarpConfig {
     /// [`TimeWarpError::Stalled`] instead of hanging. `0` disables the
     /// watchdog.
     pub stall_limit: u64,
+    /// Per-command read timeout for the wire transports. On the Unix
+    /// transport this bounds every response wait outright; over TCP the
+    /// heartbeat loop bounds silence instead (see
+    /// [`TimeWarpConfig::heartbeat_interval`]) and this bounds the
+    /// handshake. Resolved by [`TimeWarpBuilder::build`]: explicit knob,
+    /// else `DVS_TW_TIMEOUT_MS` (malformed values are a typed error, not a
+    /// silent default), else 30 s.
+    pub io_timeout: std::time::Duration,
+    /// How long a worker gets to (re)connect — process spawn plus the
+    /// broker accept window on TCP. Resolved like
+    /// [`TimeWarpConfig::io_timeout`] from `DVS_TW_CONNECT_MS`, default
+    /// 10 s.
+    pub connect_timeout: std::time::Duration,
+    /// TCP heartbeat idle interval: when a response is this late, the
+    /// supervisor counts a missed beat and probes the worker with a
+    /// `ping`. Resolved like [`TimeWarpConfig::io_timeout`] from
+    /// `DVS_TW_HEARTBEAT_MS`, default 1 s.
+    pub heartbeat_interval: std::time::Duration,
+    /// Consecutive missed beats before the supervisor declares the
+    /// connection half-open and tears it down for recovery. Detection
+    /// latency is bounded by `heartbeat_interval × heartbeat_budget`
+    /// (default 30 × 1 s — the same 30 s envelope the plain read timeout
+    /// used to give, but recoverable instead of fatal).
+    pub heartbeat_budget: u32,
+    /// Deterministic network fault injection for the wire transports (see
+    /// [`NetPlan`]). `None` injects nothing.
+    pub chaos: Option<NetPlan>,
 }
 
 /// How a cluster preserves enough history to roll back — the classic Time
@@ -160,7 +189,35 @@ impl Default for TimeWarpConfig {
             checkpoint_cadence: CheckpointCadence::default(),
             thread_jitter: None,
             stall_limit: 5_000_000,
+            io_timeout: std::time::Duration::from_millis(DEFAULT_IO_TIMEOUT_MS),
+            connect_timeout: std::time::Duration::from_millis(DEFAULT_CONNECT_TIMEOUT_MS),
+            heartbeat_interval: std::time::Duration::from_millis(DEFAULT_HEARTBEAT_MS),
+            heartbeat_budget: DEFAULT_HEARTBEAT_BUDGET,
+            chaos: None,
         }
+    }
+}
+
+const DEFAULT_IO_TIMEOUT_MS: u64 = 30_000;
+const DEFAULT_CONNECT_TIMEOUT_MS: u64 = 10_000;
+const DEFAULT_HEARTBEAT_MS: u64 = 1_000;
+const DEFAULT_HEARTBEAT_BUDGET: u32 = 30;
+
+/// Strictly parse an environment variable holding a millisecond count.
+/// Absent is fine (`Ok(None)`); present-but-malformed or zero is a typed
+/// error — a timeout knob that silently falls back to a default turns a
+/// typo into a 30-second mystery.
+fn env_millis(var: &str) -> Result<Option<std::time::Duration>, TimeWarpError> {
+    let invalid = |got: &str| TimeWarpError::InvalidConfig {
+        reason: format!("{var} must be a positive integer of milliseconds, got `{got}`"),
+    };
+    match std::env::var(var) {
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(0) => Err(invalid(&s)),
+            Ok(ms) => Ok(Some(std::time::Duration::from_millis(ms))),
+            Err(_) => Err(invalid(&s)),
+        },
+        Err(_) => Ok(None),
     }
 }
 
@@ -191,6 +248,12 @@ impl TimeWarpConfig {
 #[must_use = "a builder does nothing until .build() is called"]
 pub struct TimeWarpBuilder {
     cfg: TimeWarpConfig,
+    // Timeout knobs stay unset until `build`, where an explicit value
+    // wins, the environment is consulted next (strictly — malformed
+    // values error), and the default applies last.
+    io_timeout: Option<std::time::Duration>,
+    connect_timeout: Option<std::time::Duration>,
+    heartbeat_interval: Option<std::time::Duration>,
 }
 
 impl TimeWarpBuilder {
@@ -198,6 +261,9 @@ impl TimeWarpBuilder {
     pub fn new() -> Self {
         TimeWarpBuilder {
             cfg: TimeWarpConfig::default(),
+            io_timeout: None,
+            connect_timeout: None,
+            heartbeat_interval: None,
         }
     }
 
@@ -255,8 +321,42 @@ impl TimeWarpBuilder {
         self
     }
 
+    /// Per-command read timeout for the wire transports (replaces raw
+    /// `DVS_TW_TIMEOUT_MS` consultation; the env var remains a fallback
+    /// when this knob is unset).
+    pub fn io_timeout(mut self, d: std::time::Duration) -> Self {
+        self.io_timeout = Some(d);
+        self
+    }
+
+    /// Worker (re)connect window for the wire transports (env fallback:
+    /// `DVS_TW_CONNECT_MS`).
+    pub fn connect_timeout(mut self, d: std::time::Duration) -> Self {
+        self.connect_timeout = Some(d);
+        self
+    }
+
+    /// TCP heartbeat idle interval (env fallback: `DVS_TW_HEARTBEAT_MS`).
+    pub fn heartbeat_interval(mut self, d: std::time::Duration) -> Self {
+        self.heartbeat_interval = Some(d);
+        self
+    }
+
+    /// Consecutive missed heartbeats tolerated before the connection is
+    /// declared half-open and torn down for recovery.
+    pub fn heartbeat_budget(mut self, budget: u32) -> Self {
+        self.cfg.heartbeat_budget = budget;
+        self
+    }
+
+    /// Attach a deterministic network fault plan (see [`NetPlan`]).
+    pub fn chaos(mut self, plan: NetPlan) -> Self {
+        self.cfg.chaos = Some(plan);
+        self
+    }
+
     /// Validate and produce the configuration.
-    pub fn build(self) -> Result<TimeWarpConfig, TimeWarpError> {
+    pub fn build(mut self) -> Result<TimeWarpConfig, TimeWarpError> {
         let invalid = |reason: &str| TimeWarpError::InvalidConfig {
             reason: reason.to_string(),
         };
@@ -277,6 +377,28 @@ impl TimeWarpBuilder {
                 return Err(invalid("Transport::Tcp listen address must not be empty"));
             }
         }
+        if self.cfg.heartbeat_budget == 0 {
+            return Err(invalid("heartbeat budget must be at least 1 missed beat"));
+        }
+        // Timeout resolution: explicit knob > environment (strict) >
+        // default. A malformed environment value is an error even when the
+        // knob is set — a typo'd deployment should fail loudly, not run
+        // with whichever half of its settings happened to parse.
+        let io_env = env_millis("DVS_TW_TIMEOUT_MS")?;
+        let connect_env = env_millis("DVS_TW_CONNECT_MS")?;
+        let heartbeat_env = env_millis("DVS_TW_HEARTBEAT_MS")?;
+        self.cfg.io_timeout = self
+            .io_timeout
+            .or(io_env)
+            .unwrap_or(std::time::Duration::from_millis(DEFAULT_IO_TIMEOUT_MS));
+        self.cfg.connect_timeout = self
+            .connect_timeout
+            .or(connect_env)
+            .unwrap_or(std::time::Duration::from_millis(DEFAULT_CONNECT_TIMEOUT_MS));
+        self.cfg.heartbeat_interval = self
+            .heartbeat_interval
+            .or(heartbeat_env)
+            .unwrap_or(std::time::Duration::from_millis(DEFAULT_HEARTBEAT_MS));
         Ok(self.cfg)
     }
 }
@@ -354,8 +476,9 @@ pub fn run_timewarp(
 
 /// One attempt of the threaded execution path.
 enum ThreadsAttempt {
-    /// All workers finished; the run is complete.
-    Done(TwRunResult),
+    /// All workers finished; the run is complete. Boxed: the result is
+    /// far larger than the other variants.
+    Done(Box<TwRunResult>),
     /// At least one worker died (injected fault or genuine panic); the
     /// run's partial state is discarded.
     Crashed,
@@ -385,7 +508,7 @@ fn run_threads(
                 r.recovery.crashes = injector.as_ref().map_or(0, |i| i.fired());
                 r.recovery.restarts = restarts;
                 r.recovery.victims = thread_victims(cfg, r.recovery.crashes);
-                return Ok(r);
+                return Ok(*r);
             }
             ThreadsAttempt::Crashed => {
                 if restarts >= cfg.fault.max_restarts {
@@ -479,12 +602,12 @@ fn run_threads_once(
         return ThreadsAttempt::Crashed;
     }
     let per_cluster = results.into_iter().flatten().collect();
-    ThreadsAttempt::Done(merge_results(
+    ThreadsAttempt::Done(Box::new(merge_results(
         nl,
         plan,
         per_cluster,
         shared.gvt_rounds.load(Ordering::SeqCst),
-    ))
+    )))
 }
 
 /// Merge per-cluster stats and final net values into a [`TwRunResult`].

@@ -75,6 +75,13 @@ pub struct FaultPlan {
     /// Restarts the supervisor attempts before giving up and degrading to
     /// the sequential simulator.
     pub max_restarts: u32,
+    /// Test hook for the corrupt-restore fallback: poison the delta chain
+    /// shipped with this many subsequent restore attempts, so the worker
+    /// rejects them as [`super::DeltaError::Corrupt`] and the supervisor
+    /// must fall back to re-sending from the last full base (burning one
+    /// extra restart-budget unit each time). `0` — the default — poisons
+    /// nothing.
+    pub corrupt_restores: u32,
 }
 
 impl FaultPlan {
@@ -104,6 +111,7 @@ impl Default for FaultPlan {
             crash_at: None,
             crashes: 0,
             max_restarts: 3,
+            corrupt_restores: 0,
         }
     }
 }
@@ -130,6 +138,22 @@ pub struct RecoveryOutcome {
     /// Canonical-JSON bytes of every delta image captured during the run
     /// (zero on the default every-round cadence).
     pub checkpoint_bytes_delta: u64,
+    /// Corrupt frames the supervisor observed on the wire (CRC32
+    /// mismatches, sequence gaps, zero-length or oversized frames), each
+    /// of which tore the connection down for recovery. Supervisor-side
+    /// observations only: a frame corrupted on its way *to* a worker kills
+    /// that worker's connection and is observed here as a connection loss,
+    /// not a corrupt frame.
+    pub corrupt_frames: u64,
+    /// Heartbeats missed on connections the supervisor declared half-open:
+    /// each detection contributes exactly its exhausted miss budget
+    /// (`heartbeat_budget` beats per event), so the counter is
+    /// deterministic under a seeded fault plan. Transient late beats that
+    /// recovered before the budget ran out are not counted.
+    pub heartbeats_missed: u64,
+    /// Network faults from the [`super::NetPlan`] that actually fired
+    /// (benign ones — duplicates, split writes, latency — included).
+    pub chaos_faults_injected: u64,
     /// The restart budget ran out and the run fell back to the sequential
     /// simulator; `values`/`stats` are the sequential run's.
     pub degraded: bool,
@@ -194,6 +218,12 @@ pub(crate) struct RecoveryLog {
     bases: Vec<Checkpoint>,
     deltas: Vec<Vec<CheckpointDelta>>,
     input_log: Vec<Vec<ReplayOp>>,
+    /// Every operation applied since the last *base* round — `input_log`
+    /// without the per-delta truncation. This is the replay sequence for
+    /// the corrupt-restore fallback: when a victim's delta chain is
+    /// rejected, the supervisor demotes it to its base image and must be
+    /// able to replay the full window from there.
+    base_log: Vec<Vec<ReplayOp>>,
     /// Messages sent on channel `src * k + dst` since the last base round
     /// (positives *and* anti-messages, in send order — FIFO per channel).
     sent_log: Vec<Vec<TwMessage>>,
@@ -213,6 +243,7 @@ impl RecoveryLog {
             bases,
             deltas: vec![Vec::new(); k],
             input_log: vec![Vec::new(); k],
+            base_log: vec![Vec::new(); k],
             sent_log: vec![Vec::new(); k * k],
             delivered: vec![0; k * k],
         }
@@ -220,11 +251,13 @@ impl RecoveryLog {
 
     pub fn record_step(&mut self, c: usize, limit: VTime) {
         self.input_log[c].push(ReplayOp::Step { limit });
+        self.base_log[c].push(ReplayOp::Step { limit });
     }
 
     pub fn record_deliver(&mut self, m: TwMessage) {
         self.delivered[m.src as usize * self.k + m.dst as usize] += 1;
         self.input_log[m.dst as usize].push(ReplayOp::Deliver(m));
+        self.base_log[m.dst as usize].push(ReplayOp::Deliver(m));
     }
 
     pub fn record_send(&mut self, m: TwMessage) {
@@ -233,6 +266,7 @@ impl RecoveryLog {
 
     pub fn record_fossil(&mut self, c: usize, gvt: VTime) {
         self.input_log[c].push(ReplayOp::Fossil(gvt));
+        self.base_log[c].push(ReplayOp::Fossil(gvt));
     }
 
     /// Should the upcoming GVT round capture full bases (as opposed to
@@ -248,6 +282,7 @@ impl RecoveryLog {
         self.bases[i] = ck;
         self.deltas[i].clear();
         self.input_log[i].clear();
+        self.base_log[i].clear();
     }
 
     /// A delta of cluster `i` against the previous round's image was
@@ -290,6 +325,18 @@ impl RecoveryLog {
     /// sequence applied after the base+delta reconstruction.
     pub fn ops(&self, victim: usize) -> &[ReplayOp] {
         &self.input_log[victim]
+    }
+
+    /// Corrupt-restore fallback: the victim's delta chain was rejected, so
+    /// discard it and widen the input log to everything since the base —
+    /// a restore from the bare base plus that replay reconstructs the same
+    /// pre-crash state (sender-side retention already spans the whole base
+    /// window, so channel refill stays exact). After the demotion the
+    /// respawned worker's "previous image" is the base itself, which is
+    /// precisely what its next delta capture will diff against.
+    pub fn demote_to_base(&mut self, victim: usize) {
+        self.deltas[victim].clear();
+        self.input_log[victim] = self.base_log[victim].clone();
     }
 
     /// The undelivered suffix of the `src → dst` channel: what was in

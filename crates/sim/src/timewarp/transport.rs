@@ -31,38 +31,55 @@
 //!
 //! # Wire protocol
 //!
-//! Frames are `u32` little-endian length prefixes followed by that many
-//! bytes of compact JSON, capped at [`MAX_FRAME`] (framing lives in
-//! [`super::wire`]). The supervisor opens the conversation with a `hello`
-//! carrying [`WIRE_VERSION`] and [`CHECKPOINT_SCHEMA`] plus — over TCP — a
-//! per-run token; the worker answers with its own `hello` (over TCP also
-//! echoing the token and declaring which cluster it serves, so the shared
-//! listener can match a reconnecting worker back to its cluster) and both
-//! sides reject a version mismatch ([`TimeWarpError::VersionMismatch`]) —
-//! the checkpoint serialization *is* the restore payload, so
-//! mixed-version pairs must never exchange state. An `init` frame ships
-//! the reduced netlist (gate structure only — names, hierarchy and
+//! The `hello` exchange (one frame each direction, supervisor first) uses
+//! the legacy v2 framing — a bare `u32` little-endian length prefix — so
+//! any peer version can parse it and version negotiation rejects a
+//! mismatched pairing as [`TimeWarpError::VersionMismatch`] instead of a
+//! framing error. Every frame after the hello is wire v3: a 12-byte
+//! `[len][seq][crc32]` header whose checksum covers the sequence number
+//! and payload (framing lives in [`super::wire`]), capped at
+//! [`MAX_FRAME`]. A checksum or sequence violation surfaces as
+//! `WireError::Corrupt` (see [`super::wire`]), which the supervisor treats
+//! exactly like a vanished peer: drop the connection, count the frame,
+//! recover through checkpoint-restore. The supervisor's hello carries
+//! [`WIRE_VERSION`] and [`CHECKPOINT_SCHEMA`] plus — over TCP — a per-run
+//! token; the worker answers with its own `hello` (over TCP also echoing
+//! the token and declaring which cluster it serves, so the shared listener
+//! can match a reconnecting worker back to its cluster). An `init` frame
+//! ships the reduced netlist (gate structure only — names, hierarchy and
 //! declared delays do not affect simulation), the partition assignment and
 //! the stimulus parameters; the worker rebuilds its [`ClusterPlan`]
 //! locally, which is deterministic, so both sides agree on every cut
 //! channel. Each command frame is written with a single buffered syscall
 //! per quantum and the response is read back under a timeout. On the Unix
 //! transport a hung worker is *not* crash-stop, so the timeout is fatal
-//! ([`TimeWarpError::WorkerTimeout`]); over TCP a silent peer is
-//! indistinguishable from a vanished host, so the supervisor drops the
-//! connection and recovers it like a crash — only the spawn/handshake
-//! phase (before the first checkpoint exists) keeps the fatal timeout.
-//! Worker-side panics are caught and shipped back as a typed `panic` frame
+//! ([`TimeWarpError::WorkerTimeout`]); over TCP the supervisor probes a
+//! silent peer with heartbeat `ping` frames every `heartbeat_interval` and
+//! declares it lost after `heartbeat_budget` consecutive unanswered
+//! probes — bounding half-open-connection detection at
+//! `budget × interval` instead of hanging for the full `io_timeout` — and
+//! recovers it like a crash. Only the spawn/handshake phase (before the
+//! first checkpoint exists) keeps the fatal timeout. Worker-side panics
+//! are caught and shipped back as a typed `panic` frame
 //! ([`TimeWarpError::WorkerPanic`]) instead of an opaque exit code.
+//!
+//! When a [`super::chaos::NetPlan`] is armed, the supervisor routes each
+//! affected cluster's post-hello byte stream through the deterministic
+//! fault-injection shim (`ChaosStream` in [`super::chaos`]), which corrupts,
+//! duplicates, delays, truncates or suppresses whole frames at seeded
+//! frame indices — every injected fault must resolve through the typed
+//! recovery paths above, never a panic or a silent misparse.
 
-use super::checkpoint::{Checkpoint, CheckpointDelta, CHECKPOINT_SCHEMA};
+use super::chaos::{ChaosStream, ClusterChaos};
+use super::checkpoint::{Checkpoint, CheckpointDelta, DeltaError, CHECKPOINT_SCHEMA};
 use super::dst::{DstAction, DstView, Schedule, SchedulePolicy};
 use super::error::TimeWarpError;
 use super::gvt::GvtState;
 use super::proc::ClusterProcess;
 use super::recovery::{degrade_sequential, replay_ops, RecoveryLog, RecoveryOutcome, ReplayOp};
 use super::wire::{
-    hello_json, hello_parse, json_kind, parse_json, read_frame, run_token, send_json, WireStream,
+    hello_json, hello_parse, json_kind, parse_json, read_frame, run_token, send_json, DialJitter,
+    FrameSink, FrameSource, WireError, WireStream,
 };
 use super::{merge_results, StateSaving, TimeWarpConfig, TwMessage, TwRunResult};
 use crate::artifact::{logic_str, logic_vec};
@@ -75,7 +92,7 @@ use dvs_json::{uint_array, uint_vec, FromJson, Json, ObjBuilder, ToJson};
 use dvs_verilog::netlist::{Gate, GateId, GateKind, InstId, Net, NetId, Netlist};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -262,6 +279,11 @@ pub(crate) enum WorkerFailure {
     Protocol { detail: String },
     /// Version negotiation failed; `theirs` is `(wire, checkpoint_schema)`.
     Version { theirs: (u32, u32) },
+    /// The shipped restore payload (base + delta chain) was rejected as
+    /// corrupt by the restoring side. Recoverable: the supervisor demotes
+    /// the victim's log to its last full base and retries, burning one
+    /// restart-budget unit, before degrading to the sequential simulator.
+    CorruptRestore { detail: String },
 }
 
 /// Map a non-recoverable worker failure to the public error type.
@@ -276,7 +298,28 @@ fn fatal(cluster: u32, f: WorkerFailure) -> TimeWarpError {
             ours: (WIRE_VERSION, CHECKPOINT_SCHEMA),
             theirs,
         },
+        // Reachable only if a corrupt restore escapes the supervisor's
+        // base-fallback path (it degrades instead); typed as a transport
+        // failure rather than panicking on an impossible state.
+        WorkerFailure::CorruptRestore { detail } => TimeWarpError::Transport { cluster, detail },
     }
+}
+
+/// Network-integrity counters a worker transport accumulates on the side,
+/// folded into [`RecoveryOutcome`] when the run ends — cleanly or
+/// degraded. Everything here is a *supervisor-side observation*:
+/// supervisor→worker corruption is observed as a connection loss (the
+/// worker hangs up on an untrustworthy stream), not as a corrupt frame.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WireCounters {
+    /// Inbound frames rejected by the v3 checksum/sequence validation.
+    pub corrupt_frames: u64,
+    /// Heartbeat probes charged by budget-exhaustion events (each
+    /// detection contributes exactly its exhausted budget, keeping the
+    /// counter schedule-exact; transient recovered misses are free).
+    pub heartbeats_missed: u64,
+    /// Faults the chaos shim actually injected on this worker's streams.
+    pub chaos_faults_injected: u64,
 }
 
 /// One Time Warp cluster as seen by the transport-generic supervisor.
@@ -323,6 +366,12 @@ pub(crate) trait ClusterWorker {
     fn inject_crash(&mut self);
     /// Unconditional teardown (degradation path / drop).
     fn kill(&mut self);
+    /// Cumulative network-integrity counters (corrupt frames, heartbeat
+    /// budget exhaustions, injected chaos faults). Zero for transports
+    /// with no wire underneath.
+    fn wire_counters(&self) -> WireCounters {
+        WireCounters::default()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -447,8 +496,19 @@ impl ClusterWorker for InProcWorker<'_, '_> {
             base,
             deltas,
         )
-        .map_err(|e| WorkerFailure::Protocol {
-            detail: format!("restore chain rejected: {e}"),
+        .map_err(|e| match e {
+            // A chain that does not apply is recoverable: the supervisor
+            // retries from the last full base before giving up. Schema or
+            // cluster mismatches mean the supervisor itself is confused —
+            // that stays a protocol failure.
+            DeltaError::Corrupt(_) | DeltaError::ChainMismatch { .. } => {
+                WorkerFailure::CorruptRestore {
+                    detail: format!("restore chain rejected: {e}"),
+                }
+            }
+            other => WorkerFailure::Protocol {
+                detail: format!("restore chain rejected: {other}"),
+            },
         })?;
         replay_ops(&mut p, ops);
         let lvt = p.lvt();
@@ -559,10 +619,12 @@ pub(crate) fn run_supervisor<W: ClusterWorker>(
         lvts,
         log,
         outcome,
+        corrupts_left: cfg.fault.corrupt_restores,
     };
     let result = sup.run(schedule);
     match result {
         SupRun::Finished(per_cluster) => {
+            sup.fold_wire_counters();
             let mut result = merge_results(
                 nl,
                 plan,
@@ -630,6 +692,10 @@ struct Supervisor<'a, W: ClusterWorker> {
     lvts: Vec<VTime>,
     log: Option<RecoveryLog>,
     outcome: RecoveryOutcome,
+    /// Remaining [`super::recovery::FaultPlan::corrupt_restores`] fault
+    /// injections: how many further restore attempts ship a poisoned
+    /// delta chain.
+    corrupts_left: u32,
 }
 
 macro_rules! try_op {
@@ -999,38 +1065,78 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
                 .in_transit
                 .fetch_sub(dropped_total, Ordering::SeqCst);
         }
-        let log = self
+        let mut log = self
             .log
             .take()
             .expect("recovery requires an armed recovery log");
-        let out = self.recover_inner(v, &dropped, &log);
+        let out = self.recover_inner(v, &dropped, &mut log);
         self.log = Some(log);
         out
+    }
+
+    /// Restart budget exhausted (or a base-only restore was itself
+    /// rejected): kill everyone and fall back to the sequential simulator,
+    /// carrying the exact recovery counters into the degraded result.
+    fn degrade(&mut self) -> OpOutcome {
+        for w in self.workers.iter_mut() {
+            w.kill();
+        }
+        self.fold_wire_counters();
+        let mut r = degrade_sequential(self.nl, self.stim, self.cycles);
+        r.recovery.crashes = self.outcome.crashes;
+        r.recovery.restarts = self.outcome.restarts;
+        r.recovery.replayed_ops = self.outcome.replayed_ops;
+        r.recovery.victims = self.outcome.victims.clone();
+        r.recovery.corrupt_frames = self.outcome.corrupt_frames;
+        r.recovery.heartbeats_missed = self.outcome.heartbeats_missed;
+        r.recovery.chaos_faults_injected = self.outcome.chaos_faults_injected;
+        OpOutcome::Degraded(r)
+    }
+
+    /// Sum each worker's side-accumulated wire counters into the outcome.
+    /// Called exactly once per run, on whichever path ends it.
+    fn fold_wire_counters(&mut self) {
+        for w in self.workers.iter() {
+            let c = w.wire_counters();
+            self.outcome.corrupt_frames += c.corrupt_frames;
+            self.outcome.heartbeats_missed += c.heartbeats_missed;
+            self.outcome.chaos_faults_injected += c.chaos_faults_injected;
+        }
     }
 
     fn recover_inner(
         &mut self,
         v: usize,
         dropped: &[Vec<TwMessage>],
-        log: &RecoveryLog,
+        log: &mut RecoveryLog,
     ) -> OpOutcome {
+        // Set after a shipped delta chain was rejected as corrupt: the
+        // victim's log has been demoted to its last full base, and a
+        // second rejection degrades instead of looping forever.
+        let mut base_only = false;
         loop {
             self.outcome.crashes += 1;
             self.outcome.victims.push(v as u32);
             if self.outcome.restarts >= self.cfg.fault.max_restarts {
-                // Restart budget exhausted: graceful degradation.
-                for w in self.workers.iter_mut() {
-                    w.kill();
-                }
-                let mut r = degrade_sequential(self.nl, self.stim, self.cycles);
-                r.recovery.crashes = self.outcome.crashes;
-                r.recovery.restarts = self.outcome.restarts;
-                r.recovery.replayed_ops = self.outcome.replayed_ops;
-                r.recovery.victims = self.outcome.victims.clone();
-                return OpOutcome::Degraded(r);
+                return self.degrade();
             }
             self.outcome.restarts += 1;
-            match self.workers[v].respawn(log.base(v), log.deltas(v), log.ops(v)) {
+            // Fault injection: poison the delta chain about to ship so the
+            // restoring side rejects it as `DeltaError::Corrupt` —
+            // exercising the same base-fallback path a frame corrupted in
+            // transit (but CRC-validated into a parseable chain) would take.
+            let poisoned;
+            let deltas: &[CheckpointDelta] = if self.corrupts_left > 0 && !log.deltas(v).is_empty()
+            {
+                self.corrupts_left -= 1;
+                let mut chain = log.deltas(v).to_vec();
+                chain.last_mut().expect("chain is non-empty").poison();
+                poisoned = chain;
+                &poisoned
+            } else {
+                log.deltas(v)
+            };
+            match self.workers[v].respawn(log.base(v), deltas, log.ops(v)) {
                 Ok(lvt) => {
                     self.outcome.replayed_ops += log.ops(v).len() as u64;
                     self.lvts[v] = lvt;
@@ -1061,6 +1167,19 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
                 // The replacement died during respawn (possible only with
                 // real processes): another crash against the budget.
                 Err(WorkerFailure::Lost { .. }) => continue,
+                // The shipped delta chain did not survive the trip: burn a
+                // restart unit, demote the victim's log to its last full
+                // base (the op log re-grows from the base round, which the
+                // sender-side retention window already spans) and re-send
+                // base-only.
+                Err(WorkerFailure::CorruptRestore { .. }) if !base_only => {
+                    base_only = true;
+                    log.demote_to_base(v);
+                    continue;
+                }
+                // Even the bare base was rejected: nothing left to restore
+                // from — degrade to the sequential simulator.
+                Err(WorkerFailure::CorruptRestore { .. }) => return self.degrade(),
                 Err(f) => return OpOutcome::Failed(fatal(v as u32, f)),
             }
         }
@@ -1382,29 +1501,119 @@ fn worker_init_from_json(v: &Json) -> Result<WorkerInit, String> {
 /// How long the supervisor waits for a freshly spawned worker to connect.
 const SPAWN_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Default per-response read timeout (overridable via `DVS_TW_TIMEOUT_MS`).
-const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(30_000);
-
-/// Default connect/reconnect window for the TCP transport (overridable via
-/// `DVS_TW_CONNECT_MS`): how long the supervisor waits for a worker to
-/// dial in, and how long a dialing worker retries a refused connection.
-const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_millis(10_000);
-
-fn env_timeout(var: &str, default: Duration) -> Duration {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&ms| ms > 0)
-        .map(Duration::from_millis)
-        .unwrap_or(default)
+/// Wire-level timing knobs shared by every process/TCP worker, resolved
+/// once from the run's [`TimeWarpConfig`] (builder knob, then strict env
+/// fallback, then default — see [`super::TimeWarpBuilder::io_timeout`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WireTiming {
+    /// Per-response read window. Unix: fatal on expiry (a hung local
+    /// child is not crash-stop). TCP: governs only the spawn/handshake
+    /// phase; afterwards heartbeat probing takes over.
+    pub io: Duration,
+    /// Dial-in / reconnect window for the TCP transport.
+    pub connect: Duration,
+    /// Idle interval between supervisor→worker heartbeat probes (TCP,
+    /// post-handshake).
+    pub heartbeat: Duration,
+    /// Consecutive unanswered probes before the peer is declared lost.
+    pub budget: u32,
 }
 
-fn read_timeout() -> Duration {
-    env_timeout("DVS_TW_TIMEOUT_MS", DEFAULT_READ_TIMEOUT)
+impl WireTiming {
+    pub fn from_cfg(cfg: &TimeWarpConfig) -> WireTiming {
+        WireTiming {
+            io: cfg.io_timeout,
+            connect: cfg.connect_timeout,
+            heartbeat: cfg.heartbeat_interval,
+            budget: cfg.heartbeat_budget,
+        }
+    }
 }
 
-fn connect_timeout() -> Duration {
-    env_timeout("DVS_TW_CONNECT_MS", DEFAULT_CONNECT_TIMEOUT)
+/// Worker-side connect/reconnect window: `DVS_TW_CONNECT_MS`, strictly
+/// parsed — a present-but-malformed or zero value is an error, never a
+/// silent fallback to the default (the worker has no builder, so the env
+/// var is its only knob and a typo must not masquerade as a config).
+fn worker_connect_window() -> io::Result<Duration> {
+    match std::env::var("DVS_TW_CONNECT_MS") {
+        Err(_) => Ok(Duration::from_millis(super::DEFAULT_CONNECT_TIMEOUT_MS)),
+        Ok(s) => s
+            .parse::<u64>()
+            .ok()
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "DVS_TW_CONNECT_MS must be a positive integer of milliseconds, \
+                         got {s:?}"
+                    ),
+                )
+            }),
+    }
+}
+
+/// The byte stream a worker conversation runs over: the raw socket, or the
+/// same socket routed through the deterministic fault-injection shim.
+pub(crate) enum Conn {
+    Plain(WireStream),
+    Chaos(ChaosStream),
+}
+
+impl Conn {
+    fn wrap(stream: WireStream, chaos: Option<&Rc<RefCell<ClusterChaos>>>) -> Conn {
+        match chaos {
+            Some(state) => Conn::Chaos(ChaosStream::new(stream, Rc::clone(state))),
+            None => Conn::Plain(stream),
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Plain(s) => s.try_clone().map(Conn::Plain),
+            Conn::Chaos(s) => s.try_clone().map(Conn::Chaos),
+        }
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Plain(s) => s.set_read_timeout(d),
+            Conn::Chaos(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            Conn::Plain(s) => s.shutdown_both(),
+            Conn::Chaos(s) => s.shutdown_both(),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.read(buf),
+            Conn::Chaos(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.write(buf),
+            Conn::Chaos(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Plain(s) => s.flush(),
+            Conn::Chaos(s) => s.flush(),
+        }
+    }
 }
 
 /// Locate the worker binary: explicit path, then `DVS_TW_WORKER`, then a
@@ -1469,11 +1678,19 @@ pub(crate) struct TcpBroker {
     /// a dial-in that never completes its hello must not wedge the accept
     /// loop.
     hello_timeout: Duration,
+    /// The configured dial-in window, reported in timeout failures (the
+    /// caller owns the actual deadline).
+    connect_window: Duration,
     pending: RefCell<HashMap<u32, WireStream>>,
 }
 
 impl TcpBroker {
-    fn bind(listen: &str, token: String, hello_timeout: Duration) -> Result<Self, String> {
+    fn bind(
+        listen: &str,
+        token: String,
+        hello_timeout: Duration,
+        connect_window: Duration,
+    ) -> Result<Self, String> {
         let listener =
             TcpListener::bind(listen).map_err(|e| format!("bind TCP listener {listen}: {e}"))?;
         let addr = listener
@@ -1487,6 +1704,7 @@ impl TcpBroker {
             addr,
             token,
             hello_timeout,
+            connect_window,
             pending: RefCell::new(HashMap::new()),
         })
     }
@@ -1531,7 +1749,7 @@ impl TcpBroker {
                     }
                     if Instant::now() >= deadline {
                         return Err(WorkerFailure::Timeout {
-                            after_ms: connect_timeout().as_millis() as u64,
+                            after_ms: self.connect_window.as_millis() as u64,
                         });
                     }
                     std::thread::sleep(Duration::from_millis(2));
@@ -1613,26 +1831,44 @@ pub(crate) struct ProcessWorker {
     cluster: u32,
     link: Link,
     init: Json,
-    timeout: Duration,
+    timing: WireTiming,
+    /// Shared chaos state for this cluster (frame counters + pending
+    /// faults survive reconnects); `None` routes frames straight through.
+    chaos: Option<Rc<RefCell<ClusterChaos>>>,
     socket_path: Option<PathBuf>,
     child: Option<Child>,
-    reader: Option<io::BufReader<WireStream>>,
-    writer: Option<WireStream>,
+    reader: Option<FrameSource<io::BufReader<Conn>>>,
+    writer: Option<FrameSink<Conn>>,
     last_lvt: VTime,
+    /// True once the init handshake completed on the current connection:
+    /// TCP read timeouts switch from fatal to heartbeat probing.
+    probing: bool,
+    corrupt_frames: u64,
+    heartbeats_missed: u64,
 }
 
 impl ProcessWorker {
-    pub fn new(cluster: u32, bin: PathBuf, init: Json, timeout: Duration) -> Self {
+    pub fn new(
+        cluster: u32,
+        bin: PathBuf,
+        init: Json,
+        timing: WireTiming,
+        chaos: Option<Rc<RefCell<ClusterChaos>>>,
+    ) -> Self {
         ProcessWorker {
             cluster,
             link: Link::Unix { bin },
             init,
-            timeout,
+            timing,
+            chaos,
             socket_path: None,
             child: None,
             reader: None,
             writer: None,
             last_lvt: 0,
+            probing: false,
+            corrupt_frames: 0,
+            heartbeats_missed: 0,
         }
     }
 
@@ -1641,18 +1877,23 @@ impl ProcessWorker {
         broker: Rc<TcpBroker>,
         spawn: Option<PathBuf>,
         init: Json,
-        timeout: Duration,
+        timing: WireTiming,
+        chaos: Option<Rc<RefCell<ClusterChaos>>>,
     ) -> Self {
         ProcessWorker {
             cluster,
             link: Link::Tcp { broker, spawn },
             init,
-            timeout,
+            timing,
+            chaos,
             socket_path: None,
             child: None,
             reader: None,
             writer: None,
             last_lvt: 0,
+            probing: false,
+            corrupt_frames: 0,
+            heartbeats_missed: 0,
         }
     }
 
@@ -1665,10 +1906,11 @@ impl ProcessWorker {
     /// dead, and how a supervisor-side connection reset is injected.
     fn drop_connection(&mut self) {
         if let Some(w) = self.writer.as_ref() {
-            w.shutdown_both();
+            w.get_ref().shutdown_both();
         }
         self.reader = None;
         self.writer = None;
+        self.probing = false;
     }
 
     /// Spawn (or respawn / await reconnection of) the worker, negotiate
@@ -1676,6 +1918,7 @@ impl ProcessWorker {
     /// worker's fresh LVT.
     fn spawn(&mut self) -> Result<(), WorkerFailure> {
         self.kill_child();
+        self.probing = false;
         let proto = |detail: String| WorkerFailure::Protocol { detail };
         let link = self.link.clone();
         // `greeted` marks streams whose hello exchange the broker already
@@ -1738,39 +1981,92 @@ impl ProcessWorker {
                         .map_err(|e| proto(format!("spawn {}: {e}", bin.display())))?;
                     self.child = Some(child);
                 }
-                let deadline = Instant::now() + connect_timeout();
+                let deadline = Instant::now() + self.timing.connect;
                 let stream = broker.accept_for(self.cluster, deadline, self.child.as_mut())?;
                 (stream, true)
             }
         };
+        // The whole handshake — hello, init, restore — runs under the
+        // plain io window; heartbeat probing only arms once the worker
+        // has answered.
         stream
-            .set_read_timeout(Some(self.timeout))
+            .set_read_timeout(Some(self.timing.io))
             .map_err(|e| proto(format!("read timeout: {e}")))?;
-        let writer = stream
-            .try_clone()
-            .map_err(|e| proto(format!("clone stream: {e}")))?;
-        self.reader = Some(io::BufReader::new(stream));
-        self.writer = Some(writer);
 
+        let mut stream = stream;
         if !greeted {
             // Version negotiation: the supervisor speaks first; the worker
             // always answers with its own versions so a mismatch is
-            // diagnosable on both sides. (The Unix transport carries no
-            // token — the per-cluster socket path already scopes the
-            // conversation.)
-            self.send(&hello_json("", None))?;
-            let reply = self.read_response()?;
-            let theirs =
-                hello_parse(&reply).map_err(|detail| WorkerFailure::Protocol { detail })?;
+            // diagnosable on both sides. The hello stays on the legacy
+            // 4-byte framing — a v2 peer can parse it, so the pairing
+            // fails as a typed mismatch, not a framing error. (The Unix
+            // transport carries no token — the per-cluster socket path
+            // already scopes the conversation.)
+            let mut hello_writer = stream
+                .try_clone()
+                .map_err(|e| proto(format!("clone stream: {e}")))?;
+            send_json(&mut hello_writer, &hello_json("", None)).map_err(|e| {
+                WorkerFailure::Lost {
+                    detail: format!("write failed: {e}"),
+                }
+            })?;
+            let reply = match read_frame(&mut stream) {
+                Ok(Some(bytes)) => bytes,
+                Ok(None) => {
+                    return Err(WorkerFailure::Lost {
+                        detail: "socket EOF during hello".to_string(),
+                    })
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(WorkerFailure::Timeout {
+                        after_ms: self.timing.io.as_millis() as u64,
+                    })
+                }
+                Err(e) => {
+                    return Err(WorkerFailure::Lost {
+                        detail: format!("read failed: {e}"),
+                    })
+                }
+            };
+            let theirs = parse_json(&reply)
+                .and_then(|j| hello_parse(&j))
+                .map_err(|detail| WorkerFailure::Protocol { detail })?;
             if theirs.versions() != (WIRE_VERSION, CHECKPOINT_SCHEMA) {
                 return Err(WorkerFailure::Version {
                     theirs: theirs.versions(),
                 });
             }
         }
+        // Past the hello every frame is v3 — checksummed and sequenced —
+        // and, when a chaos plan targets this cluster, routed through the
+        // fault-injection shim (wrapping re-arms suppressed directions:
+        // a reconnect heals a partition or stall).
+        let conn = Conn::wrap(stream, self.chaos.as_ref());
+        let writer = conn
+            .try_clone()
+            .map_err(|e| proto(format!("clone stream: {e}")))?;
+        self.reader = Some(FrameSource::new(io::BufReader::new(conn)));
+        self.writer = Some(FrameSink::new(writer));
+
         let init = self.init.clone();
         let ready = self.call(&init)?;
         self.last_lvt = self.expect_ready(&ready)?;
+        if self.is_tcp() {
+            // Handshake complete: arm heartbeat probing. The per-read
+            // window drops to the probe interval, so a half-open
+            // connection is detected in `budget × interval` instead of
+            // hanging for the full io window.
+            if let Some(r) = self.reader.as_ref() {
+                r.get_ref()
+                    .get_ref()
+                    .set_read_timeout(Some(self.timing.heartbeat))
+                    .map_err(|e| proto(format!("read timeout: {e}")))?;
+            }
+            self.probing = true;
+        }
         Ok(())
     }
 
@@ -1778,57 +2074,116 @@ impl ProcessWorker {
         let w = self.writer.as_mut().ok_or_else(|| WorkerFailure::Lost {
             detail: "no connection to worker".to_string(),
         })?;
-        send_json(w, j).map_err(|e| WorkerFailure::Lost {
+        w.send_json(j).map_err(|e| WorkerFailure::Lost {
             detail: format!("write failed: {e}"),
         })
     }
 
+    /// Read the next substantive response frame. Heartbeat `pong`s are
+    /// consumed transparently. A read timeout on a probing TCP connection
+    /// counts one missed beat and sends a `ping`; `heartbeat_budget`
+    /// consecutive misses declare the peer lost (half-open connections are
+    /// detected in bounded time instead of hanging until `io_timeout`).
+    /// A checksum/sequence violation means the stream can no longer be
+    /// trusted: count it, drop the connection, and let checkpoint-restore
+    /// recovery rebuild the conversation from known-good state.
     fn read_response(&mut self) -> Result<Json, WorkerFailure> {
-        let r = self.reader.as_mut().ok_or_else(|| WorkerFailure::Lost {
-            detail: "no connection to worker".to_string(),
-        })?;
-        let bytes = match read_frame(r) {
-            Ok(Some(bytes)) => bytes,
-            Ok(None) => {
-                return Err(WorkerFailure::Lost {
-                    detail: "socket EOF (worker process died)".to_string(),
-                })
+        let mut misses: u32 = 0;
+        loop {
+            let r = self.reader.as_mut().ok_or_else(|| WorkerFailure::Lost {
+                detail: "no connection to worker".to_string(),
+            })?;
+            let bytes = match r.recv() {
+                Ok(Some(bytes)) => bytes,
+                Ok(None) => {
+                    return Err(WorkerFailure::Lost {
+                        detail: "socket EOF (worker process died)".to_string(),
+                    })
+                }
+                Err(e) if e.timed_out() => {
+                    if self.probing {
+                        misses += 1;
+                        if misses >= self.timing.budget {
+                            self.heartbeats_missed += self.timing.budget as u64;
+                            self.drop_connection();
+                            return Err(WorkerFailure::Lost {
+                                detail: format!(
+                                    "heartbeat budget exhausted: {} probes over {} ms went \
+                                     unanswered; connection dropped (crash-stop)",
+                                    self.timing.budget,
+                                    self.timing.heartbeat.as_millis() as u64
+                                        * self.timing.budget as u64
+                                ),
+                            });
+                        }
+                        if self.send(&ok_json_cmd("ping")).is_err() {
+                            self.drop_connection();
+                            return Err(WorkerFailure::Lost {
+                                detail: "connection died during a heartbeat probe".to_string(),
+                            });
+                        }
+                        continue;
+                    }
+                    return Err(WorkerFailure::Timeout {
+                        after_ms: self.timing.io.as_millis() as u64,
+                    });
+                }
+                Err(e) if e.is_corrupt() => {
+                    self.corrupt_frames += 1;
+                    self.drop_connection();
+                    return Err(WorkerFailure::Lost {
+                        detail: format!("corrupt frame from worker ({e}); connection dropped"),
+                    });
+                }
+                Err(WireError::Truncated(detail)) => {
+                    self.drop_connection();
+                    return Err(WorkerFailure::Lost {
+                        detail: format!("truncated frame: {detail}"),
+                    });
+                }
+                Err(e) => {
+                    return Err(WorkerFailure::Lost {
+                        detail: format!("read failed: {e}"),
+                    })
+                }
+            };
+            let j = parse_json(&bytes).map_err(|detail| WorkerFailure::Protocol { detail })?;
+            match json_kind(&j).map_err(|detail| WorkerFailure::Protocol { detail })? {
+                // A pong can interleave with (or precede) any response; it
+                // only proves liveness.
+                "pong" => {
+                    misses = 0;
+                    continue;
+                }
+                "panic" => {
+                    return Err(WorkerFailure::Panic {
+                        message: j
+                            .field("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or("<no message>")
+                            .to_string(),
+                    })
+                }
+                "error" => {
+                    return Err(WorkerFailure::Protocol {
+                        detail: j
+                            .field("detail")
+                            .and_then(Json::as_str)
+                            .unwrap_or("<no detail>")
+                            .to_string(),
+                    })
+                }
+                "restore_corrupt" => {
+                    return Err(WorkerFailure::CorruptRestore {
+                        detail: j
+                            .field("detail")
+                            .and_then(Json::as_str)
+                            .unwrap_or("<no detail>")
+                            .to_string(),
+                    })
+                }
+                _ => return Ok(j),
             }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return Err(WorkerFailure::Timeout {
-                    after_ms: self.timeout.as_millis() as u64,
-                })
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                return Err(WorkerFailure::Protocol {
-                    detail: e.to_string(),
-                })
-            }
-            Err(e) => {
-                return Err(WorkerFailure::Lost {
-                    detail: format!("read failed: {e}"),
-                })
-            }
-        };
-        let j = parse_json(&bytes).map_err(|detail| WorkerFailure::Protocol { detail })?;
-        match json_kind(&j).map_err(|detail| WorkerFailure::Protocol { detail })? {
-            "panic" => Err(WorkerFailure::Panic {
-                message: j
-                    .field("message")
-                    .and_then(Json::as_str)
-                    .unwrap_or("<no message>")
-                    .to_string(),
-            }),
-            "error" => Err(WorkerFailure::Protocol {
-                detail: j
-                    .field("detail")
-                    .and_then(Json::as_str)
-                    .unwrap_or("<no detail>")
-                    .to_string(),
-            }),
-            _ => Ok(j),
         }
     }
 
@@ -1838,24 +2193,14 @@ impl ProcessWorker {
         self.read_response()
     }
 
-    /// One *supervised* command round-trip. Over TCP a read timeout is
-    /// converted to a crash-stop loss: a silent remote peer is
-    /// indistinguishable from a vanished host (no RST ever arrives from a
-    /// powered-off machine), so the supervisor drops the connection and
-    /// lets the recovery path respawn-or-await-reconnect. Over Unix a hung
-    /// local child is *not* crash-stop, so the timeout stays fatal.
+    /// One *supervised* command round-trip. Over TCP a silent remote peer
+    /// is indistinguishable from a vanished host (no RST ever arrives
+    /// from a powered-off machine); `read_response`'s heartbeat probing
+    /// converts that silence into a crash-stop loss, which the recovery
+    /// path respawns-or-awaits-reconnect. Over Unix a hung local child is
+    /// *not* crash-stop, so the io timeout stays fatal.
     fn command(&mut self, j: &Json) -> Result<Json, WorkerFailure> {
-        match self.call(j) {
-            Err(WorkerFailure::Timeout { after_ms }) if self.is_tcp() => {
-                self.drop_connection();
-                Err(WorkerFailure::Lost {
-                    detail: format!(
-                        "TCP peer silent for {after_ms} ms; connection dropped (crash-stop)"
-                    ),
-                })
-            }
-            other => other,
-        }
+        self.call(j)
     }
 
     fn expect_kind(&self, j: &Json, want: &str) -> Result<(), WorkerFailure> {
@@ -1898,6 +2243,7 @@ impl ProcessWorker {
         }
         self.reader = None;
         self.writer = None;
+        self.probing = false;
         if let Some(path) = self.socket_path.take() {
             let _ = std::fs::remove_file(path);
         }
@@ -2032,19 +2378,21 @@ impl ClusterWorker for ProcessWorker {
             let _ = child.wait();
         }
         if let Some(r) = self.reader.as_mut() {
-            let mut sink = [0u8; 256];
-            loop {
-                match r.read(&mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => continue,
-                }
-            }
+            while let Ok(Some(_)) = r.recv() {}
         }
         self.kill_child();
     }
 
     fn kill(&mut self) {
         self.kill_child();
+    }
+
+    fn wire_counters(&self) -> WireCounters {
+        WireCounters {
+            corrupt_frames: self.corrupt_frames,
+            heartbeats_missed: self.heartbeats_missed,
+            chaos_faults_injected: self.chaos.as_ref().map_or(0, |c| c.borrow().fired()),
+        }
     }
 }
 
@@ -2077,7 +2425,8 @@ pub(crate) fn run_process(
     let label = format!("seed {seed}, schedule {policy:?}");
     let bin =
         resolve_worker(worker_bin).map_err(|reason| TimeWarpError::InvalidConfig { reason })?;
-    let timeout = read_timeout();
+    let timing = WireTiming::from_cfg(cfg);
+    let chaos_plan = cfg.chaos.clone().unwrap_or_default();
     let mut schedule = policy.build(seed);
     let mut workers: Vec<ProcessWorker> = (0..plan.k)
         .map(|me| {
@@ -2094,7 +2443,8 @@ pub(crate) fn run_process(
                     me as u32,
                     &label,
                 ),
-                timeout,
+                timing,
+                (!chaos_plan.is_empty()).then(|| chaos_plan.for_cluster(me as u32)),
             )
         })
         .collect();
@@ -2142,8 +2492,10 @@ pub(crate) fn run_tcp(
         TcpWorkers::Spawn { worker } => Some(resolve_worker(worker.as_deref()).map_err(invalid)?),
         TcpWorkers::External => None,
     };
-    let timeout = read_timeout();
-    let broker = Rc::new(TcpBroker::bind(listen, run_token(), timeout).map_err(invalid)?);
+    let timing = WireTiming::from_cfg(cfg);
+    let chaos_plan = cfg.chaos.clone().unwrap_or_default();
+    let broker =
+        Rc::new(TcpBroker::bind(listen, run_token(), timing.io, timing.connect).map_err(invalid)?);
     if spawn_bin.is_none() {
         // Externally started workers need the resolved address (port 0
         // picks one at bind time) and the run token.
@@ -2172,7 +2524,8 @@ pub(crate) fn run_tcp(
                     me as u32,
                     &label,
                 ),
-                timeout,
+                timing,
+                (!chaos_plan.is_empty()).then(|| chaos_plan.for_cluster(me as u32)),
             )
         })
         .collect();
@@ -2223,15 +2576,21 @@ pub fn serve_worker(socket: &Path) -> io::Result<()> {
 }
 
 /// TCP entry point for the `tw_worker` binary: dial the supervisor at
-/// `addr` (retrying refused connections with bounded backoff until
-/// `DVS_TW_CONNECT_MS` elapses — the supervisor may not have reached this
-/// cluster's accept yet, or the worker may be reconnecting after a network
-/// fault) and serve `cluster` until `finish` or EOF. The hello exchange
-/// presents `token`; a supervisor with a different token (another run) is
-/// abandoned quietly.
+/// `addr` (retrying refused connections with jittered doubling backoff
+/// until `DVS_TW_CONNECT_MS` elapses — the supervisor may not have reached
+/// this cluster's accept yet, or the worker may be reconnecting after a
+/// network fault) and serve `cluster` until `finish` or EOF. The backoff
+/// jitter is deterministic, seeded from the run token and cluster id, so a
+/// cluster-wide reconnect storm de-synchronises reproducibly instead of
+/// hammering the listener in lockstep. The hello exchange presents
+/// `token`; a supervisor with a different token (another run) is abandoned
+/// quietly.
 pub fn serve_worker_tcp(addr: &str, cluster: u32, token: &str) -> io::Result<()> {
-    let deadline = Instant::now() + connect_timeout();
-    let mut delay = Duration::from_millis(10);
+    let deadline = Instant::now() + worker_connect_window()?;
+    let mut jitter = DialJitter::new(token, cluster);
+    let base = Duration::from_millis(10);
+    let cap = Duration::from_millis(500);
+    let mut delay = base;
     let stream = loop {
         match TcpStream::connect(addr) {
             Ok(s) => break s,
@@ -2240,7 +2599,7 @@ pub fn serve_worker_tcp(addr: &str, cluster: u32, token: &str) -> io::Result<()>
                     return Err(e);
                 }
                 std::thread::sleep(delay);
-                delay = (delay * 2).min(Duration::from_millis(500));
+                delay = jitter.next_delay(delay, base, cap);
             }
         }
     };
@@ -2248,8 +2607,29 @@ pub fn serve_worker_tcp(addr: &str, cluster: u32, token: &str) -> io::Result<()>
     serve_wire(WireStream::Tcp(stream), Some(cluster), token)
 }
 
+/// Map a framing error to `io::Error` for the worker's `io::Result` entry
+/// points (integrity violations become `InvalidData`).
+fn wire_io(e: WireError) -> io::Error {
+    match e {
+        WireError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// Worker-side read: a clean EOF ends the session, and so does an
+/// integrity violation — a worker that can no longer trust its inbound
+/// stream hangs up and lets the supervisor's recovery path observe the
+/// loss and restore from checkpoint. Only genuine I/O errors escape.
+fn worker_recv(source: &mut FrameSource<io::BufReader<WireStream>>) -> io::Result<Option<Vec<u8>>> {
+    match source.recv() {
+        Ok(frame) => Ok(frame),
+        Err(WireError::Io(e)) => Err(e),
+        Err(_corrupt_or_truncated) => Ok(None),
+    }
+}
+
 fn serve_wire(stream: WireStream, identity: Option<u32>, token: &str) -> io::Result<()> {
-    // Frames are built whole in `write_frame`'s buffer, so the raw stream
+    // Frames are built whole before hitting the socket, so the raw stream
     // needs no write-side buffering of its own.
     let mut writer = stream.try_clone()?;
     let mut reader = io::BufReader::new(stream);
@@ -2258,7 +2638,9 @@ fn serve_wire(stream: WireStream, identity: Option<u32>, token: &str) -> io::Res
     // answer with ours (both sides can then diagnose a mismatch), bail
     // quietly if the versions or tokens differ — on a version mismatch the
     // supervisor raises the typed error; on a token mismatch this worker
-    // simply dialed the wrong run and must not disturb it.
+    // simply dialed the wrong run and must not disturb it. Hellos stay on
+    // the legacy length-only framing permanently so any wire version can
+    // parse the other side's greeting before negotiation completes.
     let hello = match read_frame(&mut reader)? {
         Some(bytes) => bytes,
         None => return Ok(()),
@@ -2274,24 +2656,27 @@ fn serve_wire(stream: WireStream, identity: Option<u32>, token: &str) -> io::Res
         return Ok(());
     }
 
-    let init = match read_frame(&mut reader)? {
+    // Everything after the hello rides the checksummed v3 framing.
+    let mut source = FrameSource::new(reader);
+    let mut sink = FrameSink::new(writer);
+    let init = match worker_recv(&mut source)? {
         Some(bytes) => bytes,
         None => return Ok(()),
     };
     let init = match parse_json(&init).and_then(|j| worker_init_from_json(&j)) {
         Ok(init) => init,
         Err(detail) => {
-            send_json(
-                &mut writer,
+            sink.send_json(
                 &ObjBuilder::new()
                     .str("kind", "error")
                     .str("detail", &detail)
                     .build(),
-            )?;
+            )
+            .map_err(wire_io)?;
             return Ok(());
         }
     };
-    serve_cluster(init, reader, writer)
+    serve_cluster(init, source, sink)
 }
 
 /// Parse `DVS_TW_SELFKILL=<cluster>:<after>` — a test hook that makes this
@@ -2309,8 +2694,8 @@ fn selfkill_budget(cluster: u32) -> Option<u64> {
 
 fn serve_cluster(
     init: WorkerInit,
-    mut reader: io::BufReader<WireStream>,
-    mut writer: WireStream,
+    mut source: FrameSource<io::BufReader<WireStream>>,
+    mut sink: FrameSink<WireStream>,
 ) -> io::Result<()> {
     let WorkerInit {
         netlist,
@@ -2332,17 +2717,39 @@ fn serve_cluster(
         cycles,
         state_saving,
     ));
-    send_json(&mut writer, &ready_json(lvt_of(&mut proc)))?;
+    sink.send_json(&ready_json(lvt_of(&mut proc)))
+        .map_err(wire_io)?;
     let mut selfkill = selfkill_budget(cluster);
     // Reference image for delta capture: the last full or reconstructed
     // checkpoint this incarnation produced or was restored from.
     let mut prev_ckpt: Option<Checkpoint> = None;
 
     loop {
-        let bytes = match read_frame(&mut reader)? {
+        let bytes = match worker_recv(&mut source)? {
             Some(bytes) => bytes,
             None => return Ok(()), // supervisor went away — crash-stop too
         };
+        let cmd = match parse_json(&bytes) {
+            Ok(cmd) => cmd,
+            Err(detail) => {
+                sink.send_json(
+                    &ObjBuilder::new()
+                        .str("kind", "error")
+                        .str("detail", &detail)
+                        .build(),
+                )
+                .map_err(wire_io)?;
+                return Ok(());
+            }
+        };
+        // Heartbeat probes are liveness traffic, not simulation commands:
+        // answer before the self-kill hook so an idle-but-probed worker
+        // burns its crash budget on real work, deterministically.
+        if json_kind(&cmd) == Ok("ping") {
+            sink.send_json(&ObjBuilder::new().str("kind", "pong").build())
+                .map_err(wire_io)?;
+            continue;
+        }
         if let Some(left) = selfkill.as_mut() {
             if *left <= 1 {
                 // Die exactly like SIGKILL would: no unwinding, no drops,
@@ -2351,19 +2758,6 @@ fn serve_cluster(
             }
             *left -= 1;
         }
-        let cmd = match parse_json(&bytes) {
-            Ok(cmd) => cmd,
-            Err(detail) => {
-                send_json(
-                    &mut writer,
-                    &ObjBuilder::new()
-                        .str("kind", "error")
-                        .str("detail", &detail)
-                        .build(),
-                )?;
-                return Ok(());
-            }
-        };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             dispatch(
                 &cmd,
@@ -2388,30 +2782,30 @@ fn serve_cluster(
                     let inner = reply
                         .field("inner")
                         .expect("finished-wrap frames carry an inner reply");
-                    send_json(&mut writer, inner)?;
+                    sink.send_json(inner).map_err(wire_io)?;
                     return Ok(());
                 }
-                send_json(&mut writer, &reply)?
+                sink.send_json(&reply).map_err(wire_io)?
             }
             Ok(Ok(None)) => return Ok(()),
             Ok(Err(detail)) => {
-                send_json(
-                    &mut writer,
+                sink.send_json(
                     &ObjBuilder::new()
                         .str("kind", "error")
                         .str("detail", &detail)
                         .build(),
-                )?;
+                )
+                .map_err(wire_io)?;
                 return Ok(());
             }
             Err(payload) => {
-                send_json(
-                    &mut writer,
+                sink.send_json(
                     &ObjBuilder::new()
                         .str("kind", "panic")
                         .str("message", &panic_message(payload.as_ref()))
                         .build(),
-                )?;
+                )
+                .map_err(wire_io)?;
                 return Ok(());
             }
         }
@@ -2545,7 +2939,7 @@ where
             {
                 ops.push(replay_op_from_json(op)?);
             }
-            let (mut p, image) = ClusterProcess::from_chain(
+            let (mut p, image) = match ClusterProcess::from_chain(
                 nl,
                 plan,
                 stim.clone(),
@@ -2553,8 +2947,22 @@ where
                 state_saving,
                 &base,
                 &deltas,
-            )
-            .map_err(|e| format!("restore chain rejected: {e}"))?;
+            ) {
+                Ok(pair) => pair,
+                // Integrity failures in the shipped chain are recoverable
+                // on the supervisor side (it falls back to the last full
+                // base), so answer with a typed frame and keep serving on
+                // this connection instead of hanging up.
+                Err(e @ (DeltaError::Corrupt(_) | DeltaError::ChainMismatch { .. })) => {
+                    return Ok(Some(
+                        ObjBuilder::new()
+                            .str("kind", "restore_corrupt")
+                            .str("detail", &format!("restore chain rejected: {e}"))
+                            .build(),
+                    ));
+                }
+                Err(other) => return Err(format!("restore chain rejected: {other}")),
+            };
             replay_ops(&mut p, &ops);
             let lvt = p.lvt();
             *proc = Some(p);
@@ -2652,28 +3060,33 @@ mod tests {
 
     #[test]
     fn hello_mismatch_shuts_the_worker_down_quietly() {
-        let (sup, worker) = UnixStream::pair().expect("socketpair");
-        let handle = std::thread::spawn(move || serve_wire(WireStream::Unix(worker), None, ""));
+        // Both directions of skew: a future supervisor with a newer wire
+        // version, and a stale v2 supervisor predating checksummed frames.
+        // Hellos stay on the legacy length-only framing precisely so this
+        // exchange parses on both sides regardless of version.
+        for wire in [WIRE_VERSION + 1, WIRE_VERSION - 1] {
+            let (sup, worker) = UnixStream::pair().expect("socketpair");
+            let handle = std::thread::spawn(move || serve_wire(WireStream::Unix(worker), None, ""));
 
-        let mut writer = sup.try_clone().expect("clone");
-        let mut reader = io::BufReader::new(sup);
-        // Pretend to be a future supervisor with a newer wire version.
-        let bad_hello = ObjBuilder::new()
-            .str("kind", "hello")
-            .uint("wire", (WIRE_VERSION + 1) as u64)
-            .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
-            .build();
-        send_json(&mut writer, &bad_hello).expect("send hello");
+            let mut writer = sup.try_clone().expect("clone");
+            let mut reader = io::BufReader::new(sup);
+            let bad_hello = ObjBuilder::new()
+                .str("kind", "hello")
+                .uint("wire", wire as u64)
+                .uint("checkpoint_schema", CHECKPOINT_SCHEMA as u64)
+                .build();
+            send_json(&mut writer, &bad_hello).expect("send hello");
 
-        // The worker still answers with its own hello…
-        let reply = read_frame(&mut reader)
-            .expect("read")
-            .expect("worker hello");
-        let reply = hello_parse(&parse_json(&reply).expect("parse")).expect("hello");
-        assert_eq!(reply.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
-        // …then hangs up instead of serving commands.
-        assert_eq!(read_frame(&mut reader).expect("clean eof"), None);
-        handle.join().expect("join").expect("serve_wire exits Ok");
+            // The worker still answers with its own hello…
+            let reply = read_frame(&mut reader)
+                .expect("read")
+                .expect("worker hello");
+            let reply = hello_parse(&parse_json(&reply).expect("parse")).expect("hello");
+            assert_eq!(reply.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
+            // …then hangs up instead of serving commands.
+            assert_eq!(read_frame(&mut reader).expect("clean eof"), None);
+            handle.join().expect("join").expect("serve_wire exits Ok");
+        }
     }
 
     /// A worker dialed into the wrong run (the supervisor's hello carries
@@ -2721,6 +3134,7 @@ mod tests {
             "127.0.0.1:0",
             "good-token".to_string(),
             Duration::from_millis(2_000),
+            Duration::from_millis(2_000),
         )
         .expect("bind");
         let stray = dial(broker.addr, "evil-token", 0);
@@ -2754,6 +3168,7 @@ mod tests {
             "127.0.0.1:0",
             "tok".to_string(),
             Duration::from_millis(2_000),
+            Duration::from_millis(2_000),
         )
         .expect("bind");
         let w1 = dial(broker.addr, "tok", 1);
@@ -2772,12 +3187,17 @@ mod tests {
     }
 
     /// A correct-token peer with a mismatched wire version is fatal — the
-    /// checkpoint payload must never cross a mixed-version pair.
+    /// checkpoint payload must never cross a mixed-version pair. The peer
+    /// here presents `WIRE_VERSION - 1`: a v2 worker (pre-checksum
+    /// framing) meeting a v3 supervisor surfaces as the typed
+    /// [`TimeWarpError::VersionMismatch`], not as garbled frames — hellos
+    /// deliberately stay on the legacy framing both versions can parse.
     #[test]
     fn broker_rejects_version_mismatch_as_fatal() {
         let broker = TcpBroker::bind(
             "127.0.0.1:0",
             "tok".to_string(),
+            Duration::from_millis(2_000),
             Duration::from_millis(2_000),
         )
         .expect("bind");
@@ -2826,6 +3246,7 @@ mod tests {
                 "127.0.0.1:0",
                 "tok".to_string(),
                 Duration::from_millis(2_000),
+                Duration::from_millis(2_000),
             )
             .expect("bind"),
         );
@@ -2842,8 +3263,13 @@ mod tests {
             let _init = read_frame(&mut stream).expect("read init");
             std::thread::sleep(Duration::from_millis(500));
         });
-        let timeout = Duration::from_millis(50);
-        let mut w = ProcessWorker::tcp(0, broker, None, ok_json_cmd("init"), timeout);
+        let timing = WireTiming {
+            io: Duration::from_millis(50),
+            connect: Duration::from_millis(2_000),
+            heartbeat: Duration::from_secs(1),
+            budget: 30,
+        };
+        let mut w = ProcessWorker::tcp(0, broker, None, ok_json_cmd("init"), timing, None);
         let err = w.spawn().expect_err("silent worker must time out");
         assert_eq!(err, WorkerFailure::Timeout { after_ms: 50 });
         assert!(matches!(
@@ -2856,16 +3282,20 @@ mod tests {
         mute.join().expect("mute thread");
     }
 
-    /// Post-handshake silence over TCP is crash-stop: `command()` converts
-    /// the read timeout into `Lost` and tears the connection down, which
-    /// is what routes it into checkpoint-restore recovery instead of a
-    /// fatal error.
+    /// Post-handshake silence over TCP is crash-stop: the heartbeat prober
+    /// sends `ping` frames each idle interval, and when `budget`
+    /// consecutive probes go unanswered the connection is torn down and
+    /// the worker is declared `Lost` — which routes it into
+    /// checkpoint-restore recovery instead of a fatal
+    /// [`TimeWarpError::WorkerTimeout`]. Detection is bounded at
+    /// `budget * heartbeat` instead of the full I/O timeout.
     #[test]
-    fn command_timeout_over_tcp_becomes_lost() {
+    fn heartbeat_budget_exhaustion_over_tcp_becomes_lost() {
         let broker = Rc::new(
             TcpBroker::bind(
                 "127.0.0.1:0",
                 "tok".to_string(),
+                Duration::from_millis(2_000),
                 Duration::from_millis(2_000),
             )
             .expect("bind"),
@@ -2875,31 +3305,59 @@ mod tests {
         let mute = std::thread::spawn(move || {
             let conn = TcpStream::connect(addr).expect("connect");
             let mut stream = WireStream::Tcp(conn);
-            let mut writer = stream.try_clone().expect("clone");
+            let writer = stream.try_clone().expect("clone");
             let _ = read_frame(&mut stream).expect("read").expect("sup hello");
-            send_json(&mut writer, &hello_json(&token, Some(0))).expect("send hello");
-            // Acknowledge init like a real worker, then never answer again.
-            let _init = read_frame(&mut stream).expect("read init");
-            send_json(&mut writer, &ready_json(0)).expect("send ready");
-            // Hold the socket open; the supervisor's shutdown will EOF us.
-            let _ = read_frame(&mut stream);
+            let mut legacy_writer = writer.try_clone().expect("clone");
+            send_json(&mut legacy_writer, &hello_json(&token, Some(0))).expect("send hello");
+            // Post-hello traffic rides the checksummed v3 framing:
+            // acknowledge init like a real worker, then never answer again.
+            let mut source = FrameSource::new(io::BufReader::new(stream));
+            let mut sink = FrameSink::new(writer);
+            let _init = source.recv().expect("read init");
+            sink.send_json(&ready_json(0)).expect("send ready");
+            // Swallow every further frame (commands and heartbeat pings
+            // alike) without ever answering, holding the socket open until
+            // the supervisor gives up and shuts it down.
+            while let Ok(Some(_)) = source.recv() {}
         });
-        let timeout = Duration::from_millis(50);
-        let mut w = ProcessWorker::tcp(0, broker, None, ok_json_cmd("init"), timeout);
+        let timing = WireTiming {
+            io: Duration::from_millis(2_000),
+            connect: Duration::from_millis(2_000),
+            heartbeat: Duration::from_millis(25),
+            budget: 2,
+        };
+        let mut w = ProcessWorker::tcp(0, broker, None, ok_json_cmd("init"), timing, None);
         w.spawn().expect("handshake completes");
+        let t0 = Instant::now();
         let err = w
             .command(&ok_json_cmd("quiesce"))
             .expect_err("silent peer must be declared lost");
         assert!(
-            matches!(err, WorkerFailure::Lost { .. }),
-            "expected Lost, got {err:?}"
+            matches!(&err, WorkerFailure::Lost { detail } if detail.contains("heartbeat")),
+            "expected heartbeat-budget Lost, got {err:?}"
+        );
+        // Detection is bounded by the heartbeat budget, far below the I/O
+        // timeout a plain blocking read would have waited out.
+        assert!(
+            t0.elapsed() < timing.io,
+            "heartbeat probing must beat the raw I/O timeout"
+        );
+        // A typed recovery signal, not a fatal timeout.
+        assert!(matches!(fatal(0, err), TimeWarpError::Transport { .. }));
+        // Budget exhaustion is charged exactly once, at `budget` misses.
+        assert_eq!(
+            w.wire_counters().heartbeats_missed,
+            u64::from(timing.budget)
         );
         // The connection was dropped with it: the next command fails
-        // immediately, without waiting out another timeout.
+        // immediately, without waiting out another probe cycle.
         let t0 = Instant::now();
         let err = w.command(&ok_json_cmd("quiesce")).expect_err("no stream");
         assert!(matches!(err, WorkerFailure::Lost { .. }));
-        assert!(t0.elapsed() < timeout, "second failure should be instant");
+        assert!(
+            t0.elapsed() < timing.heartbeat,
+            "second failure should be instant"
+        );
         mute.join().expect("mute thread");
     }
 
@@ -2927,13 +3385,15 @@ mod tests {
             mseq: 11,
             stats: SimStats::default(),
         };
-        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        let (a, b) = UnixStream::pair().expect("socketpair");
         let payload = ck.to_json();
         let writer = std::thread::spawn(move || {
-            send_json(&mut a, &payload).expect("send checkpoint");
+            // Checkpoints ride the checksummed v3 framing in production.
+            let mut sink = FrameSink::new(a);
+            sink.send_json(&payload).expect("send checkpoint");
         });
-        let mut reader = io::BufReader::new(b);
-        let bytes = read_frame(&mut reader).expect("read").expect("one frame");
+        let mut source = FrameSource::new(io::BufReader::new(b));
+        let bytes = source.recv().expect("read").expect("one frame");
         let back =
             Checkpoint::from_json(&parse_json(&bytes).expect("parse")).expect("checkpoint decodes");
         assert_eq!(back.schema, ck.schema);

@@ -152,6 +152,7 @@ fn assert_crash_is_invisible(case: &CrashCase) {
         crash_at: Some((case.victim, case.crash_at)),
         crashes: case.crashes,
         max_restarts: case.crashes,
+        corrupt_restores: 0,
     };
     let crashed = run_with_fault(case, fault);
     assert!(
@@ -178,6 +179,7 @@ fn assert_degradation_is_correct(case: &CrashCase) {
         crash_at: Some((case.victim, case.crash_at)),
         crashes: case.crashes + 1,
         max_restarts: case.crashes,
+        corrupt_restores: 0,
     };
     let tw = run_with_fault(case, fault);
     if tw.recovery.crashes <= case.crashes {

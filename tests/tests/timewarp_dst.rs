@@ -209,6 +209,7 @@ fn repeated_crashes_within_budget_still_converge() {
         crash_at: Some((2, 40)),
         crashes: 3,
         max_restarts: 3,
+        corrupt_restores: 0,
     };
     let tw = run(&nl, &plan, &stim, &cfg);
     assert_eq!(tw.recovery.crashes, 3);
@@ -230,6 +231,7 @@ fn exhausted_restart_budget_degrades_to_sequential() {
         crash_at: Some((1, 10)),
         crashes: 3,
         max_restarts: 2,
+        corrupt_restores: 0,
     };
     let tw = run(&nl, &plan, &stim, &cfg);
     assert!(tw.recovery.degraded, "restart budget was not exhausted");
