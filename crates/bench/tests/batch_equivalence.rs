@@ -1,0 +1,431 @@
+//! Batching-equivalence suite: message batching must be invisible in the
+//! results on every transport.
+//!
+//! The contract under test (see `EXPERIMENTS.md`, "Message batching"):
+//! [`BatchPolicy`] changes how many frames (or channel pushes) carry the
+//! kernel's messages — never which messages are applied, nor in what
+//! order. Concretely:
+//!
+//! * **InProc / Process / TCP** (deterministic transports): the canonical
+//!   artifact of a batched run is **byte-identical** to the unbatched
+//!   same-seed run. Batching here is receiver-side staging — the committed
+//!   FIFO queue tail rides one `msg_batch` frame and later deliveries are
+//!   payload-free `deliver_next` commands — so the supervisor's decision
+//!   sequence is untouched by construction, and these tests prove the
+//!   implementation honours that.
+//! * **Threads** (free-running): counters depend on OS interleaving, so
+//!   byte-equality is not defined; instead the final net values must match
+//!   the unbatched run (both equal the sequential simulator) and message
+//!   conservation must hold: `emitted == messages_sent + messages_folded`.
+//!
+//! Failing cases are dumped to `target/tmp/batch_equiv_failure_*.txt`
+//! (same convention as the DST fuzzers) and CI's `batch-fuzz` job uploads
+//! the set.
+
+use dvs_core::tw_run_canonical_json;
+use dvs_core::{partition_multiway, MultiwayConfig};
+use dvs_sim::cluster::ClusterPlan;
+use dvs_sim::stimulus::VectorStimulus;
+use dvs_sim::timewarp::dst::first_cut_channel;
+use dvs_sim::timewarp::{
+    run_timewarp, BatchPolicy, SchedulePolicy, TimeWarpConfig, Transport, TwRunResult,
+};
+use dvs_verilog::netlist::Netlist;
+use dvs_verilog::parse_and_elaborate;
+use dvs_workloads::seqcirc::{generate_counter, generate_lfsr};
+use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_tw_worker"))
+}
+
+/// Everything needed to replay one equivalence case.
+#[derive(Debug, Clone)]
+struct EquivCase {
+    counter_not_lfsr: bool,
+    bits: u32,
+    k: usize,
+    part_seed: u64,
+    stim_seed: u64,
+    sched_seed: u64,
+    policy_sel: u8,
+    window: u64,
+    max_size: usize,
+    max_delay: u64,
+    cycles: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = EquivCase> {
+    let circuit = (any::<bool>(), 2u32..6, 2usize..4, any::<u64>());
+    let seeds = (any::<u64>(), any::<u64>(), 0u8..5);
+    let kernel = (
+        prop_oneof![Just(4u64), Just(16u64), Just(64u64)],
+        (
+            prop_oneof![Just(2usize), Just(8usize), Just(32usize)],
+            prop_oneof![Just(1u64), Just(4u64)],
+        ),
+        10u64..40,
+    );
+    (circuit, seeds, kernel).prop_map(
+        |(
+            (counter_not_lfsr, bits, k, part_seed),
+            (stim_seed, sched_seed, policy_sel),
+            (window, (max_size, max_delay), cycles),
+        )| EquivCase {
+            counter_not_lfsr,
+            bits,
+            k,
+            part_seed,
+            stim_seed,
+            sched_seed,
+            policy_sel,
+            window,
+            max_size,
+            max_delay,
+            cycles,
+        },
+    )
+}
+
+fn elaborate_case(case: &EquivCase) -> Netlist {
+    let src = if case.counter_not_lfsr {
+        generate_counter(case.bits)
+    } else {
+        generate_lfsr(case.bits.max(2), &[case.bits.max(2), 1])
+    };
+    parse_and_elaborate(&src)
+        .expect("generated circuit parses")
+        .into_netlist()
+}
+
+/// A seeded random gate→cluster assignment with every cluster non-empty.
+fn random_partition(nl: &Netlist, k: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = nl.gate_count();
+    let mut gb: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k as u32)).collect();
+    for (i, slot) in gb.iter_mut().enumerate().take(k.min(n)) {
+        *slot = i as u32;
+    }
+    gb
+}
+
+fn policy_for(case: &EquivCase, plan: &ClusterPlan) -> SchedulePolicy {
+    match case.policy_sel {
+        0 => SchedulePolicy::RoundRobin,
+        1 => SchedulePolicy::SeededRandom,
+        2 => SchedulePolicy::StragglerHeavy,
+        3 => match first_cut_channel(plan) {
+            Some((src, dst)) => SchedulePolicy::DelayChannel { src, dst },
+            None => SchedulePolicy::SeededRandom,
+        },
+        _ => SchedulePolicy::Bursty,
+    }
+}
+
+fn batched(case: &EquivCase) -> BatchPolicy {
+    BatchPolicy::PerQuantum {
+        max_size: case.max_size,
+        max_delay: case.max_delay,
+    }
+}
+
+fn config(transport: Transport, window: u64, policy: BatchPolicy) -> TimeWarpConfig {
+    TimeWarpConfig::builder()
+        .transport(transport)
+        .window(window)
+        .epochs_per_quantum(2)
+        .gvt_interval(1)
+        .message_batching(policy)
+        .build()
+        .expect("valid config")
+}
+
+fn run(
+    nl: &Netlist,
+    gb: &[u32],
+    k: usize,
+    stim: &VectorStimulus,
+    cycles: u64,
+    cfg: &TimeWarpConfig,
+) -> TwRunResult {
+    let plan = ClusterPlan::new(nl, gb, k);
+    run_timewarp(nl, &plan, stim, cycles, cfg).expect("time warp run failed")
+}
+
+fn canonical(tw: &TwRunResult) -> String {
+    tw_run_canonical_json(tw).emit().expect("canonical emit")
+}
+
+/// Deterministic transports must pin `messages_folded` to zero: FIFO order
+/// guarantees a positive message is delivered before its anti-message can
+/// even be staged, so there is never an unsent pair to cancel.
+fn assert_wire_counters_sane(tw: &TwRunResult, label: &str) {
+    assert_eq!(
+        tw.recovery.messages_folded, 0,
+        "{label}: deterministic transports never fold"
+    );
+    assert!(
+        tw.recovery.frames_sent <= tw.recovery.messages_sent,
+        "{label}: a frame carries at least one message"
+    );
+}
+
+/// Run `f`, dumping `case` (and the panic message) to
+/// `target/tmp/batch_equiv_failure_<test>_<hash>.txt` on failure.
+fn with_dump<F: FnOnce()>(case: &EquivCase, test: &str, f: F) {
+    use std::hash::{Hash, Hasher};
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>");
+        let dump = format!("failing batch-equivalence case ({test}):\n{case:#?}\n\npanic: {msg}\n");
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{case:?}").hash(&mut h);
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+        let _ = std::fs::create_dir_all(dir);
+        let name = format!("batch_equiv_failure_{test}_{:016x}.txt", h.finish());
+        let _ = std::fs::write(dir.join(name), &dump);
+        eprintln!("{dump}");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The InProc deterministic executor: batching on vs off over random
+/// circuits, partitions, schedules, and batch knobs must produce
+/// byte-identical canonical artifacts.
+fn run_inproc_case(case: &EquivCase) {
+    let nl = elaborate_case(case);
+    let gb = random_partition(&nl, case.k, case.part_seed);
+    let plan = ClusterPlan::new(&nl, &gb, case.k);
+    let policy = policy_for(case, &plan);
+    let stim = VectorStimulus::from_netlist(&nl, 10, case.stim_seed);
+    let transport = || Transport::in_proc(case.sched_seed, policy);
+
+    let off = run(
+        &nl,
+        &gb,
+        case.k,
+        &stim,
+        case.cycles,
+        &config(transport(), case.window, BatchPolicy::Off),
+    );
+    let on = run(
+        &nl,
+        &gb,
+        case.k,
+        &stim,
+        case.cycles,
+        &config(transport(), case.window, batched(case)),
+    );
+    assert_wire_counters_sane(&on, "inproc batched");
+    assert_eq!(
+        canonical(&off),
+        canonical(&on),
+        "batching changed the InProc canonical artifact under {policy:?}"
+    );
+}
+
+/// Real threads: batching on vs off must converge to the same final values
+/// (both equal the sequential simulator — asserted transitively by the
+/// threads fuzz suite) and conserve messages through the fold counter.
+fn run_threads_case(case: &EquivCase) {
+    let nl = elaborate_case(case);
+    let gb = random_partition(&nl, case.k, case.part_seed);
+    let stim = VectorStimulus::from_netlist(&nl, 10, case.stim_seed);
+
+    let off = run(
+        &nl,
+        &gb,
+        case.k,
+        &stim,
+        case.cycles,
+        &config(Transport::Threads, case.window, BatchPolicy::Off),
+    );
+    let on = run(
+        &nl,
+        &gb,
+        case.k,
+        &stim,
+        case.cycles,
+        &config(Transport::Threads, case.window, batched(case)),
+    );
+    assert_eq!(
+        off.values, on.values,
+        "batching changed the threaded transport's final state"
+    );
+    for (tw, label) in [(&off, "threads unbatched"), (&on, "threads batched")] {
+        let emitted = tw.stats.messages + tw.stats.anti_messages;
+        assert_eq!(
+            emitted,
+            tw.recovery.messages_sent + tw.recovery.messages_folded,
+            "{label}: emitted messages must equal shipped + folded"
+        );
+    }
+    assert_eq!(
+        off.recovery.messages_folded, 0,
+        "unbatched sends cannot fold"
+    );
+}
+
+/// The wire transports (Process, TCP): batching on vs off over random
+/// cases must produce byte-identical canonical artifacts, with real
+/// `msg_batch` frames crossing real sockets.
+fn run_wire_case(case: &EquivCase) {
+    let nl = elaborate_case(case);
+    let gb = random_partition(&nl, case.k, case.part_seed);
+    let plan = ClusterPlan::new(&nl, &gb, case.k);
+    let policy = policy_for(case, &plan);
+    let stim = VectorStimulus::from_netlist(&nl, 10, case.stim_seed);
+
+    let baseline = canonical(&run(
+        &nl,
+        &gb,
+        case.k,
+        &stim,
+        case.cycles,
+        &config(
+            Transport::in_proc(case.sched_seed, policy),
+            case.window,
+            BatchPolicy::Off,
+        ),
+    ));
+    type CaseLeg = fn(&EquivCase, SchedulePolicy) -> Transport;
+    let legs: [(&str, CaseLeg); 2] = [
+        ("process", |c, p| {
+            Transport::process_with_worker(c.sched_seed, p, worker_bin())
+        }),
+        ("tcp", |c, p| {
+            Transport::tcp_with_worker(c.sched_seed, p, worker_bin())
+        }),
+    ];
+    for (name, transport) in legs {
+        for (mode, bp) in [("off", BatchPolicy::Off), ("on", batched(case))] {
+            let tw = run(
+                &nl,
+                &gb,
+                case.k,
+                &stim,
+                case.cycles,
+                &config(transport(case, policy), case.window, bp),
+            );
+            let label = format!("{name} batching {mode}");
+            assert_eq!(tw.recovery.crashes, 0, "{label}: phantom crash");
+            assert_wire_counters_sane(&tw, &label);
+            assert_eq!(
+                canonical(&tw),
+                baseline,
+                "{label}: artifact diverged from unbatched InProc baseline"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inproc_batching_is_byte_invisible(case in case_strategy()) {
+        with_dump(&case, "inproc", || run_inproc_case(&case));
+    }
+}
+
+proptest! {
+    // Real threads are slower; the InProc sweep covers schedule space.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn threads_batching_preserves_values(case in case_strategy()) {
+        with_dump(&case, "threads", || run_threads_case(&case));
+    }
+}
+
+proptest! {
+    // Each case spawns 4 × k OS processes (or TCP workers); keep the
+    // count modest — the fixed-fixture test below always runs the
+    // interesting schedules.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn wire_batching_is_byte_invisible(case in case_strategy()) {
+        with_dump(&case, "wire", || run_wire_case(&case));
+    }
+}
+
+/// The paper-class fixture (tiny Viterbi, k = 3) across every named
+/// schedule, both wire transports, and several batch shapes: every leg
+/// must reproduce the unbatched InProc artifact byte for byte, and the
+/// deep-queue `Bursty` schedule must actually coalesce — strictly fewer
+/// frames than messages on the batched legs.
+#[test]
+fn viterbi_fixture_batching_equivalence() {
+    const K: u32 = 3;
+    const CYCLES: u64 = 20;
+    let src = generate_viterbi(&ViterbiParams::tiny());
+    let nl = dvs_verilog::parse_and_elaborate(&src)
+        .expect("viterbi elaborates")
+        .into_netlist();
+    let part = partition_multiway(&nl, &MultiwayConfig::new(K, 20.0));
+    let gb = part.gate_blocks;
+    let stim = VectorStimulus::from_netlist(&nl, 10, 7);
+
+    for policy in [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::SeededRandom,
+        SchedulePolicy::Bursty,
+    ] {
+        let baseline = canonical(&run(
+            &nl,
+            &gb,
+            K as usize,
+            &stim,
+            CYCLES,
+            &config(Transport::in_proc(2008, policy), 8, BatchPolicy::Off),
+        ));
+        let shapes = [
+            BatchPolicy::PerQuantum {
+                max_size: 2,
+                max_delay: 1,
+            },
+            BatchPolicy::per_quantum(),
+        ];
+        type WireLeg = fn(SchedulePolicy) -> Transport;
+        let legs: [(&str, WireLeg); 2] = [
+            ("process", |p| {
+                Transport::process_with_worker(2008, p, worker_bin())
+            }),
+            ("tcp", |p| Transport::tcp_with_worker(2008, p, worker_bin())),
+        ];
+        for (name, transport) in legs {
+            for bp in shapes {
+                let tw = run(
+                    &nl,
+                    &gb,
+                    K as usize,
+                    &stim,
+                    CYCLES,
+                    &config(transport(policy), 8, bp),
+                );
+                let label = format!("{name} {policy:?} {bp:?}");
+                assert_eq!(tw.recovery.crashes, 0, "{label}: phantom crash");
+                assert_wire_counters_sane(&tw, &label);
+                if policy == SchedulePolicy::Bursty {
+                    assert!(
+                        tw.recovery.frames_sent < tw.recovery.messages_sent,
+                        "{label}: bursty queues never coalesced \
+                         (frames {} / messages {})",
+                        tw.recovery.frames_sent,
+                        tw.recovery.messages_sent
+                    );
+                }
+                assert_eq!(canonical(&tw), baseline, "{label}: artifact diverged");
+            }
+        }
+    }
+}

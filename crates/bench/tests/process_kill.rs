@@ -15,8 +15,8 @@ use dvs_core::{partition_multiway, MultiwayConfig};
 use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::{
-    run_timewarp, CheckpointCadence, FaultPlan, SchedulePolicy, TimeWarpConfig, Transport,
-    TwRunResult,
+    run_timewarp, BatchPolicy, CheckpointCadence, FaultPlan, SchedulePolicy, TimeWarpConfig,
+    Transport, TwRunResult,
 };
 use dvs_verilog::Netlist;
 use dvs_workloads::viterbi::{generate_viterbi, ViterbiParams};
@@ -58,9 +58,23 @@ fn config_cadenced(transport: Transport, fault: FaultPlan, cadence: u32) -> Time
     TimeWarpConfig::builder()
         .transport(transport)
         .window(8)
-        .batch(2)
+        .epochs_per_quantum(2)
         .gvt_interval(1)
         .checkpoint_cadence(CheckpointCadence::every_n_rounds(cadence))
+        .fault(fault)
+        .build()
+        .expect("valid config")
+}
+
+/// Same kernel knobs as [`config`] but with per-quantum message batching
+/// on — `msg_batch` wire frames stage message tails worker-side.
+fn config_batched(transport: Transport, fault: FaultPlan) -> TimeWarpConfig {
+    TimeWarpConfig::builder()
+        .transport(transport)
+        .window(8)
+        .epochs_per_quantum(2)
+        .gvt_interval(1)
+        .message_batching(BatchPolicy::per_quantum())
         .fault(fault)
         .build()
         .expect("valid config")
@@ -158,6 +172,102 @@ fn sigkilled_worker_recovers_byte_identically() {
         assert_eq!(canonical(&tw), clean, "{label}: artifact diverged");
     }
     assert!(fired >= 2, "sweep fired only {fired} kills — widen indices");
+}
+
+/// The batching leg of the kill sweep: `SIGKILL`s land while batched
+/// message tails sit staged on the worker (shipped in a `msg_batch` frame
+/// but not yet released by `deliver_next`). The restore path must drop the
+/// stage on both sides and replay from the input log, converging on the
+/// byte-identical artifact of an **unbatched** undisturbed in-proc run —
+/// batching plus crashes together still change nothing observable.
+#[test]
+fn sigkilled_worker_with_batching_recovers_byte_identically() {
+    let _g = lock();
+    let (nl, gb, stim) = fixture();
+    let policy = SchedulePolicy::SeededRandom;
+    let clean = canonical(&run(
+        &nl,
+        &gb,
+        &stim,
+        &config(in_proc(policy), FaultPlan::default()),
+    ));
+    // Batching on, no faults: sanity-check the staging path is exercised
+    // at all before killing through it.
+    let quiet = run(
+        &nl,
+        &gb,
+        &stim,
+        &config_batched(process(policy), FaultPlan::default()),
+    );
+    assert_eq!(quiet.recovery.crashes, 0, "phantom crash under batching");
+    assert_eq!(
+        quiet.recovery.messages_folded, 0,
+        "deterministic transports never fold"
+    );
+    assert!(
+        quiet.recovery.frames_sent < quiet.recovery.messages_sent,
+        "batching shipped no multi-message frames ({} frames / {} messages) — \
+         the staging path is not being exercised",
+        quiet.recovery.frames_sent,
+        quiet.recovery.messages_sent
+    );
+    assert_eq!(canonical(&quiet), clean, "clean batched run diverged");
+    let mut fired = 0u32;
+    for (victim, at) in [(0u32, 3u64), (1, 47), (2, 211), (0, 800)] {
+        let tw = run(
+            &nl,
+            &gb,
+            &stim,
+            &config_batched(process(policy), FaultPlan::crash(victim, at)),
+        );
+        let label = format!("batched kill cluster {victim} at decision {at}");
+        assert_eq!(
+            tw.recovery.crashes, tw.recovery.restarts,
+            "{label}: every kill must be recovered"
+        );
+        assert!(!tw.recovery.degraded, "{label}: unexpected degradation");
+        assert_eq!(tw.recovery.messages_folded, 0, "{label}: phantom fold");
+        fired += tw.recovery.crashes;
+        assert_eq!(canonical(&tw), clean, "{label}: artifact diverged");
+    }
+    assert!(fired >= 2, "sweep fired only {fired} kills — widen indices");
+}
+
+/// Capability negotiation end to end: a worker that does not advertise
+/// `msg_batch` in its hello (`DVS_TW_NO_BATCH`, simulating a pre-batching
+/// v3 peer) keeps a batching-enabled supervisor on plain one-message
+/// `deliver` frames — every message ships in its own frame, nothing is
+/// staged, and the artifact still matches the unbatched in-proc run.
+#[test]
+fn no_batch_worker_negotiates_batching_off() {
+    let _g = lock();
+    let (nl, gb, stim) = fixture();
+    let policy = SchedulePolicy::SeededRandom;
+    let clean = canonical(&run(
+        &nl,
+        &gb,
+        &stim,
+        &config(in_proc(policy), FaultPlan::default()),
+    ));
+    std::env::set_var("DVS_TW_NO_BATCH", "1");
+    let tw = run(
+        &nl,
+        &gb,
+        &stim,
+        &config_batched(process(policy), FaultPlan::default()),
+    );
+    std::env::remove_var("DVS_TW_NO_BATCH");
+    assert_eq!(tw.recovery.crashes, 0, "phantom crash during negotiation");
+    assert_eq!(
+        tw.recovery.frames_sent, tw.recovery.messages_sent,
+        "negotiated-off batching must ship one frame per message"
+    );
+    assert_eq!(tw.recovery.messages_folded, 0, "phantom fold");
+    assert_eq!(
+        canonical(&tw),
+        clean,
+        "negotiated-off batching diverged from the unbatched in-proc run"
+    );
 }
 
 /// The delta-cadence leg: with bases only every 4th GVT round and deltas

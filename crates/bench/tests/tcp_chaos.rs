@@ -127,7 +127,7 @@ fn run(spec: RunSpec) -> TwRunResult {
     let mut b = TimeWarpConfig::builder()
         .transport(spec.transport)
         .window(8)
-        .batch(2)
+        .epochs_per_quantum(2)
         .gvt_interval(1)
         .checkpoint_cadence(CheckpointCadence::every_n_rounds(spec.cadence))
         .fault(spec.fault);
@@ -156,7 +156,7 @@ fn clean() -> &'static str {
         let cfg = TimeWarpConfig::builder()
             .transport(Transport::in_proc(SCHED_SEED, SchedulePolicy::SeededRandom))
             .window(8)
-            .batch(2)
+            .epochs_per_quantum(2)
             .gvt_interval(1)
             .build()
             .expect("valid config");

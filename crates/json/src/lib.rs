@@ -91,6 +91,16 @@ impl Json {
     }
 
     pub fn as_u64(&self) -> Result<u64, JsonError> {
+        // Values above `i64::MAX` are emitted as decimal strings (see
+        // [`ObjBuilder::uint`]): a bare JSON literal that large would be
+        // parsed as a lossy float by most readers, including this one.
+        if let Json::Str(s) = self {
+            if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+                return s
+                    .parse::<u64>()
+                    .map_err(|_| JsonError::new(format!("unsigned integer {s:?} overflows u64")));
+            }
+        }
         let n = self.as_i64()?;
         u64::try_from(n).map_err(|_| JsonError::new(format!("expected unsigned integer, got {n}")))
     }
@@ -516,11 +526,16 @@ impl ObjBuilder {
         self.field(key, Json::Int(value.into()))
     }
 
-    /// Unsigned counter; errors at build time would be overkill — counters
-    /// in this workspace are far below `i64::MAX`, and a saturating cast
-    /// keeps the emitter total.
+    /// Unsigned counter. Values that fit `i64` emit as plain JSON
+    /// integers — the overwhelmingly common case, and the encoding every
+    /// existing artifact uses, so canonical bytes are unchanged. Larger
+    /// values (uniform-random `u64` seeds shipped to remote workers, for
+    /// instance) fall back to a decimal string so the round-trip through
+    /// [`Json::as_u64`] is lossless instead of silently saturating — a
+    /// saturated seed made process workers simulate a *different stimulus*
+    /// than their supervisor.
     pub fn uint(self, key: &str, value: u64) -> Self {
-        self.field(key, Json::Int(i64::try_from(value).unwrap_or(i64::MAX)))
+        self.field(key, uint_json(value))
     }
 
     pub fn float(self, key: &str, value: f64) -> Self {
@@ -544,14 +559,18 @@ impl ObjBuilder {
     }
 }
 
+/// Lossless unsigned encoding: integer when it fits `i64`, decimal string
+/// beyond (see [`ObjBuilder::uint`] for why).
+pub fn uint_json(value: u64) -> Json {
+    match i64::try_from(value) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::Str(value.to_string()),
+    }
+}
+
 /// Serialize a slice of unsigned counters.
 pub fn uint_array(values: &[u64]) -> Json {
-    Json::Array(
-        values
-            .iter()
-            .map(|&v| Json::Int(i64::try_from(v).unwrap_or(i64::MAX)))
-            .collect(),
-    )
+    Json::Array(values.iter().map(|&v| uint_json(v)).collect())
 }
 
 /// Deserialize a slice of unsigned counters.
@@ -722,5 +741,33 @@ mod tests {
     fn uint_array_round_trips() {
         let xs = vec![0u64, 1, 99999];
         assert_eq!(uint_vec(&uint_array(&xs)).unwrap(), xs);
+    }
+
+    /// The full `u64` range must survive the codec — stimulus seeds are
+    /// uniform random, so half of them exceed `i64::MAX`, and a saturated
+    /// seed desynchronises remote workers from their supervisor.
+    #[test]
+    fn uint_round_trips_above_i64_max() {
+        for v in [
+            0u64,
+            i64::MAX as u64,
+            i64::MAX as u64 + 1,
+            11601856998475820192,
+            u64::MAX,
+        ] {
+            let j = ObjBuilder::new().uint("v", v).build();
+            assert_eq!(j.field("v").unwrap().as_u64().unwrap(), v, "field {v}");
+            if v <= i64::MAX as u64 {
+                assert!(
+                    matches!(j.field("v").unwrap(), Json::Int(_)),
+                    "small values keep the integer encoding (artifact bytes)"
+                );
+            }
+            assert_eq!(uint_vec(&uint_array(&[v])).unwrap(), vec![v], "array {v}");
+        }
+        // Emit/parse round trip: the string fallback survives real bytes.
+        let j = ObjBuilder::new().uint("seed", u64::MAX).build();
+        let back = Json::parse(&j.emit().unwrap()).unwrap();
+        assert_eq!(back.field("seed").unwrap().as_u64().unwrap(), u64::MAX);
     }
 }

@@ -165,6 +165,9 @@ impl ToJson for RecoveryOutcome {
             .uint("corrupt_frames", self.corrupt_frames)
             .uint("heartbeats_missed", self.heartbeats_missed)
             .uint("chaos_faults_injected", self.chaos_faults_injected)
+            .uint("messages_sent", self.messages_sent)
+            .uint("frames_sent", self.frames_sent)
+            .uint("messages_folded", self.messages_folded)
             .bool("degraded", self.degraded)
             .build()
     }
@@ -189,6 +192,9 @@ impl FromJson for RecoveryOutcome {
             corrupt_frames: opt_uint("corrupt_frames")?,
             heartbeats_missed: opt_uint("heartbeats_missed")?,
             chaos_faults_injected: opt_uint("chaos_faults_injected")?,
+            messages_sent: opt_uint("messages_sent")?,
+            frames_sent: opt_uint("frames_sent")?,
+            messages_folded: opt_uint("messages_folded")?,
             degraded: v.field("degraded")?.as_bool()?,
         })
     }
@@ -929,6 +935,9 @@ mod tests {
             corrupt_frames: 2,
             heartbeats_missed: 30,
             chaos_faults_injected: 1,
+            messages_sent: 4111,
+            frames_sent: 207,
+            messages_folded: 18,
             degraded: false,
         };
         let text = r.to_json().emit().unwrap();
@@ -936,13 +945,16 @@ mod tests {
         assert_eq!(back, r);
 
         // Artifacts written before the victim list existed have no
-        // `victims` key; they read back with an empty list.
+        // `victims` key; they read back with an empty list. Likewise the
+        // batching counters read back as zero when absent.
         let mut v = r.to_json();
         if let Json::Object(members) = &mut v {
-            members.retain(|(k, _)| k != "victims");
+            members.retain(|(k, _)| k != "victims" && k != "frames_sent");
         }
         let back = RecoveryOutcome::from_json(&v).unwrap();
         assert!(back.victims.is_empty());
+        assert_eq!(back.frames_sent, 0);
+        assert_eq!(back.messages_sent, 4111);
         assert_eq!(back.crashes, 3);
     }
 

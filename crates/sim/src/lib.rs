@@ -51,6 +51,6 @@ pub use seq::{SeqSim, SimConfig};
 pub use stats::SimStats;
 pub use stimulus::VectorStimulus;
 pub use timewarp::{
-    Checkpoint, FaultPlan, RecoveryOutcome, SchedulePolicy, TimeWarpBuilder, TimeWarpConfig,
-    TimeWarpError, Transport,
+    BatchPolicy, Checkpoint, FaultPlan, RecoveryOutcome, SchedulePolicy, TimeWarpBuilder,
+    TimeWarpConfig, TimeWarpError, Transport,
 };

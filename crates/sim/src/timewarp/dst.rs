@@ -129,6 +129,15 @@ pub enum SchedulePolicy {
     /// delay), behaving round-robin otherwise. Forces rollback storms on
     /// the receiving cluster while preserving FIFO within the channel.
     DelayChannel { src: u32, dst: u32 },
+    /// Adversarial for message batching: alternate a *build* phase that
+    /// prefers stepping clusters — letting per-channel queues deepen while
+    /// nothing is delivered — with a *drain* phase that prefers delivering,
+    /// releasing the backlog all at once. Deep queues make batched tails as
+    /// long as the policy allows, and the sudden drains land stale
+    /// timestamps on clusters that ran ahead during the build phase, so
+    /// batch flush boundaries interleave with rollback storms. Ignores the
+    /// seed.
+    Bursty,
 }
 
 impl SchedulePolicy {
@@ -139,6 +148,7 @@ impl SchedulePolicy {
             SchedulePolicy::SeededRandom => Box::new(SeededRandom::new(seed)),
             SchedulePolicy::StragglerHeavy => Box::new(StragglerHeavy),
             SchedulePolicy::DelayChannel { src, dst } => Box::new(DelayChannel::new(src, dst)),
+            SchedulePolicy::Bursty => Box::new(Bursty::default()),
         }
     }
 
@@ -149,6 +159,7 @@ impl SchedulePolicy {
             SchedulePolicy::SeededRandom => "seeded_random",
             SchedulePolicy::StragglerHeavy => "straggler_heavy",
             SchedulePolicy::DelayChannel { .. } => "delay_channel",
+            SchedulePolicy::Bursty => "bursty",
         }
     }
 }
@@ -284,6 +295,41 @@ impl Schedule for DelayChannel {
             DstAction::Deliver { src, dst }
         } else {
             DstAction::Step(view.steppable[i - others])
+        }
+    }
+}
+
+/// See [`SchedulePolicy::Bursty`].
+#[derive(Debug, Default)]
+struct Bursty {
+    cursor: u64,
+}
+
+impl Schedule for Bursty {
+    fn next(&mut self, view: &DstView<'_>) -> DstAction {
+        // Half a period of building, half a period of draining. The period
+        // is long enough that a drain releases queues deeper than any
+        // sensible batch `max_size`, forcing multi-frame drains.
+        const HALF_PERIOD: u64 = 48;
+        let building = (self.cursor / HALF_PERIOD).is_multiple_of(2);
+        let i = self.cursor;
+        self.cursor += 1;
+        let step =
+            |v: &DstView<'_>| DstAction::Step(v.steppable[(i % v.steppable.len() as u64) as usize]);
+        let deliver = |v: &DstView<'_>| {
+            let (src, dst) = v.deliverable[(i % v.deliverable.len() as u64) as usize];
+            DstAction::Deliver { src, dst }
+        };
+        if building {
+            if !view.steppable.is_empty() {
+                step(view)
+            } else {
+                deliver(view)
+            }
+        } else if !view.deliverable.is_empty() {
+            deliver(view)
+        } else {
+            step(view)
         }
     }
 }

@@ -87,6 +87,74 @@ pub struct TwMessage {
     pub anti: bool,
 }
 
+/// Upper bound on messages carried by one `msg_batch` wire frame. The
+/// worker side rejects a batch whose *declared* length exceeds this before
+/// materializing any of its messages, and
+/// [`TimeWarpBuilder::message_batching`] rejects policies above it at
+/// build time.
+pub const MAX_BATCH_MSGS: usize = 4096;
+
+/// Per-channel message batching policy, threaded through every transport.
+///
+/// Under [`Transport::Threads`] batching buffers outgoing messages per
+/// destination and flushes them in groups — folding positive/anti pairs
+/// that cancel while still unsent — so the channel (and, on a real
+/// deployment, the wire) sees fewer, larger pushes. Under the
+/// deterministic wire transports ([`Transport::Process`] /
+/// [`Transport::Tcp`]) batching pre-ships the committed FIFO tail of a
+/// channel in a single `msg_batch` frame the first time that channel is
+/// delivered; subsequent delivers of the staged messages are payload-free
+/// `deliver_next` commands, amortizing the 12-byte header + CRC pass per
+/// message. In both cases the *semantics* are unchanged: every transport
+/// produces artifacts byte-identical to its unbatched run (the
+/// `batch_equivalence` suite sweeps exactly this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatchPolicy {
+    /// No batching: one message per channel push / wire frame. The
+    /// default.
+    #[default]
+    Off,
+    /// Batch per scheduling quantum.
+    PerQuantum {
+        /// Maximum messages per batch; a buffer reaching this size
+        /// flushes immediately. Must be in `1..=`[`MAX_BATCH_MSGS`].
+        max_size: usize,
+        /// Maximum quanta a threaded worker may hold an unsent buffer
+        /// before a quantum boundary flushes it. `1` flushes at every
+        /// boundary; larger values trade latency (and potentially more
+        /// rollbacks at the receiver) for bigger batches. Measured in
+        /// quanta, never wall-clock, so runs stay deterministic. Ignored
+        /// by the supervisor-driven transports, which ship batches
+        /// eagerly at delivery decisions.
+        max_delay: u64,
+    },
+}
+
+impl BatchPolicy {
+    /// The default `PerQuantum` policy: batches of up to 32 messages,
+    /// flushed at every quantum boundary.
+    pub fn per_quantum() -> Self {
+        BatchPolicy::PerQuantum {
+            max_size: 32,
+            max_delay: 1,
+        }
+    }
+
+    /// Whether any batching is enabled.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, BatchPolicy::Off)
+    }
+
+    /// Effective batch size cap (`1` when off).
+    pub(crate) fn max_size(&self) -> usize {
+        match self {
+            BatchPolicy::Off => 1,
+            BatchPolicy::PerQuantum { max_size, .. } => *max_size,
+        }
+    }
+}
+
 /// Kernel tuning parameters. Construct via [`TimeWarpConfig::builder`]
 /// (see [`TimeWarpBuilder`]) — the struct is `#[non_exhaustive]`, so
 /// literal construction is reserved to this crate and new knobs can be
@@ -97,8 +165,13 @@ pub struct TimeWarpConfig {
     /// How the cluster workers execute and exchange messages (see
     /// [`Transport`]).
     pub transport: Transport,
-    /// Epochs processed per scheduling quantum before re-checking channels.
-    pub batch: usize,
+    /// Epochs processed per scheduling quantum before re-checking
+    /// channels. (Formerly named `batch`; renamed so it cannot be
+    /// confused with message batching, which is [`BatchPolicy`].)
+    pub epochs_per_quantum: usize,
+    /// Per-channel message batching (see [`BatchPolicy`]). Off by
+    /// default.
+    pub batch_policy: BatchPolicy,
     /// Attempt a GVT computation every this many quanta.
     pub gvt_interval: usize,
     /// Optimism window: a cluster will not execute events more than this far
@@ -181,7 +254,8 @@ impl Default for TimeWarpConfig {
     fn default() -> Self {
         TimeWarpConfig {
             transport: Transport::Threads,
-            batch: 16,
+            epochs_per_quantum: 16,
+            batch_policy: BatchPolicy::Off,
             gvt_interval: 1,
             window: 16,
             state_saving: StateSaving::IncrementalUndo,
@@ -274,8 +348,24 @@ impl TimeWarpBuilder {
     }
 
     /// Epochs processed per scheduling quantum (threaded transport only).
-    pub fn batch(mut self, batch: usize) -> Self {
-        self.cfg.batch = batch;
+    pub fn epochs_per_quantum(mut self, epochs: usize) -> Self {
+        self.cfg.epochs_per_quantum = epochs;
+        self
+    }
+
+    /// Deprecated name for [`epochs_per_quantum`]: "batch" now refers to
+    /// message batching (see [`message_batching`]), not epoch grouping.
+    ///
+    /// [`epochs_per_quantum`]: TimeWarpBuilder::epochs_per_quantum
+    /// [`message_batching`]: TimeWarpBuilder::message_batching
+    #[deprecated(note = "renamed to `epochs_per_quantum`; `batch` now means message batching")]
+    pub fn batch(self, batch: usize) -> Self {
+        self.epochs_per_quantum(batch)
+    }
+
+    /// Per-channel message batching policy (see [`BatchPolicy`]).
+    pub fn message_batching(mut self, policy: BatchPolicy) -> Self {
+        self.cfg.batch_policy = policy;
         self
     }
 
@@ -360,8 +450,29 @@ impl TimeWarpBuilder {
         let invalid = |reason: &str| TimeWarpError::InvalidConfig {
             reason: reason.to_string(),
         };
-        if self.cfg.batch == 0 {
-            return Err(invalid("batch must be at least 1"));
+        if self.cfg.epochs_per_quantum == 0 {
+            return Err(invalid("epochs_per_quantum must be at least 1"));
+        }
+        if let BatchPolicy::PerQuantum {
+            max_size,
+            max_delay,
+        } = self.cfg.batch_policy
+        {
+            if max_size == 0 {
+                return Err(invalid("message batching max_size must be at least 1"));
+            }
+            if max_size > MAX_BATCH_MSGS {
+                return Err(TimeWarpError::InvalidConfig {
+                    reason: format!(
+                        "message batching max_size {max_size} exceeds the wire cap {MAX_BATCH_MSGS}"
+                    ),
+                });
+            }
+            if max_delay == 0 {
+                return Err(invalid(
+                    "message batching max_delay must be at least 1 quantum",
+                ));
+            }
         }
         if self.cfg.gvt_interval == 0 {
             return Err(invalid("gvt_interval must be at least 1"));
@@ -602,12 +713,21 @@ fn run_threads_once(
         return ThreadsAttempt::Crashed;
     }
     let per_cluster = results.into_iter().flatten().collect();
-    ThreadsAttempt::Done(Box::new(merge_results(
+    let mut r = merge_results(
         nl,
         plan,
         per_cluster,
         shared.gvt_rounds.load(Ordering::SeqCst),
-    )))
+    );
+    // Exact transport provenance for the successful attempt. Under free-
+    // running threads the values depend on interleaving (unlike the
+    // deterministic transports), but the invariant `emitted ==
+    // messages_sent + messages_folded` always holds — the batching fuzz
+    // suite asserts it.
+    r.recovery.messages_sent = shared.messages_sent.load(Ordering::SeqCst);
+    r.recovery.frames_sent = shared.frames_sent.load(Ordering::SeqCst);
+    r.recovery.messages_folded = shared.messages_folded.load(Ordering::SeqCst);
+    ThreadsAttempt::Done(Box::new(r))
 }
 
 /// Merge per-cluster stats and final net values into a [`TwRunResult`].
@@ -661,6 +781,7 @@ fn worker_loop(
     injector: Option<&PanicInjector>,
 ) {
     let mut quantum = 0u64;
+    let mut out = BatchedSender::new(shared, senders, cfg.batch_policy);
     // Scheduler-noise injection: a per-worker seeded RNG (the shared seed
     // xor'd with the cluster id, so workers de-correlate) decides between
     // quanta whether to yield the OS slice or sleep a few tens of
@@ -695,9 +816,16 @@ fn worker_loop(
         let mut drained = 0i64;
         while let Ok(msg) = rx.try_recv() {
             proc.handle_message(msg, &mut |m: TwMessage| {
-                send(shared, senders, m);
+                out.push(m, quantum);
             });
             drained += 1;
+        }
+        // Rollback eagerness: a drained straggler or anti-message may have
+        // rolled us back and emitted fresh anti-messages. Any that did not
+        // fold against a buffered positive must not linger — the receiver
+        // is executing down a path our annihilations are about to undo.
+        if out.pending_anti {
+            out.flush_all();
         }
         shared.publish_lvt(me, proc.lvt());
         if drained > 0 {
@@ -713,12 +841,12 @@ fn worker_loop(
             idle_spins = 0;
         }
 
-        // Process a batch of epochs within the optimism window.
+        // Process a quantum of epochs within the optimism window.
         let limit = gvt.saturating_add(cfg.window);
         let mut worked = false;
-        for _ in 0..cfg.batch {
+        for _ in 0..cfg.epochs_per_quantum {
             if !proc.process_next_epoch(limit, &mut |m: TwMessage| {
-                send(shared, senders, m);
+                out.push(m, quantum);
             }) {
                 break;
             }
@@ -727,6 +855,10 @@ fn worker_loop(
         shared.publish_lvt(me, proc.lvt());
 
         quantum += 1;
+        // Quantum boundary: flush every buffer whose oldest message has
+        // aged `max_delay` quanta (with the default delay of 1, that is
+        // every non-empty buffer).
+        out.flush_expired(quantum);
         if let Some(inj) = injector {
             if inj.should_fire(me, quantum) {
                 // Crash-stop this worker. The abort flag is raised first so
@@ -737,6 +869,11 @@ fn worker_loop(
             }
         }
         if quantum.is_multiple_of(cfg.gvt_interval as u64) || !worked {
+            // GVT eagerness: a buffered message counts as in transit, so
+            // holding one through a sample attempt would only invalidate
+            // our own sample (and, run-wide, stall GVT). Ship everything
+            // first.
+            out.flush_all();
             if let Some(new_gvt) = shared.try_compute_gvt() {
                 proc.fossil_collect(new_gvt);
             } else {
@@ -761,12 +898,130 @@ fn worker_loop(
     }
 }
 
-#[inline]
-fn send(shared: &GvtState, senders: &[crossbeam::channel::Sender<TwMessage>], m: TwMessage) {
-    shared.in_transit.fetch_add(1, Ordering::SeqCst);
-    shared.send_epoch.fetch_add(1, Ordering::SeqCst);
-    // A failed send means the receiver died in a crash fault; the message
-    // is lost with it — exactly the crash-stop model — and the supervisor
-    // restarts the attempt.
-    let _ = senders[m.dst as usize].send(m);
+/// Per-destination send buffering for the threaded transport.
+///
+/// Pushed messages are counted in transit immediately (so GVT can never
+/// advance past an unsent buffer) but handed to the channel only when the
+/// buffer flushes: at `max_size`, at a quantum boundary once the buffer
+/// has aged `max_delay` quanta, eagerly before every GVT sample attempt,
+/// and eagerly after a drain phase that emitted anti-messages. An
+/// anti-message whose positive still sits unsent in the same buffer
+/// *folds*: both are dropped on the spot — annihilation performed before
+/// the channel ever sees the pair. FIFO per channel is preserved (buffers
+/// flush in push order, and a positive always precedes its anti: either
+/// both are buffered, in order, or the positive was flushed earlier).
+///
+/// With [`BatchPolicy::Off`] every push ships immediately, matching the
+/// historical one-message-per-send behaviour exactly.
+struct BatchedSender<'a> {
+    shared: &'a GvtState,
+    senders: &'a [crossbeam::channel::Sender<TwMessage>],
+    /// One unsent FIFO buffer per destination cluster. Empty vecs when
+    /// batching is off.
+    bufs: Vec<Vec<TwMessage>>,
+    /// Quantum at which each buffer's oldest unsent message was pushed;
+    /// `u64::MAX` when the buffer is empty.
+    oldest: Vec<u64>,
+    max_size: usize,
+    max_delay: u64,
+    /// Set when a push buffered an anti-message (rather than folding it);
+    /// the worker loop flushes eagerly after the drain phase that set it.
+    pending_anti: bool,
+}
+
+impl<'a> BatchedSender<'a> {
+    fn new(
+        shared: &'a GvtState,
+        senders: &'a [crossbeam::channel::Sender<TwMessage>],
+        policy: BatchPolicy,
+    ) -> Self {
+        let k = senders.len();
+        let (max_size, max_delay) = match policy {
+            BatchPolicy::Off => (1, 1),
+            BatchPolicy::PerQuantum {
+                max_size,
+                max_delay,
+            } => (max_size, max_delay),
+        };
+        BatchedSender {
+            shared,
+            senders,
+            bufs: vec![Vec::new(); k],
+            oldest: vec![u64::MAX; k],
+            max_size,
+            max_delay,
+            pending_anti: false,
+        }
+    }
+
+    fn push(&mut self, m: TwMessage, quantum: u64) {
+        self.shared.send_epoch.fetch_add(1, Ordering::SeqCst);
+        if self.max_size <= 1 {
+            self.shared.in_transit.fetch_add(1, Ordering::SeqCst);
+            self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
+            self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+            // A failed send means the receiver died in a crash fault; the
+            // message is lost with it — exactly the crash-stop model — and
+            // the supervisor restarts the attempt.
+            let _ = self.senders[m.dst as usize].send(m);
+            return;
+        }
+        let d = m.dst as usize;
+        if m.anti {
+            // Fold: `(src, seq)` identifies the positive this anti
+            // annihilates, and src is always this worker, so a match on
+            // seq within the per-destination buffer is exact. The
+            // positive was already counted in transit; the pair nets out
+            // to nothing.
+            if let Some(i) = self.bufs[d].iter().position(|p| !p.anti && p.seq == m.seq) {
+                self.bufs[d].remove(i);
+                self.shared.in_transit.fetch_sub(1, Ordering::SeqCst);
+                self.shared.messages_folded.fetch_add(2, Ordering::Relaxed);
+                if self.bufs[d].is_empty() {
+                    self.oldest[d] = u64::MAX;
+                }
+                return;
+            }
+            self.pending_anti = true;
+        }
+        self.shared.in_transit.fetch_add(1, Ordering::SeqCst);
+        if self.bufs[d].is_empty() {
+            self.oldest[d] = quantum;
+        }
+        self.bufs[d].push(m);
+        if self.bufs[d].len() >= self.max_size {
+            self.flush_dst(d);
+        }
+    }
+
+    fn flush_dst(&mut self, d: usize) {
+        if self.bufs[d].is_empty() {
+            return;
+        }
+        self.shared
+            .messages_sent
+            .fetch_add(self.bufs[d].len() as u64, Ordering::Relaxed);
+        self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+        for m in self.bufs[d].drain(..) {
+            let _ = self.senders[d].send(m);
+        }
+        self.oldest[d] = u64::MAX;
+    }
+
+    fn flush_all(&mut self) {
+        for d in 0..self.bufs.len() {
+            self.flush_dst(d);
+        }
+        self.pending_anti = false;
+    }
+
+    /// Quantum-boundary flush: ship every buffer whose oldest message has
+    /// aged at least `max_delay` quanta.
+    fn flush_expired(&mut self, quantum: u64) {
+        for d in 0..self.bufs.len() {
+            if quantum.saturating_sub(self.oldest[d]) >= self.max_delay {
+                self.flush_dst(d);
+            }
+        }
+    }
 }

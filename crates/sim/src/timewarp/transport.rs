@@ -81,7 +81,7 @@ use super::wire::{
     hello_json, hello_parse, json_kind, parse_json, read_frame, run_token, send_json, DialJitter,
     FrameSink, FrameSource, WireError, WireStream,
 };
-use super::{merge_results, StateSaving, TimeWarpConfig, TwMessage, TwRunResult};
+use super::{merge_results, StateSaving, TimeWarpConfig, TwMessage, TwRunResult, MAX_BATCH_MSGS};
 use crate::artifact::{logic_str, logic_vec};
 use crate::cluster::ClusterPlan;
 use crate::logic::Logic;
@@ -320,6 +320,14 @@ pub(crate) struct WireCounters {
     pub heartbeats_missed: u64,
     /// Faults the chaos shim actually injected on this worker's streams.
     pub chaos_faults_injected: u64,
+    /// Message payloads shipped to this worker: a plain `deliver` counts
+    /// one, a `msg_batch` counts every message it carries, a
+    /// `deliver_next` counts zero.
+    pub messages_sent: u64,
+    /// Frames that carried those payloads (`deliver` + `msg_batch`
+    /// frames; `deliver_next` frames carry none). With batching off this
+    /// equals `messages_sent`.
+    pub frames_sent: u64,
 }
 
 /// One Time Warp cluster as seen by the transport-generic supervisor.
@@ -338,6 +346,23 @@ pub(crate) trait ClusterWorker {
     /// are appended to `sends`. Returns the new LVT.
     fn deliver(&mut self, m: TwMessage, sends: &mut Vec<TwMessage>)
         -> Result<VTime, WorkerFailure>;
+    /// Deliver `m` now, with `tail` naming the committed FIFO successors
+    /// already queued on the same channel. A wire transport may pre-ship
+    /// the tail in the same frame (receiver-side staging, the `msg_batch`
+    /// command) so that later delivers of those messages are payload-free
+    /// — but the *semantics* must equal [`Self::deliver`]`(m, sends)`
+    /// exactly: one message applied, same response. The supervisor treats
+    /// the tail as a hint it will re-offer (identically, since channel
+    /// queues only pop on delivery) on every subsequent decision, so an
+    /// implementation is free to ignore it — the default does.
+    fn deliver_batched(
+        &mut self,
+        m: TwMessage,
+        _tail: &[TwMessage],
+        sends: &mut Vec<TwMessage>,
+    ) -> Result<VTime, WorkerFailure> {
+        self.deliver(m, sends)
+    }
     /// Fossil-collect history strictly below `gvt`.
     fn fossil(&mut self, gvt: VTime) -> Result<(), WorkerFailure>;
     /// Capture a full base checkpoint image at `gvt`. The worker retains
@@ -634,7 +659,7 @@ pub(crate) fn run_supervisor<W: ClusterWorker>(
             result.recovery = sup.outcome;
             Ok(result)
         }
-        SupRun::Degraded(r) => Ok(r),
+        SupRun::Degraded(r) => Ok(*r),
         SupRun::Failed(e) => Err(e),
     }
 }
@@ -644,14 +669,15 @@ enum SupRun {
     /// Clean completion: per-cluster `(stats, values)` ready to merge.
     Finished(Vec<(SimStats, Vec<Logic>)>),
     /// Restart budget exhausted; the sequential fallback already ran.
-    Degraded(TwRunResult),
+    /// Boxed: a full run result dwarfs the other variants.
+    Degraded(Box<TwRunResult>),
     Failed(TimeWarpError),
 }
 
 /// Outcome of one supervised worker command (possibly after recoveries).
 enum OpOutcome {
     Done,
-    Degraded(TwRunResult),
+    Degraded(Box<TwRunResult>),
     Failed(TimeWarpError),
 }
 
@@ -712,7 +738,8 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
     fn run(&mut self, schedule: &mut dyn Schedule) -> SupRun {
         let fault = self.cfg.fault;
         let mut crashes_left = fault.crash_budget();
-        let gvt_cadence = (self.cfg.batch.max(1) * self.cfg.gvt_interval.max(1)) as u64;
+        let gvt_cadence =
+            (self.cfg.epochs_per_quantum.max(1) * self.cfg.gvt_interval.max(1)) as u64;
         let mut decision: u64 = 0;
         let mut last_gvt: VTime = 0;
         let mut idle: u64 = 0;
@@ -907,9 +934,30 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
                 self.label
             );
         }
+        // The committed FIFO successors of `msg` on this channel, offered
+        // to the transport for receiver-side staging (capped at the
+        // policy's batch size, head included). Recomputed per decision
+        // from the queue itself, which only pops on delivery — so a
+        // worker that staged a tail and then died is offered the
+        // identical tail again after recovery.
+        let tail: Vec<TwMessage> = if self.cfg.batch_policy.is_on() {
+            self.queues[ch]
+                .iter()
+                .skip(1)
+                .take(self.cfg.batch_policy.max_size().saturating_sub(1))
+                .copied()
+                .collect()
+        } else {
+            Vec::new()
+        };
         loop {
             sends.clear();
-            match self.workers[dst].deliver(msg, sends) {
+            let delivered = if self.cfg.batch_policy.is_on() {
+                self.workers[dst].deliver_batched(msg, &tail, sends)
+            } else {
+                self.workers[dst].deliver(msg, sends)
+            };
+            match delivered {
                 Ok(lvt) => {
                     self.queues[ch].pop_front();
                     if let Some(log) = self.log.as_mut() {
@@ -1090,7 +1138,10 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
         r.recovery.corrupt_frames = self.outcome.corrupt_frames;
         r.recovery.heartbeats_missed = self.outcome.heartbeats_missed;
         r.recovery.chaos_faults_injected = self.outcome.chaos_faults_injected;
-        OpOutcome::Degraded(r)
+        r.recovery.messages_sent = self.outcome.messages_sent;
+        r.recovery.frames_sent = self.outcome.frames_sent;
+        r.recovery.messages_folded = self.outcome.messages_folded;
+        OpOutcome::Degraded(Box::new(r))
     }
 
     /// Sum each worker's side-accumulated wire counters into the outcome.
@@ -1101,6 +1152,8 @@ impl<W: ClusterWorker> Supervisor<'_, W> {
             self.outcome.corrupt_frames += c.corrupt_frames;
             self.outcome.heartbeats_missed += c.heartbeats_missed;
             self.outcome.chaos_faults_injected += c.chaos_faults_injected;
+            self.outcome.messages_sent += c.messages_sent;
+            self.outcome.frames_sent += c.frames_sent;
         }
     }
 
@@ -1681,7 +1734,9 @@ pub(crate) struct TcpBroker {
     /// The configured dial-in window, reported in timeout failures (the
     /// caller owns the actual deadline).
     connect_window: Duration,
-    pending: RefCell<HashMap<u32, WireStream>>,
+    /// Parked hello-negotiated connections, keyed by cluster, each with
+    /// the `batch` capability its worker hello advertised.
+    pending: RefCell<HashMap<u32, (WireStream, bool)>>,
 }
 
 impl TcpBroker {
@@ -1721,7 +1776,7 @@ impl TcpBroker {
         cluster: u32,
         deadline: Instant,
         mut child: Option<&mut Child>,
-    ) -> Result<WireStream, WorkerFailure> {
+    ) -> Result<(WireStream, bool), WorkerFailure> {
         loop {
             if let Some(s) = self.pending.borrow_mut().remove(&cluster) {
                 return Ok(s);
@@ -1729,14 +1784,14 @@ impl TcpBroker {
             match self.listener.accept() {
                 // greet() returns None for stray peers, dropped quietly.
                 Ok((conn, _)) => {
-                    if let Some((who, stream)) = self.greet(conn)? {
+                    if let Some((who, stream, batch)) = self.greet(conn)? {
                         if who == cluster {
-                            return Ok(stream);
+                            return Ok((stream, batch));
                         }
                         // Another cluster's worker arrived first; park it
                         // for that cluster's next accept (latest wins — a
                         // re-dial supersedes a stale parked connection).
-                        self.pending.borrow_mut().insert(who, stream);
+                        self.pending.borrow_mut().insert(who, (stream, batch));
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -1763,10 +1818,11 @@ impl TcpBroker {
         }
     }
 
-    /// Hello exchange on a fresh dial-in. `Ok(Some((cluster, stream)))` is
-    /// a negotiated worker; `Ok(None)` a stray to drop (wrong token,
-    /// malformed hello, vanished mid-handshake).
-    fn greet(&self, conn: TcpStream) -> Result<Option<(u32, WireStream)>, WorkerFailure> {
+    /// Hello exchange on a fresh dial-in. `Ok(Some((cluster, stream,
+    /// batch)))` is a negotiated worker with its advertised `msg_batch`
+    /// capability; `Ok(None)` a stray to drop (wrong token, malformed
+    /// hello, vanished mid-handshake).
+    fn greet(&self, conn: TcpStream) -> Result<Option<(u32, WireStream, bool)>, WorkerFailure> {
         let setup = conn
             .set_nodelay(true)
             .and_then(|()| conn.set_nonblocking(false))
@@ -1780,7 +1836,7 @@ impl TcpBroker {
         };
         // The supervisor speaks first, exactly as on the Unix transport;
         // the worker validates our token before revealing anything.
-        if send_json(&mut writer, &hello_json(&self.token, None)).is_err() {
+        if send_json(&mut writer, &hello_json(&self.token, None, true)).is_err() {
             return Ok(None);
         }
         let Ok(Some(bytes)) = read_frame(&mut stream) else {
@@ -1802,7 +1858,7 @@ impl TcpBroker {
                 detail: "TCP worker hello did not declare a cluster".to_string(),
             });
         };
-        Ok(Some((who, stream)))
+        Ok(Some((who, stream, theirs.batch)))
     }
 }
 
@@ -1845,6 +1901,17 @@ pub(crate) struct ProcessWorker {
     probing: bool,
     corrupt_frames: u64,
     heartbeats_missed: u64,
+    /// Whether the current connection's worker hello advertised the
+    /// `msg_batch` capability. A pre-batching v3 peer omits the flag and
+    /// keeps receiving plain `deliver` frames.
+    batch_ok: bool,
+    /// Supervisor-side mirror of the worker's per-source stash depth:
+    /// how many staged messages from each source the worker still holds.
+    /// Dies with the connection (a respawned or reconnected worker has an
+    /// empty stash).
+    staged: HashMap<u32, u64>,
+    messages_sent: u64,
+    frames_sent: u64,
 }
 
 impl ProcessWorker {
@@ -1869,6 +1936,10 @@ impl ProcessWorker {
             probing: false,
             corrupt_frames: 0,
             heartbeats_missed: 0,
+            batch_ok: false,
+            staged: HashMap::new(),
+            messages_sent: 0,
+            frames_sent: 0,
         }
     }
 
@@ -1894,6 +1965,10 @@ impl ProcessWorker {
             probing: false,
             corrupt_frames: 0,
             heartbeats_missed: 0,
+            batch_ok: false,
+            staged: HashMap::new(),
+            messages_sent: 0,
+            frames_sent: 0,
         }
     }
 
@@ -1911,6 +1986,9 @@ impl ProcessWorker {
         self.reader = None;
         self.writer = None;
         self.probing = false;
+        // Staged messages live in the worker's per-connection stash; they
+        // die with the stream.
+        self.staged.clear();
     }
 
     /// Spawn (or respawn / await reconnection of) the worker, negotiate
@@ -1919,6 +1997,8 @@ impl ProcessWorker {
     fn spawn(&mut self) -> Result<(), WorkerFailure> {
         self.kill_child();
         self.probing = false;
+        self.batch_ok = false;
+        self.staged.clear();
         let proto = |detail: String| WorkerFailure::Protocol { detail };
         let link = self.link.clone();
         // `greeted` marks streams whose hello exchange the broker already
@@ -1982,7 +2062,9 @@ impl ProcessWorker {
                     self.child = Some(child);
                 }
                 let deadline = Instant::now() + self.timing.connect;
-                let stream = broker.accept_for(self.cluster, deadline, self.child.as_mut())?;
+                let (stream, batch) =
+                    broker.accept_for(self.cluster, deadline, self.child.as_mut())?;
+                self.batch_ok = batch;
                 (stream, true)
             }
         };
@@ -2005,7 +2087,7 @@ impl ProcessWorker {
             let mut hello_writer = stream
                 .try_clone()
                 .map_err(|e| proto(format!("clone stream: {e}")))?;
-            send_json(&mut hello_writer, &hello_json("", None)).map_err(|e| {
+            send_json(&mut hello_writer, &hello_json("", None, true)).map_err(|e| {
                 WorkerFailure::Lost {
                     detail: format!("write failed: {e}"),
                 }
@@ -2039,6 +2121,7 @@ impl ProcessWorker {
                     theirs: theirs.versions(),
                 });
             }
+            self.batch_ok = theirs.batch;
         }
         // Past the hello every frame is v3 — checksummed and sequenced —
         // and, when a chaos plan targets this cluster, routed through the
@@ -2244,6 +2327,7 @@ impl ProcessWorker {
         self.reader = None;
         self.writer = None;
         self.probing = false;
+        self.staged.clear();
         if let Some(path) = self.socket_path.take() {
             let _ = std::fs::remove_file(path);
         }
@@ -2274,7 +2358,59 @@ impl ClusterWorker for ProcessWorker {
             .field("msg", m.to_json())
             .build();
         let r = self.command(&cmd)?;
-        self.expect_done(&r, sends)
+        let lvt = self.expect_done(&r, sends)?;
+        self.messages_sent += 1;
+        self.frames_sent += 1;
+        Ok(lvt)
+    }
+
+    fn deliver_batched(
+        &mut self,
+        m: TwMessage,
+        tail: &[TwMessage],
+        sends: &mut Vec<TwMessage>,
+    ) -> Result<VTime, WorkerFailure> {
+        // Negotiated off (the worker's hello never advertised `batch`):
+        // plain one-message delivers, exactly as before batching existed.
+        if !self.batch_ok {
+            return self.deliver(m, sends);
+        }
+        let held = self.staged.get(&m.src).copied().unwrap_or(0);
+        if held > 0 {
+            // The worker already holds `m` at the front of its stash for
+            // this source: tell it to apply the next staged message. The
+            // (seq, anti) echo lets the worker assert the two sides agree
+            // on *which* message that is — any divergence is a protocol
+            // bug, and a typed error beats silently diverging state.
+            let cmd = ObjBuilder::new()
+                .str("kind", "deliver_next")
+                .uint("src", m.src as u64)
+                .uint("seq", m.seq)
+                .bool("anti", m.anti)
+                .build();
+            let r = self.command(&cmd)?;
+            let lvt = self.expect_done(&r, sends)?;
+            self.staged.insert(m.src, held - 1);
+            Ok(lvt)
+        } else {
+            // Ship the head plus the channel's committed tail in one
+            // frame; the worker applies the head now and stashes the rest
+            // for payload-free `deliver_next` commands.
+            let mut msgs = Vec::with_capacity(1 + tail.len());
+            msgs.push(m.to_json());
+            msgs.extend(tail.iter().map(|t| t.to_json()));
+            let cmd = ObjBuilder::new()
+                .str("kind", "msg_batch")
+                .uint("src", m.src as u64)
+                .array("msgs", msgs)
+                .build();
+            let r = self.command(&cmd)?;
+            let lvt = self.expect_done(&r, sends)?;
+            self.messages_sent += 1 + tail.len() as u64;
+            self.frames_sent += 1;
+            self.staged.insert(m.src, tail.len() as u64);
+            Ok(lvt)
+        }
     }
 
     fn fossil(&mut self, gvt: VTime) -> Result<(), WorkerFailure> {
@@ -2392,6 +2528,8 @@ impl ClusterWorker for ProcessWorker {
             corrupt_frames: self.corrupt_frames,
             heartbeats_missed: self.heartbeats_missed,
             chaos_faults_injected: self.chaos.as_ref().map_or(0, |c| c.borrow().fired()),
+            messages_sent: self.messages_sent,
+            frames_sent: self.frames_sent,
         }
     }
 }
@@ -2645,7 +2783,12 @@ fn serve_wire(stream: WireStream, identity: Option<u32>, token: &str) -> io::Res
         Some(bytes) => bytes,
         None => return Ok(()),
     };
-    send_json(&mut writer, &hello_json(token, identity))?;
+    // Advertise the `msg_batch` capability — unless the `DVS_TW_NO_BATCH`
+    // test hook simulates a pre-batching v3 peer, whose hello simply
+    // lacks the flag (negotiation then keeps the supervisor on plain
+    // `deliver` frames).
+    let advertise_batch = std::env::var_os("DVS_TW_NO_BATCH").is_none();
+    send_json(&mut writer, &hello_json(token, identity, advertise_batch))?;
     let theirs = parse_json(&hello)
         .and_then(|j| hello_parse(&j))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -2723,6 +2866,11 @@ fn serve_cluster(
     // Reference image for delta capture: the last full or reconstructed
     // checkpoint this incarnation produced or was restored from.
     let mut prev_ckpt: Option<Checkpoint> = None;
+    // Staged messages from `msg_batch` frames, FIFO per source channel,
+    // applied one at a time by `deliver_next` commands. Connection-local
+    // by construction: a respawned or reconnected worker starts empty,
+    // mirroring the supervisor's cleared staging mirror.
+    let mut stash: HashMap<u32, VecDeque<TwMessage>> = HashMap::new();
 
     loop {
         let bytes = match worker_recv(&mut source)? {
@@ -2772,6 +2920,7 @@ fn serve_cluster(
                 &mut proc,
                 &mut selfkill,
                 &mut prev_ckpt,
+                &mut stash,
             )
         }));
         match outcome {
@@ -2843,6 +2992,7 @@ fn dispatch<'nl, 'p>(
     proc: &mut Option<ClusterProcess<'nl, 'p>>,
     selfkill: &mut Option<u64>,
     prev_ckpt: &mut Option<Checkpoint>,
+    stash: &mut HashMap<u32, VecDeque<TwMessage>>,
 ) -> Result<Option<Json>, String>
 where
     'nl: 'p,
@@ -2867,6 +3017,77 @@ where
             live(proc)?;
             let m =
                 TwMessage::from_json(cmd.field("msg").map_err(|e| e.msg)?).map_err(|e| e.msg)?;
+            let p = proc.as_mut().expect("live() checked presence");
+            let mut sends = Vec::new();
+            p.handle_message(m, &mut |m: TwMessage| sends.push(m));
+            Ok(Some(done_json(p.lvt(), &sends)))
+        }
+        "msg_batch" => {
+            live(proc)?;
+            let src = cmd.field("src").and_then(Json::as_u64).map_err(|e| e.msg)? as u32;
+            let msgs = cmd
+                .field("msgs")
+                .and_then(Json::as_array)
+                .map_err(|e| e.msg)?;
+            if msgs.is_empty() {
+                return Err("msg_batch with no messages".to_string());
+            }
+            // Reject an oversized batch from its declared length, before
+            // materializing a single message out of it.
+            if msgs.len() > MAX_BATCH_MSGS {
+                return Err(format!(
+                    "msg_batch of {} messages exceeds the cap of {MAX_BATCH_MSGS}",
+                    msgs.len()
+                ));
+            }
+            if stash.get(&src).is_some_and(|q| !q.is_empty()) {
+                return Err(format!(
+                    "msg_batch for source {src} while staged messages remain"
+                ));
+            }
+            let mut parsed = Vec::with_capacity(msgs.len());
+            for m in msgs {
+                let m = TwMessage::from_json(m).map_err(|e| e.msg)?;
+                if m.src != src || m.dst != cluster {
+                    return Err(format!(
+                        "msg_batch message {}->{} does not belong to channel {src}->{cluster}",
+                        m.src, m.dst
+                    ));
+                }
+                parsed.push(m);
+            }
+            // Apply the head exactly as a plain deliver would; stage the
+            // FIFO tail for payload-free `deliver_next` commands.
+            let mut it = parsed.into_iter();
+            let head = it.next().expect("non-empty batch checked above");
+            stash.entry(src).or_default().extend(it);
+            let p = proc.as_mut().expect("live() checked presence");
+            let mut sends = Vec::new();
+            p.handle_message(head, &mut |m: TwMessage| sends.push(m));
+            Ok(Some(done_json(p.lvt(), &sends)))
+        }
+        "deliver_next" => {
+            live(proc)?;
+            let src = cmd.field("src").and_then(Json::as_u64).map_err(|e| e.msg)? as u32;
+            let seq = cmd.field("seq").and_then(Json::as_u64).map_err(|e| e.msg)?;
+            let anti = cmd
+                .field("anti")
+                .and_then(Json::as_bool)
+                .map_err(|e| e.msg)?;
+            let m = stash
+                .get_mut(&src)
+                .and_then(VecDeque::pop_front)
+                .ok_or_else(|| format!("deliver_next for source {src} with an empty stash"))?;
+            // The supervisor echoes which message it believes is next on
+            // the channel; a mismatch means the two sides' FIFO views
+            // diverged, and a typed error beats silently corrupting state.
+            if m.seq != seq || m.anti != anti {
+                return Err(format!(
+                    "deliver_next desync on channel {src}->{cluster}: supervisor expects \
+                     seq {seq} (anti {anti}), stash head is seq {} (anti {})",
+                    m.seq, m.anti
+                ));
+            }
             let p = proc.as_mut().expect("live() checked presence");
             let mut sends = Vec::new();
             p.handle_message(m, &mut |m: TwMessage| sends.push(m));
@@ -2970,6 +3191,12 @@ where
             // A restored worker is a fresh process as far as the fault
             // model is concerned; it must not re-arm the self-kill hook.
             *selfkill = None;
+            // Staged messages belong to the pre-restore incarnation; the
+            // supervisor re-offers them from its (never-popped-early)
+            // channel queues. In practice a restore always arrives on a
+            // fresh connection with an empty stash — this is defense in
+            // depth.
+            stash.clear();
             Ok(Some(ready_json(lvt)))
         }
         "quiesce" => {
@@ -3100,7 +3327,7 @@ mod tests {
 
         let mut writer = sup.try_clone().expect("clone");
         let mut reader = io::BufReader::new(sup);
-        send_json(&mut writer, &hello_json("wrong", None)).expect("send hello");
+        send_json(&mut writer, &hello_json("wrong", None, false)).expect("send hello");
 
         let reply = read_frame(&mut reader)
             .expect("read")
@@ -3121,7 +3348,7 @@ mod tests {
             let mut stream = WireStream::Tcp(conn);
             let mut writer = stream.try_clone().expect("clone");
             let _sup_hello = read_frame(&mut stream).expect("read").expect("sup hello");
-            send_json(&mut writer, &hello_json(&token, Some(cluster))).expect("send hello");
+            send_json(&mut writer, &hello_json(&token, Some(cluster), true)).expect("send hello");
             stream
         })
     }
@@ -3144,7 +3371,8 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let genuine = dial(broker.addr, "good-token", 0);
         let deadline = Instant::now() + Duration::from_secs(5);
-        let got = broker.accept_for(0, deadline, None).expect("accept");
+        let (got, batch) = broker.accept_for(0, deadline, None).expect("accept");
+        assert!(batch, "dial() advertises batching in its hello");
         // The genuine worker's connection is the one handed back: prove it
         // by round-tripping a frame (the stray's socket was dropped, so
         // writing to it would fail or go nowhere).
@@ -3175,9 +3403,9 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let w0 = dial(broker.addr, "tok", 0);
         let deadline = Instant::now() + Duration::from_secs(5);
-        let s0 = broker.accept_for(0, deadline, None).expect("accept 0");
+        let (s0, _) = broker.accept_for(0, deadline, None).expect("accept 0");
         // Cluster 1 is already parked: no new dial-in needed.
-        let s1 = broker
+        let (s1, _) = broker
             .accept_for(1, Instant::now() + Duration::from_millis(200), None)
             .expect("accept 1 from pending");
         drop(s0);
@@ -3257,7 +3485,7 @@ mod tests {
             let mut stream = WireStream::Tcp(conn);
             let mut writer = stream.try_clone().expect("clone");
             let _ = read_frame(&mut stream).expect("read").expect("sup hello");
-            send_json(&mut writer, &hello_json(&token, Some(0))).expect("send hello");
+            send_json(&mut writer, &hello_json(&token, Some(0), true)).expect("send hello");
             // Swallow the init frame, then go silent until the supervisor
             // gives up (keep the socket open so no EOF arrives).
             let _init = read_frame(&mut stream).expect("read init");
@@ -3308,7 +3536,7 @@ mod tests {
             let writer = stream.try_clone().expect("clone");
             let _ = read_frame(&mut stream).expect("read").expect("sup hello");
             let mut legacy_writer = writer.try_clone().expect("clone");
-            send_json(&mut legacy_writer, &hello_json(&token, Some(0))).expect("send hello");
+            send_json(&mut legacy_writer, &hello_json(&token, Some(0), true)).expect("send hello");
             // Post-hello traffic rides the checksummed v3 framing:
             // acknowledge init like a real worker, then never answer again.
             let mut source = FrameSource::new(io::BufReader::new(stream));
@@ -3407,5 +3635,219 @@ mod tests {
         assert_eq!(back.stim_cycle, ck.stim_cycle);
         assert_eq!(back.mseq, ck.mseq);
         writer.join().expect("writer thread");
+    }
+
+    /// Hand-authored `init` frame for a two-cluster chain `net0 → not →
+    /// net1 → not → net2`. The served worker is cluster 1, whose single
+    /// gate reads net 1 — the 0→1 message channel the batch tests drive.
+    /// The stimulus seed deliberately exceeds `i64::MAX`: it must survive
+    /// the JSON codec's decimal-string fallback losslessly (a saturated
+    /// seed once made workers simulate a different stimulus than their
+    /// supervisor).
+    fn tiny_init_json() -> Json {
+        let gate = |kind: &str, output: i64, input: i64| {
+            Json::Array(vec![
+                Json::Str(kind.to_string()),
+                Json::Int(output),
+                Json::Int(input),
+            ])
+        };
+        ObjBuilder::new()
+            .str("kind", "init")
+            .uint("cluster", 1)
+            .uint("k", 2)
+            .bool("check", true)
+            .str("label", "batch-unit")
+            .uint("cycles", 4)
+            .field(
+                "state_saving",
+                state_saving_json(StateSaving::IncrementalUndo),
+            )
+            .uint("nets", 3)
+            .field("const0", Json::Null)
+            .field("const1", Json::Null)
+            .field("primary_inputs", uint_array(&[0]))
+            .array("gates", vec![gate("not", 1, 0), gate("not", 2, 1)])
+            .field("gate_block", uint_array(&[0, 1]))
+            .field(
+                "stim",
+                ObjBuilder::new()
+                    .field("data_inputs", uint_array(&[0]))
+                    .field("clock", Json::Null)
+                    .uint("period", 2)
+                    .uint("seed", 11_601_856_998_475_820_192)
+                    .build(),
+            )
+            .build()
+    }
+
+    type WorkerSession = (
+        FrameSink<WireStream>,
+        FrameSource<io::BufReader<WireStream>>,
+        std::thread::JoinHandle<io::Result<()>>,
+    );
+
+    /// Complete the hello + init handshake against a real [`serve_wire`]
+    /// worker over a Unix socketpair, returning the supervisor side of
+    /// the checksummed v3 framing with the worker ready for commands.
+    fn batch_worker_session() -> WorkerSession {
+        let (sup, worker) = UnixStream::pair().expect("socketpair");
+        let handle = std::thread::spawn(move || serve_wire(WireStream::Unix(worker), None, ""));
+        let mut writer = WireStream::Unix(sup).try_clone().expect("clone");
+        let mut reader = io::BufReader::new(writer.try_clone().expect("clone"));
+        send_json(&mut writer, &hello_json("", None, true)).expect("send hello");
+        let reply = read_frame(&mut reader)
+            .expect("read")
+            .expect("worker hello");
+        let reply = hello_parse(&parse_json(&reply).expect("parse")).expect("hello");
+        assert!(reply.batch, "worker must advertise msg_batch by default");
+        let mut sink = FrameSink::new(writer);
+        let mut source = FrameSource::new(reader);
+        sink.send_json(&tiny_init_json()).expect("send init");
+        let ready = source.recv().expect("read").expect("ready frame");
+        let ready = parse_json(&ready).expect("parse ready");
+        assert_eq!(json_kind(&ready).expect("kind"), "ready");
+        (sink, source, handle)
+    }
+
+    fn channel_msg(seq: u64, time: VTime, value: Logic) -> TwMessage {
+        TwMessage {
+            src: 0,
+            dst: 1,
+            seq,
+            ev: crate::wheel::NetEvent {
+                time,
+                net: NetId(1),
+                value,
+            },
+            anti: false,
+        }
+    }
+
+    /// A `msg_batch` frame round-trips through a real worker over a real
+    /// socket: the head applies immediately, the staged tail is released
+    /// in FIFO order by payload-free `deliver_next` commands, and one
+    /// more release past the end of the stash is a typed protocol error.
+    #[test]
+    fn msg_batch_round_trips_through_a_real_worker() {
+        let (mut sink, mut source, handle) = batch_worker_session();
+        let batch = [
+            channel_msg(1, 1, Logic::One),
+            channel_msg(2, 2, Logic::Zero),
+            channel_msg(3, 3, Logic::One),
+        ];
+        let cmd = ObjBuilder::new()
+            .str("kind", "msg_batch")
+            .uint("src", 0)
+            .array("msgs", batch.iter().map(TwMessage::to_json).collect())
+            .build();
+        sink.send_json(&cmd).expect("send batch");
+        let reply = parse_json(&source.recv().expect("read").expect("reply")).expect("parse");
+        assert_eq!(
+            json_kind(&reply).expect("kind"),
+            "done",
+            "the batch head applies like a plain deliver"
+        );
+        // Release the staged tail one message at a time; the (seq, anti)
+        // echo must match the worker's stash head.
+        for m in &batch[1..] {
+            let cmd = ObjBuilder::new()
+                .str("kind", "deliver_next")
+                .uint("src", 0)
+                .uint("seq", m.seq)
+                .bool("anti", m.anti)
+                .build();
+            sink.send_json(&cmd).expect("send deliver_next");
+            let reply = parse_json(&source.recv().expect("read").expect("reply")).expect("parse");
+            assert_eq!(
+                json_kind(&reply).expect("kind"),
+                "done",
+                "staged message seq {} must be released",
+                m.seq
+            );
+        }
+        // The stash is drained: another release is a protocol error, and
+        // the worker reports it and hangs up instead of guessing.
+        let cmd = ObjBuilder::new()
+            .str("kind", "deliver_next")
+            .uint("src", 0)
+            .uint("seq", 4)
+            .bool("anti", false)
+            .build();
+        sink.send_json(&cmd).expect("send deliver_next");
+        let reply = parse_json(&source.recv().expect("read").expect("reply")).expect("parse");
+        assert_eq!(json_kind(&reply).expect("kind"), "error");
+        let detail = reply
+            .field("detail")
+            .and_then(Json::as_str)
+            .expect("detail");
+        assert!(
+            detail.contains("empty stash"),
+            "unexpected detail: {detail}"
+        );
+        assert_eq!(source.recv().expect("clean eof"), None);
+        handle.join().expect("join").expect("serve_wire exits Ok");
+    }
+
+    /// An oversized batch is rejected from its declared length alone,
+    /// before a single message is materialized: the `msgs` entries here
+    /// are `null`, which would fail message parsing with a different
+    /// error if the worker ever looked past the length.
+    #[test]
+    fn oversize_msg_batch_is_rejected_before_materializing() {
+        let (mut sink, mut source, handle) = batch_worker_session();
+        let cmd = ObjBuilder::new()
+            .str("kind", "msg_batch")
+            .uint("src", 0)
+            .array("msgs", vec![Json::Null; MAX_BATCH_MSGS + 1])
+            .build();
+        sink.send_json(&cmd).expect("send oversize batch");
+        let reply = parse_json(&source.recv().expect("read").expect("reply")).expect("parse");
+        assert_eq!(json_kind(&reply).expect("kind"), "error");
+        let detail = reply
+            .field("detail")
+            .and_then(Json::as_str)
+            .expect("detail");
+        assert!(
+            detail.contains("exceeds the cap"),
+            "expected the declared-length rejection, got: {detail}"
+        );
+        assert_eq!(source.recv().expect("clean eof"), None);
+        handle.join().expect("join").expect("serve_wire exits Ok");
+    }
+
+    /// A flipped bit inside a `msg_batch` frame surfaces as the typed
+    /// [`WireError::Corrupt`] (CRC mismatch), which `is_corrupt` routes
+    /// into connection recovery — a multi-message frame gets no weaker
+    /// integrity checking than a single-message one.
+    #[test]
+    fn bit_flip_in_a_batched_frame_is_corrupt() {
+        let cmd = ObjBuilder::new()
+            .str("kind", "msg_batch")
+            .uint("src", 0)
+            .array(
+                "msgs",
+                vec![
+                    channel_msg(1, 3, Logic::One).to_json(),
+                    channel_msg(2, 5, Logic::Zero).to_json(),
+                ],
+            )
+            .build();
+        let mut sink = FrameSink::new(Vec::new());
+        sink.send_json(&cmd).expect("encode");
+        let clean = sink.get_ref().clone();
+        // Sanity: the unflipped frame decodes back to the same command.
+        let mut src = FrameSource::new(io::Cursor::new(clean.clone()));
+        let bytes = src.recv().expect("recv").expect("frame");
+        assert_eq!(parse_json(&bytes).expect("parse"), cmd);
+        // Flip one bit in the final byte — inside the JSON body, past the
+        // header, so only the payload CRC can catch it.
+        let mut flipped = clean;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let mut src = FrameSource::new(io::Cursor::new(flipped));
+        let err = src.recv().expect_err("corrupt frame must not decode");
+        assert!(matches!(err, WireError::Corrupt(_)), "got {err:?}");
+        assert!(err.is_corrupt(), "recovery keys on is_corrupt");
     }
 }

@@ -530,6 +530,12 @@ pub(crate) struct Hello {
     /// its cluster; `None` in supervisor hellos and on the Unix transport,
     /// where the socket path identifies the cluster.
     pub cluster: Option<u32>,
+    /// Whether the peer understands the `msg_batch`/`deliver_next`
+    /// commands. Optional on the wire and absent from older v3 peers'
+    /// hellos, so negotiation degrades gracefully: the supervisor batches
+    /// toward a worker only when the worker's hello advertised the
+    /// capability, and sends plain `deliver` frames otherwise.
+    pub batch: bool,
 }
 
 impl Hello {
@@ -539,8 +545,10 @@ impl Hello {
 }
 
 /// Build a `hello` frame carrying our versions, the run token, and — from
-/// a TCP worker — its cluster identity.
-pub(crate) fn hello_json(token: &str, cluster: Option<u32>) -> Json {
+/// a TCP worker — its cluster identity. `batch` advertises the
+/// `msg_batch` capability; when false the field is omitted entirely,
+/// which is also what a pre-batching v3 peer's hello looks like.
+pub(crate) fn hello_json(token: &str, cluster: Option<u32>, batch: bool) -> Json {
     let mut b = ObjBuilder::new()
         .str("kind", "hello")
         .uint("wire", WIRE_VERSION as u64)
@@ -548,6 +556,9 @@ pub(crate) fn hello_json(token: &str, cluster: Option<u32>) -> Json {
         .str("token", token);
     if let Some(c) = cluster {
         b = b.uint("cluster", c as u64);
+    }
+    if batch {
+        b = b.bool("batch", true);
     }
     b.build()
 }
@@ -573,11 +584,16 @@ pub(crate) fn hello_parse(j: &Json) -> Result<Hello, String> {
         Ok(v) => Some(v.as_u64().map_err(err)? as u32),
         Err(_) => None,
     };
+    let batch = match j.field("batch") {
+        Ok(v) => v.as_bool().map_err(err)?,
+        Err(_) => false,
+    };
     Ok(Hello {
         wire,
         checkpoint_schema,
         token,
         cluster,
+        batch,
     })
 }
 
@@ -915,7 +931,7 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         let sender = std::thread::spawn(move || {
             let mut s = WireStream::Tcp(TcpStream::connect(addr).expect("connect"));
-            send_json(&mut s, &hello_json("tok-1", Some(3))).expect("send hello");
+            send_json(&mut s, &hello_json("tok-1", Some(3), true)).expect("send hello");
             let mut sink = FrameSink::new(s);
             sink.send(b"{\"kind\":\"step\"}").expect("send command");
         });
@@ -926,6 +942,7 @@ mod tests {
         assert_eq!(hello.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
         assert_eq!(hello.token, "tok-1");
         assert_eq!(hello.cluster, Some(3));
+        assert!(hello.batch);
         let mut src = FrameSource::new(r);
         assert_eq!(
             src.recv().expect("command").as_deref(),
@@ -936,12 +953,17 @@ mod tests {
 
     #[test]
     fn hello_round_trips_with_and_without_identity() {
-        for (token, cluster) in [("", None), ("run-abc", Some(0)), ("t", Some(7))] {
-            let j = hello_json(token, cluster);
+        for (token, cluster, batch) in [
+            ("", None, false),
+            ("run-abc", Some(0), true),
+            ("t", Some(7), false),
+        ] {
+            let j = hello_json(token, cluster, batch);
             let h = hello_parse(&j).expect("parse");
             assert_eq!(h.versions(), (WIRE_VERSION, CHECKPOINT_SCHEMA));
             assert_eq!(h.token, token);
             assert_eq!(h.cluster, cluster);
+            assert_eq!(h.batch, batch);
         }
         // A version-2 hello (token but no command-frame checksums) still
         // parses; version negotiation is what rejects it.
@@ -955,6 +977,9 @@ mod tests {
         assert_eq!(h.wire, 2);
         assert_eq!(h.token, "old-run");
         assert_eq!(h.cluster, None);
+        // No `batch` field — the capability negotiates off, exactly how a
+        // pre-batching v3 peer is handled.
+        assert!(!h.batch);
     }
 
     #[test]

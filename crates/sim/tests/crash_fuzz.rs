@@ -122,7 +122,7 @@ fn run_with_fault(case: &CrashCase, fault: FaultPlan) -> TwRunResult {
     let stim = VectorStimulus::from_netlist(&nl, 10, case.stim_seed);
     let cfg = TimeWarpConfig::builder()
         .window(8)
-        .batch(2)
+        .epochs_per_quantum(2)
         .checkpoint_cadence(CheckpointCadence::every_n_rounds(case.cadence))
         .state_saving(if case.checkpoint {
             StateSaving::Checkpoint { interval: 4 }

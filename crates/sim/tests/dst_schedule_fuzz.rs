@@ -20,7 +20,7 @@ use dvs_sim::cluster::ClusterPlan;
 use dvs_sim::seq::{NullObserver, SeqSim, SimConfig};
 use dvs_sim::stimulus::VectorStimulus;
 use dvs_sim::timewarp::dst::{first_cut_channel, run_deterministic};
-use dvs_sim::timewarp::{SchedulePolicy, StateSaving, TimeWarpConfig};
+use dvs_sim::timewarp::{BatchPolicy, SchedulePolicy, StateSaving, TimeWarpConfig};
 use dvs_verilog::netlist::Netlist;
 use dvs_verilog::parse_and_elaborate;
 use dvs_workloads::seqcirc::{generate_counter, generate_lfsr};
@@ -41,23 +41,24 @@ struct FuzzCase {
     window: u64,
     batch: usize,
     checkpoint: bool,
+    batching: bool,
     cycles: u64,
 }
 
 fn case_strategy() -> impl Strategy<Value = FuzzCase> {
     let circuit = (any::<bool>(), 2u32..6, 2usize..4, any::<u64>());
-    let seeds = (any::<u64>(), any::<u64>(), 0u8..4);
+    let seeds = (any::<u64>(), any::<u64>(), 0u8..5);
     let kernel = (
         prop_oneof![Just(4u64), Just(16u64), Just(64u64)],
         prop_oneof![Just(1usize), Just(2usize), Just(16usize)],
-        any::<bool>(),
+        (any::<bool>(), any::<bool>()),
         10u64..40,
     );
     (circuit, seeds, kernel).prop_map(
         |(
             (counter_not_lfsr, bits, k, part_seed),
             (stim_seed, sched_seed, policy_sel),
-            (window, batch, checkpoint, cycles),
+            (window, batch, (checkpoint, batching), cycles),
         )| FuzzCase {
             counter_not_lfsr,
             bits,
@@ -69,6 +70,7 @@ fn case_strategy() -> impl Strategy<Value = FuzzCase> {
             window,
             batch,
             checkpoint,
+            batching,
             cycles,
         },
     )
@@ -101,10 +103,11 @@ fn policy_for(case: &FuzzCase, plan: &ClusterPlan) -> SchedulePolicy {
         0 => SchedulePolicy::RoundRobin,
         1 => SchedulePolicy::SeededRandom,
         2 => SchedulePolicy::StragglerHeavy,
-        _ => match first_cut_channel(plan) {
+        3 => match first_cut_channel(plan) {
             Some((src, dst)) => SchedulePolicy::DelayChannel { src, dst },
             None => SchedulePolicy::SeededRandom,
         },
+        _ => SchedulePolicy::Bursty,
     }
 }
 
@@ -117,7 +120,12 @@ fn run_case(case: &FuzzCase) {
 
     let cfg = TimeWarpConfig::builder()
         .window(case.window)
-        .batch(case.batch)
+        .epochs_per_quantum(case.batch)
+        .message_batching(if case.batching {
+            BatchPolicy::per_quantum()
+        } else {
+            BatchPolicy::Off
+        })
         .state_saving(if case.checkpoint {
             StateSaving::Checkpoint { interval: 4 }
         } else {
@@ -214,20 +222,23 @@ proptest! {
 /// deterministic, always-run case for each policy).
 #[test]
 fn named_policies_on_fixed_case() {
-    for policy_sel in 0..4u8 {
-        let case = FuzzCase {
-            counter_not_lfsr: true,
-            bits: 4,
-            k: 3,
-            part_seed: 11,
-            stim_seed: 22,
-            sched_seed: 33,
-            policy_sel,
-            window: 8,
-            batch: 2,
-            checkpoint: false,
-            cycles: 30,
-        };
-        run_case_with_dump(&case, "named_policies");
+    for policy_sel in 0..5u8 {
+        for batching in [false, true] {
+            let case = FuzzCase {
+                counter_not_lfsr: true,
+                bits: 4,
+                k: 3,
+                part_seed: 11,
+                stim_seed: 22,
+                sched_seed: 33,
+                policy_sel,
+                window: 8,
+                batch: 2,
+                checkpoint: false,
+                batching,
+                cycles: 30,
+            };
+            run_case_with_dump(&case, "named_policies");
+        }
     }
 }

@@ -159,7 +159,7 @@ fn tight_window_still_correct() {
     let plan = ClusterPlan::new(&nl, &gb, 2);
     let cfg = TimeWarpConfig::builder()
         .window(8)
-        .batch(2)
+        .epochs_per_quantum(2)
         .gvt_interval(1)
         .state_saving(StateSaving::IncrementalUndo)
         .build()

@@ -342,7 +342,7 @@ fn mid_run_restore_is_invisible_for_sixteen_seeds_and_all_policies() {
             let base = TimeWarpConfig::builder()
                 .transport(Transport::in_proc(seed, policy))
                 .window(8)
-                .batch(2)
+                .epochs_per_quantum(2)
                 .gvt_interval(1)
                 .state_saving(StateSaving::IncrementalUndo)
                 .build()
@@ -351,7 +351,7 @@ fn mid_run_restore_is_invisible_for_sixteen_seeds_and_all_policies() {
             let cfg = TimeWarpConfig::builder()
                 .transport(Transport::in_proc(seed, policy))
                 .window(8)
-                .batch(2)
+                .epochs_per_quantum(2)
                 .gvt_interval(1)
                 .state_saving(StateSaving::IncrementalUndo)
                 .fault(FaultPlan::crash((seed % 3) as u32, 20 + seed * 9))
@@ -397,7 +397,7 @@ fn mid_run_restore_with_delta_cadence_is_invisible() {
         let mut b = TimeWarpConfig::builder()
             .transport(Transport::in_proc(seed, policy))
             .window(8)
-            .batch(2)
+            .epochs_per_quantum(2)
             .gvt_interval(1)
             .state_saving(StateSaving::IncrementalUndo)
             .checkpoint_cadence(CheckpointCadence::every_n_rounds(cadence));

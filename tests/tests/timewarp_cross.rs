@@ -112,7 +112,7 @@ fn deterministic_mode_matches_golden_counters() {
         let cfg = TimeWarpConfig::builder()
             .transport(Transport::in_proc(2008, policy))
             .window(8)
-            .batch(2)
+            .epochs_per_quantum(2)
             .gvt_interval(1)
             .state_saving(StateSaving::IncrementalUndo)
             .build()

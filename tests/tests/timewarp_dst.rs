@@ -35,7 +35,7 @@ fn dst_config(seed: u64, schedule: SchedulePolicy) -> TimeWarpConfig {
     TimeWarpConfig::builder()
         .transport(Transport::in_proc(seed, schedule))
         .window(8)
-        .batch(2)
+        .epochs_per_quantum(2)
         .gvt_interval(1)
         .state_saving(StateSaving::IncrementalUndo)
         .build()
